@@ -1,0 +1,73 @@
+//! Wire codec, clock-filter pipeline, and nano-conversion throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tempo_core::filter::{cluster, combine, ClockFilter, FilterSample, PeerEstimate};
+use tempo_core::nanos::NanoTimestamp;
+use tempo_core::{Duration, TimeEstimate, Timestamp};
+use tempo_service::wire::{decode, encode};
+use tempo_service::Message;
+
+fn bench_codec(c: &mut Criterion) {
+    let request = Message::TimeRequest { request_id: 42 };
+    let reply = Message::TimeReply {
+        request_id: 42,
+        received_at: Timestamp::from_secs(1_234.566),
+        estimate: TimeEstimate::new(Timestamp::from_secs(1_234.567), Duration::from_millis(12.0)),
+    };
+    c.bench_function("wire_encode_request", |b| {
+        b.iter(|| encode(black_box(&request)));
+    });
+    c.bench_function("wire_encode_reply", |b| {
+        b.iter(|| encode(black_box(&reply)));
+    });
+    let reply_bytes = encode(&reply);
+    c.bench_function("wire_decode_reply", |b| {
+        b.iter(|| decode(black_box(&reply_bytes)).unwrap());
+    });
+
+    c.bench_function("ntp_bits_roundtrip", |b| {
+        let t = NanoTimestamp::from_nanos(1_234_567_890_123);
+        b.iter(|| NanoTimestamp::from_ntp_bits(black_box(t).to_ntp_bits()));
+    });
+
+    let mut group = c.benchmark_group("filter_pipeline");
+    for peers in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("filter_cluster_combine", peers),
+            &peers,
+            |b, &peers| {
+                // Pre-build filters: 8 samples each.
+                let filters: Vec<ClockFilter> = (0..peers)
+                    .map(|p| {
+                        let mut f = ClockFilter::new(8);
+                        for k in 0..8 {
+                            f.push(FilterSample::new(
+                                Duration::from_micros((p * 100 + k * 13) as f64),
+                                Duration::from_micros((500 + k * 37) as f64),
+                                Timestamp::from_secs(k as f64),
+                            ));
+                        }
+                        f
+                    })
+                    .collect();
+                b.iter(|| {
+                    let ests: Vec<PeerEstimate> = filters
+                        .iter()
+                        .map(|f| {
+                            let best = f.best().unwrap();
+                            PeerEstimate::new(best.offset, f.jitter(), best.delay)
+                        })
+                        .collect();
+                    let survivors = cluster(&ests, 1);
+                    black_box(combine(&ests, &survivors))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end simulated time-service runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tempo_core::Duration;
+use tempo_service::Strategy;
+use tempo_sim::{Scenario, ServerSpec};
+
+fn run(strategy: Strategy, n: usize) -> usize {
+    let result = Scenario::new(strategy)
+        .servers(n, &ServerSpec::honest(5e-5, 1e-4))
+        .resync_period(Duration::from_secs(10.0))
+        .collect_window(Duration::from_secs(0.5))
+        .duration(Duration::from_secs(120.0))
+        .sample_interval(Duration::from_secs(5.0))
+        .seed(3)
+        .run();
+    result.correctness_violations()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_120s_sim");
+    group.sample_size(20);
+    for n in [3usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("mm", n), &n, |b, &n| {
+            b.iter(|| black_box(run(Strategy::Mm, n)));
+        });
+        group.bench_with_input(BenchmarkId::new("im", n), &n, |b, &n| {
+            b.iter(|| black_box(run(Strategy::Im, n)));
+        });
+        group.bench_with_input(BenchmarkId::new("marzullo_f1", n), &n, |b, &n| {
+            b.iter(|| black_box(run(Strategy::MarzulloTolerant { max_faulty: 1 }, n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Throughput of the discrete-event simulator core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tempo_core::{Duration, Timestamp};
+use tempo_net::{Actor, Context, DelayModel, NetConfig, NodeId, Topology, World};
+
+/// Endless ping-pong between every pair of neighbours.
+struct Pinger;
+
+impl Actor for Pinger {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        for peer in ctx.neighbors().to_vec() {
+            ctx.send(peer, 0);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+        ctx.send(from, msg + 1);
+    }
+
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, u64>) {}
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(criterion::Throughput::Elements(10_000));
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("pingpong_10k_events", n), &n, |b, &n| {
+            b.iter(|| {
+                let actors = (0..n).map(|_| Pinger).collect();
+                let mut world = World::new(
+                    actors,
+                    Topology::full_mesh(n),
+                    NetConfig::with_delay(DelayModel::Uniform {
+                        min: Duration::ZERO,
+                        max: Duration::from_millis(1.0),
+                    }),
+                    9,
+                );
+                for _ in 0..10_000 {
+                    if !world.step() {
+                        break;
+                    }
+                }
+                black_box(world.now())
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("timer_wheel_10k", |b| {
+        struct TimerLoop;
+        impl Actor for TimerLoop {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(Duration::from_millis(1.0), 0);
+            }
+            fn on_message(&mut self, _: NodeId, (): (), _: &mut Context<'_, ()>) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(Duration::from_millis(1.0), 0);
+            }
+        }
+        b.iter(|| {
+            let mut world = World::new(
+                vec![TimerLoop],
+                Topology::from_edges(1, &[]),
+                NetConfig::default(),
+                1,
+            );
+            world.run_until(Timestamp::from_secs(10.0));
+            black_box(world.stats().timers_fired)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

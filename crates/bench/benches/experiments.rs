@@ -1,0 +1,35 @@
+//! One benchmark per paper artifact: how long each figure/experiment of
+//! the reproduction takes to regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tempo_bench::catalog;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+    for e in catalog::all() {
+        // thm8 at full scale is deliberately heavy; bench the rest at
+        // catalogue scale and thm8 reduced.
+        if e.name == "thm8" {
+            group.bench_function("thm8_reduced", |b| {
+                b.iter(|| {
+                    black_box(
+                        tempo_sim::experiments::thm8_error_vs_n(&[2, 8, 32], 30)
+                            .rows
+                            .len(),
+                    )
+                });
+            });
+            continue;
+        }
+        group.bench_function(e.name, |b| {
+            b.iter(|| black_box((e.run)().to_string().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the interval algebra and consistency analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+use tempo_core::consistency::{consistency_groups, ConsistencyGraph};
+use tempo_core::{Duration, TimeEstimate, TimeInterval, Timestamp};
+
+fn random_intervals(n: usize, spread: f64, seed: u64) -> Vec<TimeInterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let center = rng.random_range(0.0..spread);
+            let radius = rng.random_range(0.5..5.0);
+            TimeInterval::from_center_radius(
+                Timestamp::from_secs(center),
+                Duration::from_secs(radius),
+            )
+        })
+        .collect()
+}
+
+fn bench_interval_ops(c: &mut Criterion) {
+    let a = TimeInterval::new(Timestamp::from_secs(0.0), Timestamp::from_secs(5.0));
+    let b = TimeInterval::new(Timestamp::from_secs(3.0), Timestamp::from_secs(9.0));
+    c.bench_function("interval_intersect_pair", |bencher| {
+        bencher.iter(|| black_box(a).intersect(black_box(&b)));
+    });
+
+    let mut group = c.benchmark_group("interval_collections");
+    for n in [8usize, 64, 256] {
+        let intervals = random_intervals(n, 10.0, 7);
+        group.bench_with_input(
+            BenchmarkId::new("intersect_all", n),
+            &intervals,
+            |bch, iv| {
+                bch.iter(|| TimeInterval::intersect_all(black_box(iv)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("consistency_groups", n),
+            &intervals,
+            |bch, iv| {
+                bch.iter(|| consistency_groups(black_box(iv)));
+            },
+        );
+        let estimates: Vec<TimeEstimate> = intervals
+            .iter()
+            .map(|iv| TimeEstimate::new(iv.midpoint(), iv.radius()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("consistency_graph", n),
+            &estimates,
+            |bch, est| {
+                bch.iter(|| {
+                    let g = ConsistencyGraph::new(black_box(est));
+                    g.components()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_ops);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Scaling of the Marzullo sweep and the NTP selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+use tempo_core::marzullo::{best_intersection, intersect_tolerating, smallest_tolerance};
+use tempo_core::ntp::select;
+use tempo_core::{Duration, TimeInterval, Timestamp};
+
+fn random_intervals(n: usize, seed: u64) -> Vec<TimeInterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let center = rng.random_range(0.0..100.0);
+            let radius = rng.random_range(0.1..10.0);
+            TimeInterval::from_center_radius(
+                Timestamp::from_secs(center),
+                Duration::from_secs(radius),
+            )
+        })
+        .collect()
+}
+
+fn bench_marzullo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marzullo_sweep");
+    for n in [4usize, 16, 64, 256, 1024] {
+        let intervals = random_intervals(n, 42);
+        group.bench_with_input(
+            BenchmarkId::new("best_intersection", n),
+            &intervals,
+            |b, iv| {
+                b.iter(|| best_intersection(black_box(iv)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tolerating_n_div_4", n),
+            &intervals,
+            |b, iv| {
+                b.iter(|| intersect_tolerating(black_box(iv), n / 4));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("smallest_tolerance", n),
+            &intervals,
+            |b, iv| {
+                b.iter(|| smallest_tolerance(black_box(iv)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ntp_select", n), &intervals, |b, iv| {
+            b.iter(|| select(black_box(iv)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marzullo);
+criterion_main!(benches);

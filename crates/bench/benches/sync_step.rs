@@ -1,0 +1,61 @@
+//! Throughput of the MM and IM decision procedures and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+use tempo_core::sync::baseline::{baseline_round, BaselineKind};
+use tempo_core::sync::im::im_round;
+use tempo_core::sync::mm::{mm_decide, mm_round};
+use tempo_core::sync::TimedReply;
+use tempo_core::{DriftRate, Duration, TimeEstimate, Timestamp};
+
+fn replies(n: usize, seed: u64) -> Vec<TimedReply> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            TimedReply::new(
+                TimeEstimate::new(
+                    Timestamp::from_secs(100.0 + rng.random_range(-0.5..0.5)),
+                    Duration::from_secs(rng.random_range(0.1..2.0)),
+                ),
+                Duration::from_secs(rng.random_range(0.0..0.05)),
+            )
+        })
+        .collect()
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let own = TimeEstimate::new(Timestamp::from_secs(100.0), Duration::from_secs(1.0));
+    let delta = DriftRate::new(1e-4);
+    let single = replies(1, 1)[0];
+
+    c.bench_function("mm_decide_single", |b| {
+        b.iter(|| mm_decide(black_box(&own), black_box(delta), black_box(&single)));
+    });
+
+    let mut group = c.benchmark_group("sync_round");
+    for n in [3usize, 10, 30, 100] {
+        let batch = replies(n, 2);
+        group.bench_with_input(BenchmarkId::new("mm_round", n), &batch, |b, r| {
+            b.iter(|| mm_round(black_box(&own), delta, black_box(r)));
+        });
+        group.bench_with_input(BenchmarkId::new("im_round", n), &batch, |b, r| {
+            b.iter(|| im_round(black_box(&own), delta, black_box(r)));
+        });
+        for kind in BaselineKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("baseline_{kind}"), n),
+                &batch,
+                |b, r| {
+                    b.iter(|| baseline_round(black_box(&own), delta, black_box(r), kind));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

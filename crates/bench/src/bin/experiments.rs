@@ -1,0 +1,49 @@
+//! Regenerates the paper's figures and measurements.
+//!
+//! ```text
+//! experiments              # run everything
+//! experiments --list       # show the catalogue
+//! experiments fig3 thm8    # run selected experiments
+//! ```
+
+use std::process::ExitCode;
+
+use tempo_bench::catalog;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = catalog::all();
+
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        println!("available experiments:");
+        for e in &experiments {
+            println!("  {:<20} {}", e.name, e.artifact);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&catalog::Experiment> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match experiments.iter().find(|e| e.name == *arg) {
+                Some(e) => picked.push(e),
+                None => {
+                    eprintln!("unknown experiment '{arg}' (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+
+    for (i, e) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("=== {} — {} ===", e.name, e.artifact);
+        println!("{}", (e.run)());
+    }
+    ExitCode::SUCCESS
+}

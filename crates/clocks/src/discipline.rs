@@ -1,0 +1,333 @@
+//! A slewing clock discipline.
+//!
+//! The paper's servers *step* their clocks (rule MM-2/IM-2 sets `C_i`
+//! outright), and §1.1 sketches how a client can recover monotonicity
+//! afterwards. Production time daemons instead *discipline* the clock:
+//! small corrections are applied by temporarily biasing the rate
+//! (slewing), and only large ones step. [`ClockDiscipline`] implements
+//! that policy on top of any target clock, so the protocol's reset
+//! decisions can be realised without ever making time jump for local
+//! readers.
+//!
+//! The discipline is a simple proportional servo: given a measured
+//! offset (desired − current), it either steps (|offset| above the step
+//! threshold) or slews at a bounded rate until the offset is absorbed.
+
+use tempo_core::{Duration, Timestamp};
+
+/// Policy knobs for [`ClockDiscipline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisciplineConfig {
+    /// Corrections at or above this magnitude step the clock outright
+    /// (the protocol's behaviour); smaller ones slew.
+    pub step_threshold: Duration,
+    /// Maximum slew rate in seconds of correction per second of clock
+    /// time (e.g. `5e-4` = 500 ppm, `adjtime`'s classic limit).
+    pub max_slew_rate: f64,
+}
+
+impl Default for DisciplineConfig {
+    fn default() -> Self {
+        DisciplineConfig {
+            step_threshold: Duration::from_millis(128.0), // ntpd's default
+            max_slew_rate: 5e-4,
+        }
+    }
+}
+
+impl DisciplineConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is negative or the slew rate is not in
+    /// `(0, 1)`.
+    pub fn validate(&self) {
+        assert!(
+            !self.step_threshold.is_negative(),
+            "step threshold must be non-negative"
+        );
+        assert!(
+            self.max_slew_rate.is_finite() && self.max_slew_rate > 0.0 && self.max_slew_rate < 1.0,
+            "slew rate must be in (0, 1), got {}",
+            self.max_slew_rate
+        );
+    }
+}
+
+/// What applying a correction did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Adjustment {
+    /// The clock was stepped by the full offset.
+    Stepped {
+        /// The applied step.
+        offset: Duration,
+    },
+    /// The offset was queued to be slewed out gradually.
+    Slewing {
+        /// The correction now pending (including any unfinished earlier
+        /// slew).
+        pending: Duration,
+    },
+}
+
+/// The slewing discipline: tracks a pending correction and dribbles it
+/// into the reading as raw clock time passes.
+///
+/// ```
+/// use tempo_clocks::{ClockDiscipline, DisciplineConfig};
+/// use tempo_core::{Duration, Timestamp};
+///
+/// let mut d = ClockDiscipline::new(DisciplineConfig {
+///     step_threshold: Duration::from_secs(1.0),
+///     max_slew_rate: 0.01,
+/// });
+/// // 50 ms behind: slew, don't step.
+/// d.correct(Timestamp::from_secs(0.0), Duration::from_secs(0.05));
+/// // After 2 raw seconds, 20 ms of the correction has been applied.
+/// let reading = d.read(Timestamp::from_secs(2.0));
+/// assert_eq!(reading, Timestamp::from_secs(2.02));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockDiscipline {
+    config: DisciplineConfig,
+    /// Accumulated correction already folded into readings.
+    applied: Duration,
+    /// Correction still to be slewed in.
+    pending: Duration,
+    /// Raw clock time of the last read/correct.
+    last_raw: Option<Timestamp>,
+}
+
+impl ClockDiscipline {
+    /// Creates a discipline with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: DisciplineConfig) -> Self {
+        config.validate();
+        ClockDiscipline {
+            config,
+            applied: Duration::ZERO,
+            pending: Duration::ZERO,
+            last_raw: None,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &DisciplineConfig {
+        &self.config
+    }
+
+    /// Correction not yet slewed in.
+    #[must_use]
+    pub fn pending(&self) -> Duration {
+        self.pending
+    }
+
+    /// Advances the slew by the raw time elapsed since the last call.
+    fn advance(&mut self, raw: Timestamp) {
+        if let Some(last) = self.last_raw {
+            assert!(raw >= last, "raw clock time must be non-decreasing");
+            if self.pending != Duration::ZERO {
+                let budget = (raw - last) * self.config.max_slew_rate;
+                let chunk = if self.pending.is_negative() {
+                    self.pending.max(-budget)
+                } else {
+                    self.pending.min(budget)
+                };
+                self.applied += chunk;
+                self.pending -= chunk;
+            }
+        }
+        self.last_raw = Some(raw);
+    }
+
+    /// The disciplined reading for raw clock reading `raw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` precedes a previously presented raw reading.
+    pub fn read(&mut self, raw: Timestamp) -> Timestamp {
+        self.advance(raw);
+        raw + self.applied
+    }
+
+    /// Requests a correction: make the disciplined clock read
+    /// `offset` later than it currently would.
+    ///
+    /// Returns how the correction is realised ([`Adjustment::Stepped`]
+    /// immediately, or [`Adjustment::Slewing`] gradually). The decision
+    /// uses the *total* outstanding correction, so repeated small slews
+    /// that pile up past the threshold eventually step.
+    pub fn correct(&mut self, raw: Timestamp, offset: Duration) -> Adjustment {
+        self.advance(raw);
+        let total = self.pending + offset;
+        if total.abs() >= self.config.step_threshold {
+            self.applied += total;
+            self.pending = Duration::ZERO;
+            Adjustment::Stepped { offset: total }
+        } else {
+            self.pending = total;
+            Adjustment::Slewing { pending: total }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    fn discipline(threshold: f64, rate: f64) -> ClockDiscipline {
+        ClockDiscipline::new(DisciplineConfig {
+            step_threshold: dur(threshold),
+            max_slew_rate: rate,
+        })
+    }
+
+    #[test]
+    fn passthrough_without_corrections() {
+        let mut d = discipline(0.1, 1e-3);
+        assert_eq!(d.read(ts(0.0)), ts(0.0));
+        assert_eq!(d.read(ts(5.0)), ts(5.0));
+        assert_eq!(d.pending(), Duration::ZERO);
+    }
+
+    #[test]
+    fn large_offset_steps() {
+        let mut d = discipline(0.1, 1e-3);
+        let adj = d.correct(ts(0.0), dur(1.0));
+        assert_eq!(adj, Adjustment::Stepped { offset: dur(1.0) });
+        assert_eq!(d.read(ts(0.0)), ts(1.0));
+        assert_eq!(d.read(ts(10.0)), ts(11.0));
+    }
+
+    #[test]
+    fn small_offset_slews_gradually() {
+        let mut d = discipline(1.0, 0.01);
+        let adj = d.correct(ts(0.0), dur(0.05));
+        assert_eq!(adj, Adjustment::Slewing { pending: dur(0.05) });
+        // 2 s at 1 % → 0.02 s absorbed.
+        assert_eq!(d.read(ts(2.0)), ts(2.02));
+        // 5 s total → full 0.05 s absorbed (needs 5 s), then stops.
+        assert_eq!(d.read(ts(5.0)), ts(5.05));
+        assert_eq!(d.read(ts(100.0)), ts(100.05));
+        assert_eq!(d.pending(), Duration::ZERO);
+    }
+
+    #[test]
+    fn negative_offset_slews_without_backward_step() {
+        let mut d = discipline(1.0, 0.01);
+        let _ = d.read(ts(0.0));
+        let _ = d.correct(ts(10.0), dur(-0.05));
+        // The reading keeps moving forward while the correction drains:
+        // raw +1 s, slew −0.01 s → net +0.99 s.
+        let r1 = d.read(ts(11.0));
+        assert_eq!(r1, ts(10.99));
+        let r2 = d.read(ts(12.0));
+        assert!(r2 > r1, "slewing must preserve monotonicity");
+        assert_eq!(r2, ts(11.98));
+        // Fully drained after 5 s.
+        assert_eq!(d.read(ts(15.0)), ts(14.95));
+        assert_eq!(d.read(ts(16.0)), ts(15.95));
+    }
+
+    #[test]
+    fn monotone_under_any_small_corrections() {
+        let mut d = discipline(10.0, 5e-4);
+        let mut last = d.read(ts(0.0));
+        let offsets = [0.05, -0.08, 0.002, -0.004, 0.09, -0.05];
+        for (i, &off) in offsets.iter().enumerate() {
+            let t = ts((i + 1) as f64 * 3.0);
+            let _ = d.correct(t, dur(off));
+            let r = d.read(t);
+            assert!(r >= last, "reading went backwards: {r} < {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn accumulated_slews_can_step() {
+        let mut d = discipline(0.1, 1e-6);
+        let _ = d.correct(ts(0.0), dur(0.06));
+        // Still pending (slew rate is tiny); adding another 0.06 crosses
+        // the 0.1 threshold → step of the combined total.
+        match d.correct(ts(1.0), dur(0.06)) {
+            Adjustment::Stepped { offset } => {
+                assert!((offset.as_secs() - 0.119999).abs() < 1e-5);
+            }
+            other => panic!("expected step, got {other:?}"),
+        }
+        assert_eq!(d.pending(), Duration::ZERO);
+    }
+
+    #[test]
+    fn threshold_boundary_steps() {
+        let mut d = discipline(0.1, 1e-3);
+        assert!(matches!(
+            d.correct(ts(0.0), dur(0.1)),
+            Adjustment::Stepped { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn raw_time_must_not_regress() {
+        let mut d = discipline(0.1, 1e-3);
+        let _ = d.read(ts(5.0));
+        let _ = d.read(ts(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slew rate must be in")]
+    fn bad_config_rejected() {
+        let _ = discipline(0.1, 0.0);
+    }
+
+    #[test]
+    fn config_accessor_and_default() {
+        let d = ClockDiscipline::new(DisciplineConfig::default());
+        assert_eq!(d.config().max_slew_rate, 5e-4);
+        assert_eq!(d.config().step_threshold, Duration::from_millis(128.0));
+    }
+
+    #[test]
+    fn works_over_a_sim_clock() {
+        use crate::{DriftModel, SimClock};
+        // A fast clock corrected by small offsets each "round" — the
+        // disciplined view stays monotone and close to true time.
+        let mut raw = SimClock::builder()
+            .drift(DriftModel::Constant(1e-4))
+            .build();
+        let mut d = discipline(1.0, 5e-4);
+        let mut last = f64::MIN;
+        for i in 1..=200 {
+            let now = ts(f64::from(i));
+            let reading = d.read(raw.read(now));
+            assert!(reading.as_secs() >= last);
+            last = reading.as_secs();
+            if i % 10 == 0 {
+                // Measure the disciplined clock against true time and
+                // correct the residual.
+                let offset = now - d.read(raw.read(now));
+                let _ = d.correct(raw.read(now), offset);
+            }
+        }
+        let final_err = (d.read(raw.read(ts(200.0))) - ts(200.0)).abs();
+        assert!(
+            final_err < dur(0.005),
+            "disciplined clock should track true time, err {final_err}"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Drift processes for simulated clocks.
+//!
+//! A drift model produces the clock's instantaneous *drift* — the
+//! deviation of its rate from one second per second. A clock with drift
+//! `d` advances `1 + d` clock-seconds per real second. The paper's
+//! analysis only assumes `|d| ≤ δ` for a *claimed* bound `δ`; the models
+//! here generate processes inside (or, for fault experiments,
+//! deliberately outside) such an envelope.
+
+use rand::Rng;
+
+use tempo_core::Duration;
+
+/// A drift-generating process.
+///
+/// Piecewise models hold the drift constant over a *quantum* of real
+/// time and then resample; this matches the paper's treatment of drift
+/// as the random variable "exhibited between two successive readings"
+/// (Theorem 8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftModel {
+    /// A constant drift: the clock runs steadily fast (`> 0`) or slow
+    /// (`< 0`).
+    Constant(f64),
+    /// A bounded random walk: every `quantum` the drift moves by a
+    /// normal step with standard deviation `sigma`, clamped to
+    /// `[-bound, bound]`. Models ageing/temperature-wandering quartz.
+    RandomWalk {
+        /// Standard deviation of each step.
+        sigma: f64,
+        /// Hard clamp on the drift magnitude.
+        bound: f64,
+        /// Real-time interval between steps.
+        quantum: Duration,
+    },
+    /// Diurnal-style variation: `drift(t) = amplitude · sin(2πt/period +
+    /// phase)`, evaluated at the start of each quantum (one-tenth of the
+    /// period).
+    Sinusoidal {
+        /// Peak drift magnitude.
+        amplitude: f64,
+        /// Oscillation period in real time.
+        period: Duration,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// Independent uniform drift per quantum: each quantum the drift is
+    /// drawn afresh from `[-bound, bound]` — the i.i.d. model of
+    /// Theorem 8.
+    UniformResample {
+        /// Half-width of the uniform distribution.
+        bound: f64,
+        /// Real-time interval between redraws.
+        quantum: Duration,
+    },
+    /// A fully scripted drift: `(start_second, drift)` segments sorted
+    /// by start time; the drift before the first segment is the first
+    /// segment's value. Deterministic — made for writing precise test
+    /// scenarios ("runs 100 ppm fast for an hour, then 50 ppm slow").
+    Scripted {
+        /// `(elapsed_seconds, drift)` breakpoints, ascending.
+        segments: Vec<(f64, f64)>,
+        /// Evaluation granularity (the clock re-reads the script this
+        /// often; choose it at or below the shortest segment).
+        quantum: Duration,
+    },
+}
+
+impl DriftModel {
+    /// A perfect clock (zero drift).
+    #[must_use]
+    pub fn perfect() -> Self {
+        DriftModel::Constant(0.0)
+    }
+
+    /// The real-time quantum after which the drift must be re-evaluated,
+    /// or `None` for constant drift.
+    #[must_use]
+    pub(crate) fn quantum(&self) -> Option<Duration> {
+        match self {
+            DriftModel::Constant(_) => None,
+            DriftModel::RandomWalk { quantum, .. }
+            | DriftModel::UniformResample { quantum, .. }
+            | DriftModel::Scripted { quantum, .. } => Some(*quantum),
+            DriftModel::Sinusoidal { period, .. } => Some(*period / 10.0),
+        }
+    }
+
+    /// The largest drift magnitude this model can produce — useful for
+    /// choosing an honest claimed bound `δ`.
+    #[must_use]
+    pub fn max_drift(&self) -> f64 {
+        match self {
+            DriftModel::Constant(d) => d.abs(),
+            DriftModel::RandomWalk { bound, .. } | DriftModel::UniformResample { bound, .. } => {
+                *bound
+            }
+            DriftModel::Sinusoidal { amplitude, .. } => amplitude.abs(),
+            DriftModel::Scripted { segments, .. } => {
+                segments.iter().map(|(_, d)| d.abs()).fold(0.0, f64::max)
+            }
+        }
+    }
+
+    /// Evaluates the drift for the quantum beginning at real time
+    /// `elapsed` (seconds since the clock started), given the previous
+    /// drift value.
+    pub(crate) fn sample<R: Rng>(&self, elapsed_secs: f64, previous: f64, rng: &mut R) -> f64 {
+        match self {
+            DriftModel::Constant(d) => *d,
+            DriftModel::RandomWalk { sigma, bound, .. } => {
+                let step = normal_sample(rng) * sigma;
+                (previous + step).clamp(-bound, *bound)
+            }
+            DriftModel::Sinusoidal {
+                amplitude,
+                period,
+                phase,
+            } => {
+                let omega = std::f64::consts::TAU / period.as_secs();
+                amplitude * (omega * elapsed_secs + phase).sin()
+            }
+            DriftModel::UniformResample { bound, .. } => {
+                if *bound == 0.0 {
+                    0.0
+                } else {
+                    rng.random_range(-bound..=*bound)
+                }
+            }
+            DriftModel::Scripted { segments, .. } => Self::scripted_at(segments, elapsed_secs),
+        }
+    }
+
+    /// The scripted drift in force at `elapsed` seconds.
+    fn scripted_at(segments: &[(f64, f64)], elapsed: f64) -> f64 {
+        let mut drift = segments.first().map_or(0.0, |&(_, d)| d);
+        for &(start, d) in segments {
+            if elapsed >= start {
+                drift = d;
+            } else {
+                break;
+            }
+        }
+        drift
+    }
+
+    /// The drift value a fresh clock starts with (before the first
+    /// quantum boundary).
+    pub(crate) fn initial<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self {
+            DriftModel::Constant(d) => *d,
+            DriftModel::RandomWalk { .. } => 0.0,
+            DriftModel::Sinusoidal {
+                amplitude, phase, ..
+            } => amplitude * phase.sin(),
+            DriftModel::UniformResample { bound, .. } => {
+                if *bound == 0.0 {
+                    0.0
+                } else {
+                    rng.random_range(-bound..=*bound)
+                }
+            }
+            DriftModel::Scripted { segments, .. } => Self::scripted_at(segments, 0.0),
+        }
+    }
+}
+
+/// A standard-normal sample via the Box–Muller transform (avoids a
+/// `rand_distr` dependency).
+fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_has_no_quantum() {
+        assert_eq!(DriftModel::Constant(1e-5).quantum(), None);
+        assert_eq!(DriftModel::perfect().max_drift(), 0.0);
+    }
+
+    #[test]
+    fn constant_always_samples_same_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DriftModel::Constant(-3e-4);
+        assert_eq!(m.initial(&mut rng), -3e-4);
+        assert_eq!(m.sample(123.0, 0.0, &mut rng), -3e-4);
+        assert_eq!(m.max_drift(), 3e-4);
+    }
+
+    #[test]
+    fn random_walk_stays_within_bound() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = DriftModel::RandomWalk {
+            sigma: 1e-5,
+            bound: 5e-5,
+            quantum: Duration::from_secs(1.0),
+        };
+        let mut drift = m.initial(&mut rng);
+        for i in 0..10_000 {
+            drift = m.sample(f64::from(i), drift, &mut rng);
+            assert!(drift.abs() <= 5e-5, "drift {drift} escaped the clamp");
+        }
+        assert_eq!(m.max_drift(), 5e-5);
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DriftModel::RandomWalk {
+            sigma: 1e-5,
+            bound: 1e-3,
+            quantum: Duration::from_secs(1.0),
+        };
+        let d0 = m.initial(&mut rng);
+        let d1 = m.sample(0.0, d0, &mut rng);
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn sinusoidal_is_bounded_and_periodic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DriftModel::Sinusoidal {
+            amplitude: 2e-5,
+            period: Duration::from_secs(86_400.0),
+            phase: 0.0,
+        };
+        for i in 0..100 {
+            let d = m.sample(f64::from(i) * 1000.0, 0.0, &mut rng);
+            assert!(d.abs() <= 2e-5);
+        }
+        // Periodicity: same point one period later.
+        let a = m.sample(1234.0, 0.0, &mut rng);
+        let b = m.sample(1234.0 + 86_400.0, 0.0, &mut rng);
+        assert!((a - b).abs() < 1e-12);
+        // Quantum is a tenth of the period.
+        assert_eq!(m.quantum(), Some(Duration::from_secs(8640.0)));
+    }
+
+    #[test]
+    fn uniform_resample_within_bound_and_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DriftModel::UniformResample {
+            bound: 1e-4,
+            quantum: Duration::from_secs(10.0),
+        };
+        let mut values = Vec::new();
+        for i in 0..100 {
+            let d = m.sample(f64::from(i) * 10.0, 0.0, &mut rng);
+            assert!(d.abs() <= 1e-4);
+            values.push(d);
+        }
+        values.dedup();
+        assert!(values.len() > 90, "uniform resampling should rarely repeat");
+    }
+
+    #[test]
+    fn uniform_resample_zero_bound_is_perfect() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DriftModel::UniformResample {
+            bound: 0.0,
+            quantum: Duration::from_secs(1.0),
+        };
+        assert_eq!(m.initial(&mut rng), 0.0);
+        assert_eq!(m.sample(5.0, 0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn scripted_follows_the_script() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DriftModel::Scripted {
+            segments: vec![(0.0, 1e-4), (100.0, -2e-4), (200.0, 0.0)],
+            quantum: Duration::from_secs(10.0),
+        };
+        assert_eq!(m.initial(&mut rng), 1e-4);
+        assert_eq!(m.sample(50.0, 0.0, &mut rng), 1e-4);
+        assert_eq!(m.sample(100.0, 0.0, &mut rng), -2e-4);
+        assert_eq!(m.sample(150.0, 0.0, &mut rng), -2e-4);
+        assert_eq!(m.sample(500.0, 0.0, &mut rng), 0.0);
+        assert_eq!(m.max_drift(), 2e-4);
+        assert_eq!(m.quantum(), Some(Duration::from_secs(10.0)));
+    }
+
+    #[test]
+    fn scripted_clock_integrates_segments() {
+        use crate::SimClock;
+        use tempo_core::Timestamp;
+        let mut c = SimClock::builder()
+            .drift(DriftModel::Scripted {
+                segments: vec![(0.0, 0.01), (100.0, -0.01)],
+                quantum: Duration::from_secs(1.0),
+            })
+            .build();
+        // 100 s at +1 %, then 100 s at −1 % → back to zero offset.
+        let r = c.read(Timestamp::from_secs(200.0));
+        assert!((r.as_secs() - 200.0).abs() < 1e-9, "reading {r}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let m = DriftModel::UniformResample {
+            bound: 1e-4,
+            quantum: Duration::from_secs(1.0),
+        };
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for i in 0..50 {
+            assert_eq!(
+                m.sample(f64::from(i), 0.0, &mut a),
+                m.sample(f64::from(i), 0.0, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Clock fault injection.
+//!
+//! §1.1 of the paper: "A clock may fail in many ways, such as by
+//! stopping, racing ahead, or refusing to change its value when reset."
+//! A [`Fault`] arms one of those failure modes at a chosen real time;
+//! the clock behaves perfectly normally before the trigger.
+
+use tempo_core::{Duration, Timestamp};
+
+/// The §1.1 failure catalogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The clock stops: its rate becomes zero.
+    Stuck,
+    /// The clock races: its drift becomes `drift` (e.g. `0.04` for the
+    /// four-percent-fast clock of the §3 experiment), ignoring the
+    /// configured drift model.
+    Racing {
+        /// The drift exhibited after the trigger (may far exceed any
+        /// claimed bound).
+        drift: f64,
+    },
+    /// The clock value jumps once by `offset` at the trigger instant and
+    /// then resumes its normal drift model.
+    Step {
+        /// The (signed) jump applied to the clock value.
+        offset: Duration,
+    },
+    /// The clock refuses to change its value when reset: `set` becomes a
+    /// silent no-op.
+    RefuseSet,
+}
+
+/// A fault armed to trigger at a given real time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Real time at which the failure begins.
+    pub at: Timestamp,
+    /// Which failure mode triggers.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// The clock stops at real time `at`.
+    #[must_use]
+    pub fn stuck_at(at: Timestamp) -> Self {
+        Fault {
+            at,
+            kind: FaultKind::Stuck,
+        }
+    }
+
+    /// The clock starts drifting at `drift` seconds/second at `at`.
+    #[must_use]
+    pub fn racing_from(at: Timestamp, drift: f64) -> Self {
+        assert!(drift.is_finite(), "racing drift must be finite");
+        Fault {
+            at,
+            kind: FaultKind::Racing { drift },
+        }
+    }
+
+    /// The clock value jumps by `offset` at `at`.
+    #[must_use]
+    pub fn step_at(at: Timestamp, offset: Duration) -> Self {
+        Fault {
+            at,
+            kind: FaultKind::Step { offset },
+        }
+    }
+
+    /// The clock stops honouring `set` from `at` on.
+    #[must_use]
+    pub fn refuse_set_from(at: Timestamp) -> Self {
+        Fault {
+            at,
+            kind: FaultKind::RefuseSet,
+        }
+    }
+
+    /// Whether the fault is active at real time `now`.
+    #[must_use]
+    pub fn active_at(&self, now: Timestamp) -> bool {
+        now >= self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Fault::stuck_at(ts(5.0)).kind, FaultKind::Stuck);
+        assert_eq!(
+            Fault::racing_from(ts(5.0), 0.04).kind,
+            FaultKind::Racing { drift: 0.04 }
+        );
+        assert_eq!(
+            Fault::step_at(ts(5.0), Duration::from_secs(-2.0)).kind,
+            FaultKind::Step {
+                offset: Duration::from_secs(-2.0)
+            }
+        );
+        assert_eq!(Fault::refuse_set_from(ts(5.0)).kind, FaultKind::RefuseSet);
+    }
+
+    #[test]
+    fn activation_boundary_is_inclusive() {
+        let f = Fault::stuck_at(ts(10.0));
+        assert!(!f.active_at(ts(9.999)));
+        assert!(f.active_at(ts(10.0)));
+        assert!(f.active_at(ts(11.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn racing_rejects_nan() {
+        let _ = Fault::racing_from(ts(0.0), f64::NAN);
+    }
+}

@@ -1,0 +1,226 @@
+//! The §1.1 monotonic-clock adapter.
+//!
+//! The paper does not require service clocks to be locally monotonic —
+//! they are freely set backward as well as forward. "A client, however,
+//! may require that the local clock is monotonic. Such a clock may be
+//! implemented based on a nonmonotonic clock by temporarily running the
+//! monotonic clock more slowly when the nonmonotonic clock is set
+//! backwards." [`MonotonicClock`] is exactly that adapter.
+
+use tempo_core::{Duration, Timestamp};
+
+/// Turns a stream of possibly-backward-stepping raw clock readings into
+/// a monotonic sequence by slewing.
+///
+/// While the raw clock is ahead of (or equal to) the monotonic value,
+/// readings pass through unchanged. After a backward step the monotonic
+/// clock advances at `slew_rate` (< 1) of the raw clock's progress until
+/// the raw clock catches up.
+///
+/// ```
+/// use tempo_clocks::MonotonicClock;
+/// use tempo_core::Timestamp;
+///
+/// let mut mono = MonotonicClock::new(0.5);
+/// assert_eq!(mono.observe(Timestamp::from_secs(10.0)), Timestamp::from_secs(10.0));
+/// // The raw clock is stepped back to 6s: the monotonic clock holds...
+/// assert_eq!(mono.observe(Timestamp::from_secs(6.0)), Timestamp::from_secs(10.0));
+/// // ...and then advances at half speed (2 raw seconds → 1 monotonic).
+/// assert_eq!(mono.observe(Timestamp::from_secs(8.0)), Timestamp::from_secs(11.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    slew_rate: f64,
+    state: Option<State>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct State {
+    last_raw: Timestamp,
+    last_mono: Timestamp,
+}
+
+impl MonotonicClock {
+    /// Creates the adapter.
+    ///
+    /// `slew_rate` is the fraction of raw-clock progress passed through
+    /// while recovering from a backward step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < slew_rate < 1` (a rate of 1 would never let
+    /// the raw clock catch up; 0 would freeze the monotonic clock).
+    #[must_use]
+    pub fn new(slew_rate: f64) -> Self {
+        assert!(
+            slew_rate.is_finite() && slew_rate > 0.0 && slew_rate < 1.0,
+            "slew rate must be in (0, 1), got {slew_rate}"
+        );
+        MonotonicClock {
+            slew_rate,
+            state: None,
+        }
+    }
+
+    /// The configured slew rate.
+    #[must_use]
+    pub fn slew_rate(&self) -> f64 {
+        self.slew_rate
+    }
+
+    /// Feeds the next raw reading and returns the monotonic reading.
+    ///
+    /// Raw readings may step backward (after a reset); between steps
+    /// they must advance, which the caller gets for free by reading the
+    /// underlying clock at non-decreasing real times.
+    pub fn observe(&mut self, raw: Timestamp) -> Timestamp {
+        let mono = match self.state {
+            None => raw,
+            Some(State {
+                last_raw,
+                last_mono,
+            }) => {
+                if raw >= last_mono {
+                    // Caught up (or never behind): pass through.
+                    raw
+                } else {
+                    // Behind (after a backward step): slew. Progress of
+                    // the raw clock since the last observation, floored
+                    // at zero for the step itself.
+                    let progress = (raw - last_raw).max(Duration::ZERO);
+                    let candidate = last_mono + progress * self.slew_rate;
+                    // Never overtake the point where pass-through resumes.
+                    if raw >= candidate {
+                        raw
+                    } else {
+                        candidate
+                    }
+                }
+            }
+        };
+        self.state = Some(State {
+            last_raw: raw,
+            last_mono: mono,
+        });
+        mono
+    }
+
+    /// The most recent monotonic reading, if any observation happened.
+    #[must_use]
+    pub fn last(&self) -> Option<Timestamp> {
+        self.state.map(|s| s.last_mono)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn passes_through_monotonic_input() {
+        let mut m = MonotonicClock::new(0.5);
+        for i in 0..10 {
+            let t = ts(f64::from(i));
+            assert_eq!(m.observe(t), t);
+        }
+        assert_eq!(m.last(), Some(ts(9.0)));
+    }
+
+    #[test]
+    fn backward_step_holds_then_slews() {
+        let mut m = MonotonicClock::new(0.5);
+        assert_eq!(m.observe(ts(10.0)), ts(10.0));
+        // Step back 4 s.
+        assert_eq!(m.observe(ts(6.0)), ts(10.0));
+        // Raw advances 2 s → mono advances 1 s.
+        assert_eq!(m.observe(ts(8.0)), ts(11.0));
+        assert_eq!(m.observe(ts(10.0)), ts(12.0));
+    }
+
+    #[test]
+    fn raw_clock_eventually_catches_up() {
+        let mut m = MonotonicClock::new(0.5);
+        let _ = m.observe(ts(10.0));
+        let _ = m.observe(ts(6.0)); // step back 4 s
+                                    // Raw needs 8 s of progress to close a 4 s gap at slew 0.5.
+        assert_eq!(m.observe(ts(14.0)), ts(14.0));
+        // Fully recovered: pass-through resumes.
+        assert_eq!(m.observe(ts(15.0)), ts(15.0));
+    }
+
+    #[test]
+    fn output_is_always_monotonic() {
+        let mut m = MonotonicClock::new(0.25);
+        let raw = [5.0, 7.0, 3.0, 4.0, 2.0, 9.0, 8.5, 20.0];
+        let mut last = f64::MIN;
+        for &r in &raw {
+            let v = m.observe(ts(r)).as_secs();
+            assert!(v >= last, "monotonicity violated: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn catch_up_never_overshoots() {
+        let mut m = MonotonicClock::new(0.9);
+        let _ = m.observe(ts(10.0));
+        let _ = m.observe(ts(9.9)); // tiny step back
+                                    // A big raw jump: mono must equal raw, not exceed it.
+        assert_eq!(m.observe(ts(100.0)), ts(100.0));
+    }
+
+    #[test]
+    fn repeated_backward_steps() {
+        let mut m = MonotonicClock::new(0.5);
+        let _ = m.observe(ts(10.0));
+        let _ = m.observe(ts(8.0)); // back 2
+        let v1 = m.observe(ts(9.0)); // slewing
+        let _ = m.observe(ts(5.0)); // back again mid-slew
+        let v2 = m.observe(ts(6.0));
+        assert!(v2 >= v1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slew rate must be in")]
+    fn slew_rate_one_rejected() {
+        let _ = MonotonicClock::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slew rate must be in")]
+    fn slew_rate_zero_rejected() {
+        let _ = MonotonicClock::new(0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = MonotonicClock::new(0.5);
+        assert_eq!(m.slew_rate(), 0.5);
+        assert_eq!(m.last(), None);
+    }
+
+    #[test]
+    fn works_with_a_sim_clock_being_reset() {
+        use crate::{DriftModel, SimClock};
+        let mut clock = SimClock::builder()
+            .drift(DriftModel::Constant(0.05)) // fast clock
+            .build();
+        let mut mono = MonotonicClock::new(0.5);
+        let mut last = f64::MIN;
+        for i in 1..=100 {
+            let now = ts(f64::from(i));
+            // Every 10 s a supervisor steps the fast clock back to true
+            // time.
+            if i % 10 == 0 {
+                let _ = clock.set(now, now);
+            }
+            let v = mono.observe(clock.read(now)).as_secs();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

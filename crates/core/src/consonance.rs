@@ -1,0 +1,380 @@
+//! Consonance: consistency applied to clock *rates* (§5).
+//!
+//! The static arrangement of intervals cannot reveal *why* a service is
+//! inconsistent; the rates of the clocks must be examined. Two clocks
+//! are **consonant** at `t₀` when their rate of separation is within the
+//! sum of their claimed drift bounds:
+//!
+//! ```text
+//! | d/dt (C_i(t) − C_j(t)) |  ≤  δ_i + δ_j
+//! ```
+//!
+//! The paper observes that the interval machinery of algorithms MM and
+//! IM can be replayed on *rate intervals*: each clock claims its drift
+//! lies in `[−δ_i, +δ_i]`, each observation produces a measured rate
+//! with an uncertainty, and the Marzullo sweep over the resulting
+//! intervals identifies which clocks' claims can simultaneously hold.
+
+use std::fmt;
+
+use crate::interval::TimeInterval;
+use crate::marzullo::{best_intersection, MarzulloResult};
+use crate::time::{DriftRate, Duration, Timestamp};
+
+/// A closed interval of drift rates `[lo, hi]` (seconds per second,
+/// relative to a perfect clock; `0.0` means perfectly accurate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateInterval {
+    lo: f64,
+    hi: f64,
+}
+
+impl RateInterval {
+    /// Creates the rate interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is non-finite or `lo > hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid rate interval [{lo}, {hi}]"
+        );
+        RateInterval { lo, hi }
+    }
+
+    /// The claim implied by a drift bound: the drift lies in `[−δ, +δ]`.
+    #[must_use]
+    pub fn from_bound(delta: DriftRate) -> Self {
+        RateInterval::new(-delta.as_f64(), delta.as_f64())
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint of the interval.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        self.lo + (self.hi - self.lo) / 2.0
+    }
+
+    /// Width `hi − lo`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when the two intervals share a point.
+    #[must_use]
+    pub fn intersects(&self, other: &RateInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection, or `None` when disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &RateInterval) -> Option<RateInterval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| RateInterval::new(lo, hi))
+    }
+
+    /// `true` if `rate ∈ [lo, hi]`.
+    #[must_use]
+    pub fn contains(&self, rate: f64) -> bool {
+        self.lo <= rate && rate <= self.hi
+    }
+}
+
+impl fmt::Display for RateInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3e} .. {:.3e}] s/s", self.lo, self.hi)
+    }
+}
+
+/// A measured drift rate together with its measurement uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateObservation {
+    /// The measured drift (seconds per second; `0.0` = accurate).
+    pub rate: f64,
+    /// Half-width of the measurement's uncertainty.
+    pub uncertainty: f64,
+}
+
+impl RateObservation {
+    /// Packages a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is non-finite or `uncertainty` is
+    /// negative.
+    #[must_use]
+    pub fn new(rate: f64, uncertainty: f64) -> Self {
+        assert!(
+            rate.is_finite() && uncertainty.is_finite() && uncertainty >= 0.0,
+            "invalid rate observation ({rate}, ±{uncertainty})"
+        );
+        RateObservation { rate, uncertainty }
+    }
+
+    /// The interval `[rate − uncertainty, rate + uncertainty]`.
+    #[must_use]
+    pub fn interval(&self) -> RateInterval {
+        RateInterval::new(self.rate - self.uncertainty, self.rate + self.uncertainty)
+    }
+}
+
+/// The §5 consonance predicate: the observed separation rate of two
+/// clocks is explainable by their claimed drift bounds.
+///
+/// `separation_rate` is `d/dt (C_i − C_j)` as measured between two
+/// observation instants.
+///
+/// ```
+/// use tempo_core::DriftRate;
+/// use tempo_core::consonance::are_consonant;
+///
+/// let di = DriftRate::new(1e-5);
+/// let dj = DriftRate::new(2e-5);
+/// assert!(are_consonant(2.5e-5, di, dj));
+/// assert!(!are_consonant(5.0e-5, di, dj));
+/// ```
+#[must_use]
+pub fn are_consonant(separation_rate: f64, delta_i: DriftRate, delta_j: DriftRate) -> bool {
+    separation_rate.abs() <= delta_i.as_f64() + delta_j.as_f64()
+}
+
+/// Estimates the separation rate `d/dt (C_i − C_j)` from two paired
+/// readings `(C_i, C_j)` taken at two different moments.
+///
+/// The elapsed time is approximated by clock `j`'s elapsed time, which
+/// is accurate to within `δ_j` — well below the rates being estimated.
+///
+/// # Panics
+///
+/// Panics if clock `j` did not advance between the readings.
+#[must_use]
+pub fn separation_rate(first: (Timestamp, Timestamp), second: (Timestamp, Timestamp)) -> f64 {
+    let elapsed_j: Duration = second.1 - first.1;
+    assert!(
+        elapsed_j.as_secs() > 0.0,
+        "reference clock must advance between readings"
+    );
+    let sep_second = second.0 - second.1;
+    let sep_first = first.0 - first.1;
+    (sep_second - sep_first).as_secs() / elapsed_j.as_secs()
+}
+
+/// Runs the Marzullo sweep over a set of rate intervals: which rate
+/// claims can simultaneously hold, and what consensus drift rate do they
+/// define?
+///
+/// Returns `None` for an empty input. This is the §5 idea of
+/// "maintaining a consonant set of δ_i just as the algorithms maintain a
+/// consistent set of t_i".
+#[must_use]
+pub fn rate_intersection(rates: &[RateInterval]) -> Option<(RateInterval, MarzulloResult)> {
+    if rates.is_empty() {
+        return None;
+    }
+    // Reuse the time-interval sweep by interpreting rates as seconds.
+    let as_time: Vec<TimeInterval> = rates
+        .iter()
+        .map(|r| TimeInterval::new(Timestamp::from_secs(r.lo), Timestamp::from_secs(r.hi)))
+        .collect();
+    let result = best_intersection(&as_time)?;
+    let best = result.best().interval;
+    Some((
+        RateInterval::new(best.lo().as_secs(), best.hi().as_secs()),
+        result,
+    ))
+}
+
+/// Identifies *dissonant* clocks: those whose observed rate interval
+/// does not intersect their claimed `[−δ, +δ]`.
+///
+/// This is the recovery-time diagnosis of §5: an inconsistent service
+/// examines rates to find out which server's drift bound is invalid.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn find_dissonant(observed: &[RateObservation], claimed: &[DriftRate]) -> Vec<usize> {
+    assert_eq!(
+        observed.len(),
+        claimed.len(),
+        "one observation per claimed bound required"
+    );
+    observed
+        .iter()
+        .zip(claimed)
+        .enumerate()
+        .filter(|(_, (obs, claim))| {
+            !obs.interval()
+                .intersects(&RateInterval::from_bound(**claim))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_interval_basics() {
+        let r = RateInterval::new(-1e-5, 3e-5);
+        assert_eq!(r.lo(), -1e-5);
+        assert_eq!(r.hi(), 3e-5);
+        assert!((r.midpoint() - 1e-5).abs() < 1e-18);
+        assert!((r.width() - 4e-5).abs() < 1e-18);
+        assert!(r.contains(0.0));
+        assert!(!r.contains(4e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate interval")]
+    fn rate_interval_rejects_inverted() {
+        let _ = RateInterval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn from_bound_is_symmetric() {
+        let r = RateInterval::from_bound(DriftRate::new(2e-5));
+        assert_eq!(r.lo(), -2e-5);
+        assert_eq!(r.hi(), 2e-5);
+    }
+
+    #[test]
+    fn rate_interval_intersection() {
+        let a = RateInterval::new(0.0, 2.0e-5);
+        let b = RateInterval::new(1.0e-5, 3.0e-5);
+        assert!(a.intersects(&b));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.lo(), 1.0e-5);
+        assert_eq!(i.hi(), 2.0e-5);
+        let c = RateInterval::new(5.0e-5, 6.0e-5);
+        assert!(!a.intersects(&c));
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn observation_to_interval() {
+        let obs = RateObservation::new(1e-4, 2e-5);
+        let iv = obs.interval();
+        assert!((iv.lo() - 8e-5).abs() < 1e-18);
+        assert!((iv.hi() - 1.2e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate observation")]
+    fn observation_rejects_negative_uncertainty() {
+        let _ = RateObservation::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn consonance_predicate() {
+        let di = DriftRate::new(1e-5);
+        let dj = DriftRate::new(1e-5);
+        assert!(are_consonant(0.0, di, dj));
+        assert!(are_consonant(2e-5, di, dj)); // boundary: ≤
+        assert!(are_consonant(-2e-5, di, dj));
+        assert!(!are_consonant(2.1e-5, di, dj));
+    }
+
+    #[test]
+    fn separation_rate_from_paired_readings() {
+        // Clock i runs 1% fast relative to clock j.
+        let ts = Timestamp::from_secs;
+        let first = (ts(0.0), ts(0.0));
+        let second = (ts(101.0), ts(100.0));
+        let rate = separation_rate(first, second);
+        assert!((rate - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separation_rate_negative_when_slow() {
+        let ts = Timestamp::from_secs;
+        let rate = separation_rate((ts(0.0), ts(0.0)), (ts(99.0), ts(100.0)));
+        assert!((rate + 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference clock must advance")]
+    fn separation_rate_requires_elapsed_time() {
+        let ts = Timestamp::from_secs;
+        let _ = separation_rate((ts(0.0), ts(5.0)), (ts(1.0), ts(5.0)));
+    }
+
+    #[test]
+    fn rate_intersection_of_consistent_claims() {
+        let rates = [
+            RateInterval::new(-2e-5, 2e-5),
+            RateInterval::new(-1e-5, 3e-5),
+            RateInterval::new(0.0, 4e-5),
+        ];
+        let (best, result) = rate_intersection(&rates).unwrap();
+        assert_eq!(result.coverage, 3);
+        assert!((best.lo() - 0.0).abs() < 1e-18);
+        assert!((best.hi() - 2e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rate_intersection_excludes_outlier() {
+        let rates = [
+            RateInterval::new(-1e-5, 1e-5),
+            RateInterval::new(-2e-5, 0.5e-5),
+            RateInterval::new(4.0e-2, 4.2e-2), // the 4%-fast clock of §3
+        ];
+        let (_, result) = rate_intersection(&rates).unwrap();
+        assert_eq!(result.coverage, 2);
+        assert_eq!(result.best().members, vec![0, 1]);
+    }
+
+    #[test]
+    fn rate_intersection_empty_input() {
+        assert!(rate_intersection(&[]).is_none());
+    }
+
+    #[test]
+    fn find_dissonant_flags_invalid_bound() {
+        // The §3 anecdote: claimed one second/day, actually ~4% fast.
+        let observed = [
+            RateObservation::new(1e-6, 1e-6),
+            RateObservation::new(0.04, 1e-3), // an hour per day
+        ];
+        let claimed = [DriftRate::per_day(1.0), DriftRate::per_day(1.0)];
+        assert_eq!(find_dissonant(&observed, &claimed), vec![1]);
+    }
+
+    #[test]
+    fn find_dissonant_accepts_honest_clocks() {
+        let observed = [
+            RateObservation::new(5e-6, 1e-6),
+            RateObservation::new(-8e-6, 1e-6),
+        ];
+        let claimed = [DriftRate::per_day(1.0), DriftRate::per_day(1.0)];
+        assert!(find_dissonant(&observed, &claimed).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per claimed bound")]
+    fn find_dissonant_length_mismatch() {
+        let _ = find_dissonant(&[], &[DriftRate::ZERO]);
+    }
+
+    #[test]
+    fn displays() {
+        assert!(RateInterval::new(0.0, 1e-5).to_string().contains("s/s"));
+    }
+}

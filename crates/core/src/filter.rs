@@ -1,0 +1,457 @@
+//! Sample filtering, clustering, and combining — the NTP-lineage
+//! post-processing that grew out of this paper's framework.
+//!
+//! The paper's reference [Mills 81] measured time over DCNET with
+//! per-sample round-trip delays; modern NTP refines that into three
+//! stages which compose naturally with the interval algorithms here:
+//!
+//! 1. **clock filter** ([`ClockFilter`]): of the last few
+//!    (offset, delay) samples from one peer, trust the one with the
+//!    smallest delay — delay and offset error are correlated because
+//!    the asymmetric part of the delay is what corrupts the offset;
+//! 2. **cluster** ([`cluster`]): among peers, iteratively discard the
+//!    one whose offset is the worst outlier relative to the others
+//!    (selection jitter exceeding its own sample jitter);
+//! 3. **combine** ([`combine`]): average the survivors' offsets,
+//!    weighted by inverse error.
+//!
+//! None of this replaces the correctness machinery of algorithms MM/IM
+//! — filtering improves *precision* by choosing good samples, while the
+//! intervals guarantee *correctness* bounds.
+
+use std::collections::VecDeque;
+
+use crate::time::{Duration, Timestamp};
+
+/// One peer measurement: the apparent offset of the remote clock and
+/// the round-trip delay of the exchange that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterSample {
+    /// Apparent remote-minus-local clock offset.
+    pub offset: Duration,
+    /// Round-trip delay of the measurement.
+    pub delay: Duration,
+    /// When (on the local clock) the sample was taken.
+    pub at: Timestamp,
+}
+
+impl FilterSample {
+    /// Creates a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    #[must_use]
+    pub fn new(offset: Duration, delay: Duration, at: Timestamp) -> Self {
+        assert!(!delay.is_negative(), "delay must be non-negative");
+        FilterSample { offset, delay, at }
+    }
+}
+
+/// A sliding window of samples from one peer; the best sample is the
+/// minimum-delay one.
+///
+/// ```
+/// use tempo_core::filter::{ClockFilter, FilterSample};
+/// use tempo_core::{Duration, Timestamp};
+///
+/// let mut f = ClockFilter::new(8);
+/// for (off, d) in [(0.010, 0.050), (0.002, 0.004), (0.030, 0.090)] {
+///     f.push(FilterSample::new(
+///         Duration::from_secs(off),
+///         Duration::from_secs(d),
+///         Timestamp::ZERO,
+///     ));
+/// }
+/// // The 4 ms-delay sample wins: lowest delay, most trustworthy offset.
+/// assert_eq!(f.best().unwrap().offset, Duration::from_secs(0.002));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockFilter {
+    window: VecDeque<FilterSample>,
+    capacity: usize,
+}
+
+impl ClockFilter {
+    /// Creates a filter keeping the most recent `capacity` samples
+    /// (NTP uses 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "filter capacity must be positive");
+        ClockFilter {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` when no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Adds a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: FilterSample) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(sample);
+    }
+
+    /// The minimum-delay sample, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<FilterSample> {
+        self.window.iter().min_by_key(|s| s.delay).copied()
+    }
+
+    /// Sample jitter: RMS difference of the window's offsets from the
+    /// best sample's offset. Zero with fewer than two samples.
+    #[must_use]
+    pub fn jitter(&self) -> Duration {
+        let Some(best) = self.best() else {
+            return Duration::ZERO;
+        };
+        if self.window.len() < 2 {
+            return Duration::ZERO;
+        }
+        let sum_sq: f64 = self
+            .window
+            .iter()
+            .map(|s| (s.offset - best.offset).as_secs().powi(2))
+            .sum();
+        Duration::from_secs((sum_sq / (self.window.len() - 1) as f64).sqrt())
+    }
+
+    /// Iterates over the retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FilterSample> {
+        self.window.iter()
+    }
+}
+
+/// One peer as seen by the cluster/combine stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerEstimate {
+    /// The peer's filtered offset.
+    pub offset: Duration,
+    /// The peer's own sample jitter (from its [`ClockFilter`]).
+    pub jitter: Duration,
+    /// The peer's error bound (used as the combine weight).
+    pub error: Duration,
+}
+
+impl PeerEstimate {
+    /// Creates a peer estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` or `error` is negative.
+    #[must_use]
+    pub fn new(offset: Duration, jitter: Duration, error: Duration) -> Self {
+        assert!(!jitter.is_negative(), "jitter must be non-negative");
+        assert!(!error.is_negative(), "error must be non-negative");
+        PeerEstimate {
+            offset,
+            jitter,
+            error,
+        }
+    }
+}
+
+/// RMS distance of `peers[i].offset` from every other survivor's offset
+/// — NTP's *selection jitter*.
+fn selection_jitter(peers: &[PeerEstimate], survivors: &[usize], i: usize) -> f64 {
+    let me = peers[i].offset.as_secs();
+    let others: Vec<f64> = survivors
+        .iter()
+        .filter(|&&j| j != i)
+        .map(|&j| (peers[j].offset.as_secs() - me).powi(2))
+        .collect();
+    if others.is_empty() {
+        0.0
+    } else {
+        (others.iter().sum::<f64>() / others.len() as f64).sqrt()
+    }
+}
+
+/// The NTP cluster algorithm: iteratively removes the survivor whose
+/// selection jitter is both the largest and exceeds its own sample
+/// jitter, stopping at `min_survivors`.
+///
+/// Returns surviving indices into `peers`, ascending.
+///
+/// ```
+/// use tempo_core::filter::{cluster, PeerEstimate};
+/// use tempo_core::Duration;
+///
+/// let s = |o: f64| PeerEstimate::new(
+///     Duration::from_secs(o),
+///     Duration::from_secs(0.001),
+///     Duration::from_secs(0.01),
+/// );
+/// // Three agree near zero, one sits 500 ms away.
+/// let peers = [s(0.001), s(-0.002), s(0.000), s(0.5)];
+/// assert_eq!(cluster(&peers, 3), vec![0, 1, 2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `min_survivors` is zero.
+#[must_use]
+pub fn cluster(peers: &[PeerEstimate], min_survivors: usize) -> Vec<usize> {
+    assert!(min_survivors > 0, "must keep at least one survivor");
+    let mut survivors: Vec<usize> = (0..peers.len()).collect();
+    while survivors.len() > min_survivors {
+        // Find the survivor with the worst selection jitter.
+        let (pos, &idx) = survivors
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                selection_jitter(peers, &survivors, a)
+                    .total_cmp(&selection_jitter(peers, &survivors, b))
+            })
+            .expect("survivors non-empty");
+        let sel = selection_jitter(peers, &survivors, idx);
+        // Keep it if its scatter among peers is within its own noise —
+        // removing it would not improve the ensemble.
+        if sel <= peers[idx].jitter.as_secs() {
+            break;
+        }
+        survivors.remove(pos);
+    }
+    survivors
+}
+
+/// Combines survivors into one offset, weighting each peer by the
+/// inverse of its error bound (a zero-error peer dominates; all-zero
+/// errors fall back to the unweighted mean).
+///
+/// Returns `None` when `survivors` selects nothing.
+#[must_use]
+pub fn combine(peers: &[PeerEstimate], survivors: &[usize]) -> Option<Duration> {
+    if survivors.is_empty() {
+        return None;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &i in survivors {
+        let err = peers[i].error.as_secs();
+        let weight = if err > 0.0 { 1.0 / err } else { f64::INFINITY };
+        if weight.is_infinite() {
+            // Exact peers dominate: average only the zero-error ones.
+            let exact: Vec<f64> = survivors
+                .iter()
+                .filter(|&&j| peers[j].error == Duration::ZERO)
+                .map(|&j| peers[j].offset.as_secs())
+                .collect();
+            return Some(Duration::from_secs(
+                exact.iter().sum::<f64>() / exact.len() as f64,
+            ));
+        }
+        num += peers[i].offset.as_secs() * weight;
+        den += weight;
+    }
+    if den == 0.0 {
+        // All weights zero cannot happen (err > 0 ⇒ weight > 0), but
+        // guard for the degenerate no-information case.
+        let mean = survivors
+            .iter()
+            .map(|&i| peers[i].offset.as_secs())
+            .sum::<f64>()
+            / survivors.len() as f64;
+        return Some(Duration::from_secs(mean));
+    }
+    Some(Duration::from_secs(num / den))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    fn sample(off: f64, delay: f64, at: f64) -> FilterSample {
+        FilterSample::new(dur(off), dur(delay), Timestamp::from_secs(at))
+    }
+
+    #[test]
+    fn empty_filter() {
+        let f = ClockFilter::new(8);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.best(), None);
+        assert_eq!(f.jitter(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ClockFilter::new(0);
+    }
+
+    #[test]
+    fn best_is_minimum_delay() {
+        let mut f = ClockFilter::new(8);
+        f.push(sample(0.010, 0.050, 0.0));
+        f.push(sample(0.002, 0.004, 1.0));
+        f.push(sample(0.030, 0.090, 2.0));
+        let best = f.best().unwrap();
+        assert_eq!(best.delay, dur(0.004));
+        assert_eq!(best.offset, dur(0.002));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut f = ClockFilter::new(2);
+        f.push(sample(0.0, 0.001, 0.0)); // will be evicted
+        f.push(sample(0.1, 0.010, 1.0));
+        f.push(sample(0.2, 0.020, 2.0));
+        assert_eq!(f.len(), 2);
+        // The 1 ms sample is gone; best is now the 10 ms one.
+        assert_eq!(f.best().unwrap().delay, dur(0.010));
+        let ats: Vec<f64> = f.iter().map(|s| s.at.as_secs()).collect();
+        assert_eq!(ats, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn jitter_measures_offset_scatter() {
+        let mut f = ClockFilter::new(8);
+        f.push(sample(0.0, 0.001, 0.0));
+        assert_eq!(f.jitter(), Duration::ZERO); // single sample
+        f.push(sample(0.003, 0.002, 1.0));
+        f.push(sample(-0.003, 0.003, 2.0));
+        let j = f.jitter().as_secs();
+        // RMS of {0.003, −0.003} relative to the best (offset 0).
+        assert!((j - 0.003).abs() < 1e-12, "jitter {j}");
+    }
+
+    #[test]
+    fn delay_offset_correlation_story() {
+        // A queueing spike corrupts the offset; the filter rides it out.
+        let mut f = ClockFilter::new(8);
+        f.push(sample(0.001, 0.004, 0.0)); // clean
+        for k in 1..=5 {
+            // Congested samples: big delays, offsets dragged by the
+            // asymmetry.
+            f.push(sample(0.040, 0.100, f64::from(k)));
+        }
+        assert_eq!(f.best().unwrap().offset, dur(0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be non-negative")]
+    fn negative_delay_rejected() {
+        let _ = sample(0.0, -0.1, 0.0);
+    }
+
+    #[test]
+    fn cluster_drops_the_outlier() {
+        // The honest peers scatter by a few ms, which their claimed
+        // jitter covers; the 0.5 s outlier does not survive.
+        let p = |o: f64| PeerEstimate::new(dur(o), dur(0.005), dur(0.01));
+        let peers = [p(0.001), p(-0.002), p(0.000), p(0.5)];
+        assert_eq!(cluster(&peers, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cluster_prunes_to_min_when_noise_is_underclaimed() {
+        // If peers claim implausibly small jitter, their mutual scatter
+        // looks significant and pruning continues to the floor.
+        let p = |o: f64| PeerEstimate::new(dur(o), dur(1e-6), dur(0.01));
+        let peers = [p(0.001), p(-0.002), p(0.000), p(0.5)];
+        let survivors = cluster(&peers, 1);
+        assert!(!survivors.contains(&3));
+        assert!(!survivors.is_empty());
+    }
+
+    #[test]
+    fn cluster_keeps_agreeing_peers() {
+        let p = |o: f64| PeerEstimate::new(dur(o), dur(0.005), dur(0.01));
+        // All within each other's jitter: nobody is discarded.
+        let peers = [p(0.001), p(-0.001), p(0.002), p(0.000)];
+        assert_eq!(cluster(&peers, 1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cluster_respects_min_survivors() {
+        let p = |o: f64| PeerEstimate::new(dur(o), dur(1e-6), dur(0.01));
+        // Wildly scattered peers, but we must keep 3.
+        let peers = [p(0.0), p(1.0), p(2.0), p(3.0)];
+        assert_eq!(cluster(&peers, 3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn cluster_zero_min_rejected() {
+        let _ = cluster(&[], 0);
+    }
+
+    #[test]
+    fn combine_weights_by_inverse_error() {
+        let peers = [
+            PeerEstimate::new(dur(0.0), dur(0.0), dur(0.01)), // weight 100
+            PeerEstimate::new(dur(0.3), dur(0.0), dur(0.03)), // weight 33.3
+        ];
+        let combined = combine(&peers, &[0, 1]).unwrap().as_secs();
+        // (0·100 + 0.3·33.33) / 133.33 = 0.075
+        assert!((combined - 0.075).abs() < 1e-9, "combined {combined}");
+    }
+
+    #[test]
+    fn combine_exact_peer_dominates() {
+        let peers = [
+            PeerEstimate::new(dur(0.5), dur(0.0), dur(0.01)),
+            PeerEstimate::new(dur(0.1), dur(0.0), Duration::ZERO),
+            PeerEstimate::new(dur(0.2), dur(0.0), Duration::ZERO),
+        ];
+        // The two zero-error peers average; the noisy one is ignored.
+        let combined = combine(&peers, &[0, 1, 2]).unwrap().as_secs();
+        assert!((combined - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_empty_is_none() {
+        assert_eq!(combine(&[], &[]), None);
+    }
+
+    #[test]
+    fn full_pipeline() {
+        // Four peers, each with its own filter window; one peer's clock
+        // is broken. Filter → cluster → combine lands near the honest
+        // offset.
+        let mut filters = vec![ClockFilter::new(8); 4];
+        let true_offsets = [0.002, -0.001, 0.001, 0.8]; // peer 3 broken
+        for (i, f) in filters.iter_mut().enumerate() {
+            for k in 0..8 {
+                let noise = f64::from(k % 3) * 1e-3;
+                f.push(sample(
+                    true_offsets[i] + noise,
+                    0.002 + noise * 10.0,
+                    f64::from(k),
+                ));
+            }
+        }
+        let peers: Vec<PeerEstimate> = filters
+            .iter()
+            .map(|f| {
+                let best = f.best().unwrap();
+                PeerEstimate::new(best.offset, f.jitter(), best.delay)
+            })
+            .collect();
+        let survivors = cluster(&peers, 1);
+        assert!(!survivors.contains(&3), "the broken peer must be discarded");
+        let combined = combine(&peers, &survivors).unwrap().as_secs();
+        assert!(combined.abs() < 0.005, "combined offset {combined}");
+    }
+}

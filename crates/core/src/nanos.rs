@@ -1,0 +1,329 @@
+//! Integer-precision time: the boundary types for embedding `tempo` in
+//! real systems.
+//!
+//! The simulation side of this crate works in `f64` seconds — ideal for
+//! the paper's real-valued analysis, but a production deployment wants
+//! exact integer arithmetic at its edges (kernel timestamps, wire
+//! formats, databases). [`NanoTimestamp`] and [`NanoDuration`] are
+//! signed 64-bit nanosecond counts with checked/saturating arithmetic
+//! and lossless conversion to and from the NTP 64-bit era format — the
+//! wire representation the paper's intellectual descendants settled on.
+//!
+//! Conversions to the `f64` types are exact for any value a simulation
+//! produces (|t| < 2⁵³ ns ≈ 104 days at full precision, and within
+//! 1 ns beyond); conversions *from* `f64` round to the nearest
+//! nanosecond.
+
+use std::fmt;
+
+use crate::time::{Duration, Timestamp};
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: i64 = 1_000_000_000;
+
+/// An instant as a signed 64-bit count of nanoseconds since the epoch
+/// (range ≈ ±292 years).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NanoTimestamp(i64);
+
+/// A signed span of nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NanoDuration(i64);
+
+impl NanoTimestamp {
+    /// The epoch.
+    pub const ZERO: NanoTimestamp = NanoTimestamp(0);
+
+    /// Creates a timestamp from nanoseconds since the epoch.
+    #[must_use]
+    pub fn from_nanos(nanos: i64) -> Self {
+        NanoTimestamp(nanos)
+    }
+
+    /// The count of nanoseconds since the epoch.
+    #[must_use]
+    pub fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Converts from the `f64` timestamp, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is out of the representable ±292-year range.
+    #[must_use]
+    pub fn from_timestamp(t: Timestamp) -> Self {
+        let nanos = (t.as_secs() * NANOS_PER_SEC as f64).round();
+        assert!(
+            nanos >= i64::MIN as f64 && nanos <= i64::MAX as f64,
+            "timestamp {t} out of NanoTimestamp range"
+        );
+        NanoTimestamp(nanos as i64)
+    }
+
+    /// Converts to the `f64` timestamp.
+    #[must_use]
+    pub fn to_timestamp(self) -> Timestamp {
+        Timestamp::from_secs(self.0 as f64 / NANOS_PER_SEC as f64)
+    }
+
+    /// Checked addition of a span.
+    #[must_use]
+    pub fn checked_add(self, d: NanoDuration) -> Option<NanoTimestamp> {
+        self.0.checked_add(d.0).map(NanoTimestamp)
+    }
+
+    /// Checked subtraction of a span.
+    #[must_use]
+    pub fn checked_sub(self, d: NanoDuration) -> Option<NanoTimestamp> {
+        self.0.checked_sub(d.0).map(NanoTimestamp)
+    }
+
+    /// Saturating addition of a span.
+    #[must_use]
+    pub fn saturating_add(self, d: NanoDuration) -> NanoTimestamp {
+        NanoTimestamp(self.0.saturating_add(d.0))
+    }
+
+    /// The span from `earlier` to `self` (checked).
+    #[must_use]
+    pub fn checked_since(self, earlier: NanoTimestamp) -> Option<NanoDuration> {
+        self.0.checked_sub(earlier.0).map(NanoDuration)
+    }
+
+    /// Encodes as the NTP 64-bit timestamp format: the high 32 bits are
+    /// whole seconds (two's-complement relative to the epoch) and the
+    /// low 32 bits are the binary fraction of a second.
+    ///
+    /// Resolution is 2⁻³² s ≈ 233 ps, finer than a nanosecond, so the
+    /// nanosecond value round-trips exactly through
+    /// [`NanoTimestamp::from_ntp_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole-second part does not fit in 32 bits
+    /// (±68 years of the epoch) — the classic NTP era limit.
+    #[must_use]
+    pub fn to_ntp_bits(self) -> u64 {
+        let secs = self.0.div_euclid(NANOS_PER_SEC);
+        let nanos = self.0.rem_euclid(NANOS_PER_SEC); // 0..1e9
+        assert!(
+            i64::from(i32::MIN) <= secs && secs <= i64::from(i32::MAX),
+            "timestamp outside the NTP era (±68 years)"
+        );
+        // fraction = round(nanos · 2³² / 1e9); stays < 2³² since
+        // nanos < 1e9.
+        let frac = ((nanos as u128 * (1u128 << 32) + (NANOS_PER_SEC as u128 / 2))
+            / NANOS_PER_SEC as u128) as u64;
+        // nanos ≤ 999_999_999 ⇒ frac ≤ 4_294_967_292 < 2³².
+        ((secs as u32 as u64) << 32) | (frac & 0xFFFF_FFFF)
+    }
+
+    /// Decodes the NTP 64-bit timestamp format (see
+    /// [`NanoTimestamp::to_ntp_bits`]), rounding the fraction to the
+    /// nearest nanosecond.
+    #[must_use]
+    pub fn from_ntp_bits(bits: u64) -> Self {
+        let secs = i64::from((bits >> 32) as u32 as i32);
+        let frac = bits & 0xFFFF_FFFF;
+        let nanos = ((frac as u128 * NANOS_PER_SEC as u128 + (1u128 << 31)) >> 32) as i64;
+        NanoTimestamp(secs * NANOS_PER_SEC + nanos)
+    }
+}
+
+impl NanoDuration {
+    /// The zero span.
+    pub const ZERO: NanoDuration = NanoDuration(0);
+
+    /// Creates a span from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(nanos: i64) -> Self {
+        NanoDuration(nanos)
+    }
+
+    /// The span in nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Converts from the `f64` duration, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is out of the representable range.
+    #[must_use]
+    pub fn from_duration(d: Duration) -> Self {
+        let nanos = (d.as_secs() * NANOS_PER_SEC as f64).round();
+        assert!(
+            nanos >= i64::MIN as f64 && nanos <= i64::MAX as f64,
+            "duration {d} out of NanoDuration range"
+        );
+        NanoDuration(nanos as i64)
+    }
+
+    /// Converts to the `f64` duration.
+    #[must_use]
+    pub fn to_duration(self) -> Duration {
+        Duration::from_secs(self.0 as f64 / NANOS_PER_SEC as f64)
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn checked_add(self, other: NanoDuration) -> Option<NanoDuration> {
+        self.0.checked_add(other.0).map(NanoDuration)
+    }
+
+    /// Checked negation-free absolute value.
+    #[must_use]
+    pub fn checked_abs(self) -> Option<NanoDuration> {
+        self.0.checked_abs().map(NanoDuration)
+    }
+
+    /// Saturating multiplication by an integer factor.
+    #[must_use]
+    pub fn saturating_mul(self, factor: i64) -> NanoDuration {
+        NanoDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl fmt::Display for NanoTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(
+            f,
+            "{sign}{}.{:09}s",
+            abs / NANOS_PER_SEC as u64,
+            abs % NANOS_PER_SEC as u64
+        )
+    }
+}
+
+impl fmt::Display for NanoDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_from_f64() {
+        let t = Timestamp::from_secs(1_234.567_890_123);
+        let n = NanoTimestamp::from_timestamp(t);
+        assert_eq!(n.as_nanos(), 1_234_567_890_123);
+        assert!((n.to_timestamp().as_secs() - t.as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_values() {
+        let n = NanoTimestamp::from_timestamp(Timestamp::from_secs(-1.5));
+        assert_eq!(n.as_nanos(), -1_500_000_000);
+        assert_eq!(n.to_timestamp(), Timestamp::from_secs(-1.5));
+        assert_eq!(n.to_string(), "-1.500000000s");
+    }
+
+    #[test]
+    fn arithmetic_checked_and_saturating() {
+        let t = NanoTimestamp::from_nanos(100);
+        let d = NanoDuration::from_nanos(50);
+        assert_eq!(t.checked_add(d), Some(NanoTimestamp::from_nanos(150)));
+        assert_eq!(t.checked_sub(d), Some(NanoTimestamp::from_nanos(50)));
+        assert_eq!(
+            NanoTimestamp::from_nanos(i64::MAX).checked_add(NanoDuration::from_nanos(1)),
+            None
+        );
+        assert_eq!(
+            NanoTimestamp::from_nanos(i64::MAX).saturating_add(NanoDuration::from_nanos(1)),
+            NanoTimestamp::from_nanos(i64::MAX)
+        );
+        assert_eq!(
+            NanoTimestamp::from_nanos(150).checked_since(t),
+            Some(NanoDuration::from_nanos(50))
+        );
+    }
+
+    #[test]
+    fn duration_ops() {
+        let d = NanoDuration::from_duration(Duration::from_millis(1.5));
+        assert_eq!(d.as_nanos(), 1_500_000);
+        assert_eq!(d.to_duration(), Duration::from_millis(1.5));
+        assert_eq!(
+            d.checked_add(NanoDuration::from_nanos(1)),
+            Some(NanoDuration::from_nanos(1_500_001))
+        );
+        assert_eq!(
+            NanoDuration::from_nanos(-5).checked_abs(),
+            Some(NanoDuration::from_nanos(5))
+        );
+        assert_eq!(
+            NanoDuration::from_nanos(i64::MAX).saturating_mul(2),
+            NanoDuration::from_nanos(i64::MAX)
+        );
+        assert_eq!(NanoDuration::from_nanos(7).to_string(), "7ns");
+    }
+
+    #[test]
+    fn ntp_bits_roundtrip_exact_at_nanosecond() {
+        for nanos in [
+            0i64,
+            1,
+            999_999_999,
+            1_000_000_000,
+            -1,
+            -999_999_999,
+            1_234_567_890_123,
+            -987_654_321_098,
+        ] {
+            let t = NanoTimestamp::from_nanos(nanos);
+            let back = NanoTimestamp::from_ntp_bits(t.to_ntp_bits());
+            assert_eq!(back, t, "nanos {nanos} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn ntp_bits_layout() {
+        // Exactly 1.5 s: high word 1, low word 0x8000_0000.
+        let t = NanoTimestamp::from_nanos(1_500_000_000);
+        assert_eq!(t.to_ntp_bits(), (1u64 << 32) | 0x8000_0000);
+        // Exactly −0.5 s: seconds −1 (two's complement), fraction 0.5.
+        let t = NanoTimestamp::from_nanos(-500_000_000);
+        let bits = t.to_ntp_bits();
+        assert_eq!((bits >> 32) as u32, u32::MAX); // −1
+        assert_eq!(bits & 0xFFFF_FFFF, 0x8000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "NTP era")]
+    fn ntp_bits_era_limit() {
+        // 100 years of nanoseconds exceeds the ±68-year era.
+        let t = NanoTimestamp::from_nanos(100 * 365 * 86_400 * NANOS_PER_SEC);
+        let _ = t.to_ntp_bits();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of NanoTimestamp range")]
+    fn f64_overflow_rejected() {
+        let _ = NanoTimestamp::from_timestamp(Timestamp::from_secs(1e30));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            NanoTimestamp::from_nanos(1_000_000_001).to_string(),
+            "1.000000001s"
+        );
+        assert_eq!(NanoTimestamp::ZERO.to_string(), "0.000000000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(NanoTimestamp::from_nanos(1) < NanoTimestamp::from_nanos(2));
+        assert!(NanoDuration::from_nanos(-1) < NanoDuration::ZERO);
+    }
+}

@@ -1,0 +1,296 @@
+//! An NTP-style selection ("the intersection algorithm", RFC 5905
+//! §11.2.1), implemented as a comparator for [`crate::marzullo`].
+//!
+//! NTP's clock-select is the engineering descendant of the algorithms in
+//! this paper: it also treats every source as an interval
+//! `[θ − λ, θ + λ]`, but it (a) tracks the *midpoints* of the candidate
+//! intervals and requires a majority of them to fall inside the chosen
+//! region, and (b) widens the accepted region to the outermost edges
+//! still covered by `n − f` sources instead of taking the tightest
+//! intersection. The result is more robust to marginally-overlapping
+//! sources at the price of a looser bound — exactly the trade-off the
+//! A1 ablation experiment measures.
+
+use std::fmt;
+
+use crate::interval::TimeInterval;
+use crate::time::Timestamp;
+
+/// The outcome of the NTP-style selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtpSelection {
+    /// Lower bound of the accepted region.
+    pub low: Timestamp,
+    /// Upper bound of the accepted region.
+    pub high: Timestamp,
+    /// The number of sources assumed faulty for the selection to succeed.
+    pub assumed_falsetickers: usize,
+    /// Indices of sources whose interval overlaps the accepted region.
+    pub truechimers: Vec<usize>,
+    /// Indices of sources rejected as falsetickers.
+    pub falsetickers: Vec<usize>,
+}
+
+impl NtpSelection {
+    /// The accepted region as an interval.
+    #[must_use]
+    pub fn interval(&self) -> TimeInterval {
+        TimeInterval::new(self.low, self.high)
+    }
+}
+
+impl fmt::Display for NtpSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} .. {}] with {} truechimer(s), {} falseticker(s)",
+            self.low,
+            self.high,
+            self.truechimers.len(),
+            self.falsetickers.len()
+        )
+    }
+}
+
+/// Edge type markers used by the selection scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edge {
+    Low,
+    Mid,
+    High,
+}
+
+/// Runs the RFC 5905 intersection algorithm over the source intervals.
+///
+/// Returns `None` when no assumed-falseticker count below a majority
+/// (`f < ⌈n/2⌉`) produces an acceptable region — the "no majority
+/// clique" failure NTP reports as unsynchronized.
+///
+/// ```
+/// use tempo_core::{TimeInterval, Timestamp};
+/// use tempo_core::ntp::select;
+///
+/// let ts = Timestamp::from_secs;
+/// let sources = [
+///     TimeInterval::new(ts(8.0), ts(12.0)),
+///     TimeInterval::new(ts(9.0), ts(13.0)),
+///     TimeInterval::new(ts(10.0), ts(12.0)),
+/// ];
+/// let sel = select(&sources).expect("majority agrees");
+/// assert_eq!(sel.assumed_falsetickers, 0);
+/// assert_eq!(sel.truechimers, vec![0, 1, 2]);
+/// ```
+#[must_use]
+pub fn select(intervals: &[TimeInterval]) -> Option<NtpSelection> {
+    let n = intervals.len();
+    if n == 0 {
+        return None;
+    }
+
+    // Build the sorted edge list: (value, type). Ties order Low < Mid <
+    // High so that touching intervals still chime.
+    let mut edges: Vec<(Timestamp, Edge)> = Vec::with_capacity(n * 3);
+    for iv in intervals {
+        edges.push((iv.lo(), Edge::Low));
+        edges.push((iv.midpoint(), Edge::Mid));
+        edges.push((iv.hi(), Edge::High));
+    }
+    edges.sort_by_key(|&(t, e)| {
+        (
+            t,
+            match e {
+                Edge::Low => 0u8,
+                Edge::Mid => 1,
+                Edge::High => 2,
+            },
+        )
+    });
+
+    // Majority requirement: f must stay below half the sources.
+    for f in 0..n.div_ceil(2) {
+        let needed = n - f;
+
+        // Ascending scan for the low endpoint.
+        let mut chime: usize = 0;
+        let mut midcount = 0usize;
+        let mut low = None;
+        for &(t, e) in &edges {
+            match e {
+                Edge::Low => {
+                    chime += 1;
+                    if chime >= needed {
+                        low = Some(t);
+                        break;
+                    }
+                }
+                Edge::Mid => midcount += 1,
+                Edge::High => chime = chime.saturating_sub(1),
+            }
+        }
+
+        // Descending scan for the high endpoint.
+        let mut chime: usize = 0;
+        let mut high = None;
+        for &(t, e) in edges.iter().rev() {
+            match e {
+                Edge::High => {
+                    chime += 1;
+                    if chime >= needed {
+                        high = Some(t);
+                        break;
+                    }
+                }
+                Edge::Mid => midcount += 1,
+                Edge::Low => chime = chime.saturating_sub(1),
+            }
+        }
+
+        if let (Some(low), Some(high)) = (low, high) {
+            // midcount here counts midpoints strictly outside the scans'
+            // progress; RFC 5905 accepts when the number of midpoints
+            // outside [low, high] does not exceed f.
+            let outside_mids = intervals
+                .iter()
+                .filter(|iv| {
+                    let m = iv.midpoint();
+                    m < low || m > high
+                })
+                .count();
+            let _ = midcount; // scan-local count superseded by exact check
+            if low <= high && outside_mids <= f {
+                let region = TimeInterval::new(low, high);
+                let mut truechimers = Vec::new();
+                let mut falsetickers = Vec::new();
+                for (i, iv) in intervals.iter().enumerate() {
+                    if iv.intersects(&region) {
+                        truechimers.push(i);
+                    } else {
+                        falsetickers.push(i);
+                    }
+                }
+                return Some(NtpSelection {
+                    low,
+                    high,
+                    assumed_falsetickers: f,
+                    truechimers,
+                    falsetickers,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn iv(lo: f64, hi: f64) -> TimeInterval {
+        TimeInterval::new(ts(lo), ts(hi))
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert!(select(&[]).is_none());
+    }
+
+    #[test]
+    fn single_source_is_accepted() {
+        let sel = select(&[iv(1.0, 3.0)]).unwrap();
+        assert_eq!(sel.low, ts(1.0));
+        assert_eq!(sel.high, ts(3.0));
+        assert_eq!(sel.assumed_falsetickers, 0);
+        assert_eq!(sel.truechimers, vec![0]);
+    }
+
+    #[test]
+    fn all_agreeing_sources() {
+        let sources = [iv(8.0, 12.0), iv(9.0, 13.0), iv(10.0, 12.0)];
+        let sel = select(&sources).unwrap();
+        assert_eq!(sel.assumed_falsetickers, 0);
+        // NTP keeps the outermost edges still covered by all: [10, 12].
+        assert_eq!(sel.low, ts(10.0));
+        assert_eq!(sel.high, ts(12.0));
+        assert!(sel.falsetickers.is_empty());
+    }
+
+    #[test]
+    fn midpoint_rule_forces_a_falseticker_assumption() {
+        // [8,12]'s midpoint (10) lies outside the tight intersection
+        // [11,12], so NTP cannot accept f = 0 and must widen with f = 1
+        // — Marzullo's sweep has no such restriction.
+        let sources = [iv(8.0, 12.0), iv(11.0, 13.0), iv(10.0, 12.0)];
+        let sel = select(&sources).unwrap();
+        assert_eq!(sel.assumed_falsetickers, 1);
+        assert_eq!(sel.low, ts(10.0));
+        assert_eq!(sel.high, ts(12.0));
+        // All three still intersect the accepted region.
+        assert_eq!(sel.truechimers, vec![0, 1, 2]);
+        let tight = crate::marzullo::best_intersection(&sources).unwrap();
+        assert_eq!(tight.coverage, 3);
+    }
+
+    #[test]
+    fn one_falseticker_among_four() {
+        let sources = [
+            iv(10.0, 12.0),
+            iv(11.0, 13.0),
+            iv(10.5, 12.5),
+            iv(100.0, 101.0), // falseticker
+        ];
+        let sel = select(&sources).unwrap();
+        assert_eq!(sel.assumed_falsetickers, 1);
+        assert_eq!(sel.falsetickers, vec![3]);
+        assert_eq!(sel.truechimers, vec![0, 1, 2]);
+        assert!(sel.low >= ts(10.0) && sel.high <= ts(13.0));
+    }
+
+    #[test]
+    fn no_majority_fails() {
+        // Three mutually disjoint sources: no f < 2 yields agreement.
+        let sources = [iv(0.0, 1.0), iv(10.0, 11.0), iv(20.0, 21.0)];
+        assert!(select(&sources).is_none());
+    }
+
+    #[test]
+    fn two_against_two_split_fails_or_flags() {
+        // Even split: the midpoint condition cannot be met with f < 2,
+        // so selection fails (NTP would report unsynchronized).
+        let sources = [iv(0.0, 2.0), iv(1.0, 3.0), iv(10.0, 12.0), iv(11.0, 13.0)];
+        assert!(select(&sources).is_none());
+    }
+
+    #[test]
+    fn ntp_region_is_wider_than_marzullo_best() {
+        // The documented trade-off: NTP's accepted region contains the
+        // tight Marzullo intersection.
+        let sources = [iv(8.0, 12.0), iv(9.0, 13.0), iv(10.0, 14.0)];
+        let sel = select(&sources).unwrap();
+        let tight = crate::marzullo::best_intersection(&sources).unwrap();
+        assert!(sel.interval().contains_interval(&tight.best().interval));
+    }
+
+    #[test]
+    fn selection_interval_accessor_and_display() {
+        let sel = select(&[iv(1.0, 3.0)]).unwrap();
+        assert_eq!(sel.interval(), iv(1.0, 3.0));
+        assert!(sel.to_string().contains("truechimer"));
+    }
+
+    #[test]
+    fn barely_touching_sources_are_rejected() {
+        // Intervals that only touch have midpoints far outside the
+        // shared point, so the midpoint rule rejects every f < ⌈n/2⌉.
+        // (Marzullo's sweep, by contrast, happily returns the point —
+        // this is the robustness/tightness trade-off documented above.)
+        let sources = [iv(0.0, 5.0), iv(5.0, 10.0), iv(4.0, 6.0)];
+        assert!(select(&sources).is_none());
+        // All three intervals share the single point t = 5.
+        let tight = crate::marzullo::best_intersection(&sources).unwrap();
+        assert_eq!(tight.coverage, 3);
+    }
+}

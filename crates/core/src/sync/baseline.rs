@@ -1,0 +1,262 @@
+//! Baseline synchronization functions from the prior work (§1.2).
+//!
+//! The paper positions MM and IM against three functions used by earlier
+//! clock-synchronization algorithms:
+//!
+//! * **maximum** — Lamport's monotonicity-preserving rule
+//!   ([Lamport 78]): adopt the fastest clock;
+//! * **median** — used in fault-tolerant synchronization
+//!   ([Lamport 82]);
+//! * **mean** — likewise, averaging all clocks.
+//!
+//! These functions assume *accurate* clocks and carry no per-reply error
+//! accounting, so they can silently go incorrect under drift — that is
+//! exactly the comparison the `tempo-sim` ablation experiments (A2) run.
+//! To let them participate in a service that still *reports* errors per
+//! rule MM-1, each baseline here assigns a conservative inherited error
+//! derived from the replies it used (documented per function). The error
+//! bookkeeping is our addition; the clock-value rule is the cited one.
+
+use crate::sync::{Reset, TimedReply};
+use crate::time::{DriftRate, Duration};
+use crate::TimeEstimate;
+
+/// Which baseline synchronization function to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Adopt the maximum clock value among self and all replies
+    /// ([Lamport 78]).
+    LamportMax,
+    /// Adopt the median clock value (lower median for even counts).
+    Median,
+    /// Adopt the mean clock value.
+    Mean,
+}
+
+impl BaselineKind {
+    /// All baselines, for iteration in experiments.
+    pub const ALL: [BaselineKind; 3] = [
+        BaselineKind::LamportMax,
+        BaselineKind::Median,
+        BaselineKind::Mean,
+    ];
+
+    /// A short human-readable name (`"max"`, `"median"`, `"mean"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::LamportMax => "max",
+            BaselineKind::Median => "median",
+            BaselineKind::Mean => "mean",
+        }
+    }
+}
+
+impl std::fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies a baseline synchronization function over the local estimate
+/// and a set of replies.
+///
+/// The local estimate always participates as a zero-round-trip
+/// "self-reply", mirroring the treatment in [`crate::sync::mm`] /
+/// [`crate::sync::im`]. Unlike MM, baselines never reject inconsistent
+/// replies — the cited algorithms have no notion of consistency.
+///
+/// Error bookkeeping (our addition, so baselines can live inside a
+/// MM-1-reporting server):
+///
+/// * `LamportMax` and `Median`: the inherited error of the *source whose
+///   clock value was adopted*, plus its round-trip allowance.
+/// * `Mean`: the mean of all adjusted errors (a mean of intervals is
+///   centred on the mean of centres with the mean radius only if radii
+///   align, so this can under-cover — which is the known weakness being
+///   measured).
+///
+/// ```
+/// use tempo_core::{TimeEstimate, Timestamp, Duration, DriftRate};
+/// use tempo_core::sync::TimedReply;
+/// use tempo_core::sync::baseline::{baseline_round, BaselineKind};
+///
+/// let own = TimeEstimate::new(Timestamp::from_secs(10.0), Duration::from_secs(0.5));
+/// let replies = vec![TimedReply::new(
+///     TimeEstimate::new(Timestamp::from_secs(12.0), Duration::from_secs(0.5)),
+///     Duration::ZERO,
+/// )];
+/// let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::LamportMax);
+/// assert_eq!(reset.new_clock, Timestamp::from_secs(12.0));
+/// ```
+#[must_use]
+pub fn baseline_round(
+    own: &TimeEstimate,
+    delta: DriftRate,
+    replies: &[TimedReply],
+    kind: BaselineKind,
+) -> Reset {
+    // Participants: (clock value, adjusted error).
+    let mut participants: Vec<(crate::Timestamp, Duration)> = Vec::with_capacity(replies.len() + 1);
+    participants.push((own.time(), own.error()));
+    for r in replies {
+        participants.push((
+            r.estimate.time(),
+            r.estimate.error() + r.round_trip * delta.inflation(),
+        ));
+    }
+
+    match kind {
+        BaselineKind::LamportMax => {
+            let &(clock, error) = participants
+                .iter()
+                .max_by_key(|(c, _)| *c)
+                .expect("participants is non-empty");
+            Reset {
+                new_clock: clock,
+                new_error: error,
+            }
+        }
+        BaselineKind::Median => {
+            participants.sort_by_key(|(c, _)| *c);
+            let (clock, error) = participants[(participants.len() - 1) / 2];
+            Reset {
+                new_clock: clock,
+                new_error: error,
+            }
+        }
+        BaselineKind::Mean => {
+            let n = participants.len() as f64;
+            let mean_secs = participants.iter().map(|(c, _)| c.as_secs()).sum::<f64>() / n;
+            let mean_error = participants.iter().map(|(_, e)| *e).sum::<Duration>() / n;
+            Reset {
+                new_clock: crate::Timestamp::from_secs(mean_secs),
+                new_error: mean_error,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    fn est(c: f64, e: f64) -> TimeEstimate {
+        TimeEstimate::new(ts(c), dur(e))
+    }
+
+    fn reply(c: f64, e: f64, rtt: f64) -> TimedReply {
+        TimedReply::new(est(c, e), dur(rtt))
+    }
+
+    #[test]
+    fn max_adopts_fastest_clock() {
+        let own = est(10.0, 0.1);
+        let replies = [reply(9.0, 0.2, 0.0), reply(12.0, 0.3, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::LamportMax);
+        assert_eq!(reset.new_clock, ts(12.0));
+        assert_eq!(reset.new_error, dur(0.3));
+    }
+
+    #[test]
+    fn max_includes_own_clock() {
+        let own = est(20.0, 0.1);
+        let replies = [reply(9.0, 0.2, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::LamportMax);
+        assert_eq!(reset.new_clock, ts(20.0));
+        assert_eq!(reset.new_error, dur(0.1));
+    }
+
+    #[test]
+    fn max_never_moves_clock_backwards() {
+        // Monotonicity: the max over a set including own clock is ≥ own.
+        let own = est(100.0, 0.5);
+        let replies = [reply(95.0, 0.1, 0.0), reply(98.0, 0.1, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::LamportMax);
+        assert!(reset.new_clock >= own.time());
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let own = est(10.0, 0.1);
+        let replies = [reply(30.0, 0.2, 0.0), reply(20.0, 0.3, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::Median);
+        assert_eq!(reset.new_clock, ts(20.0));
+        assert_eq!(reset.new_error, dur(0.3));
+    }
+
+    #[test]
+    fn median_even_count_takes_lower_median() {
+        let own = est(10.0, 0.1);
+        let replies = [
+            reply(20.0, 0.2, 0.0),
+            reply(30.0, 0.3, 0.0),
+            reply(40.0, 0.4, 0.0),
+        ];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::Median);
+        assert_eq!(reset.new_clock, ts(20.0));
+    }
+
+    #[test]
+    fn median_tolerates_one_wild_clock() {
+        let own = est(100.0, 0.1);
+        let replies = [reply(100.2, 0.1, 0.0), reply(9999.0, 0.1, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::Median);
+        assert_eq!(reset.new_clock, ts(100.2));
+    }
+
+    #[test]
+    fn mean_averages_clocks_and_errors() {
+        let own = est(10.0, 0.3);
+        let replies = [reply(20.0, 0.6, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::Mean);
+        assert_eq!(reset.new_clock, ts(15.0));
+        assert!((reset.new_error.as_secs() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_pulled_by_outliers() {
+        // The known weakness: one wild clock drags the mean.
+        let own = est(100.0, 0.1);
+        let replies = [reply(100.0, 0.1, 0.0), reply(400.0, 0.1, 0.0)];
+        let reset = baseline_round(&own, DriftRate::ZERO, &replies, BaselineKind::Mean);
+        assert_eq!(reset.new_clock, ts(200.0));
+    }
+
+    #[test]
+    fn round_trip_inflates_reply_errors() {
+        let own = est(0.0, 10.0);
+        let delta = DriftRate::new(0.5);
+        let replies = [reply(5.0, 1.0, 2.0)];
+        let reset = baseline_round(&own, delta, &replies, BaselineKind::LamportMax);
+        // adopted error = 1.0 + 1.5·2.0 = 4.0
+        assert_eq!(reset.new_error, dur(4.0));
+    }
+
+    #[test]
+    fn no_replies_keeps_own_values() {
+        let own = est(7.0, 0.7);
+        for kind in BaselineKind::ALL {
+            let reset = baseline_round(&own, DriftRate::ZERO, &[], kind);
+            assert_eq!(reset.new_clock, ts(7.0), "{kind}");
+            assert_eq!(reset.new_error, dur(0.7), "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(BaselineKind::LamportMax.name(), "max");
+        assert_eq!(BaselineKind::Median.to_string(), "median");
+        assert_eq!(BaselineKind::Mean.to_string(), "mean");
+        assert_eq!(BaselineKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,306 @@
+//! Algorithm **IM** — *intersection as a synchronization function* (§4).
+//!
+//! Rule IM-2 of the paper: transform each reply `⟨C_j, E_j⟩` into an
+//! interval *relative to the local clock reading* `C_i`:
+//!
+//! ```text
+//! T_j ← C_j − E_j − C_i
+//! L_j ← C_j + E_j + (1 + δ_i)·ξ^i_j − C_i
+//! ```
+//!
+//! (only the leading edge is widened by the round-trip allowance — while
+//! the reply was in flight real time can only have advanced). Then with
+//! `a = max T_j` and `b = min L_j` over all replies, if the intersection
+//! `[a .. b]` is non-empty the server resets to its midpoint:
+//! `ε_i ← (b−a)/2`, `C_i ← C_i + (a+b)/2`, `r_i ← C_i`.
+//!
+//! Because the adopted interval is *derived* rather than *selected*,
+//! Theorem 6 guarantees it is never wider than the narrowest reply, and
+//! Theorem 8 shows its expected width need not grow at all as the number
+//! of servers grows — IM can synthesise a clock more precise than any
+//! individual clock in the service.
+
+use crate::sync::{Reset, TimedReply};
+use crate::time::{DriftRate, Duration};
+use crate::TimeEstimate;
+
+/// The outcome of an IM round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImOutcome {
+    /// The intersection was non-empty; reset to its midpoint.
+    Reset(Reset),
+    /// The intersection (including the local interval) was empty — the
+    /// service is inconsistent and rule IM-2 cannot produce a time.
+    Inconsistent,
+}
+
+impl ImOutcome {
+    /// The reset, if this outcome is one.
+    #[must_use]
+    pub fn reset(&self) -> Option<Reset> {
+        match self {
+            ImOutcome::Reset(r) => Some(*r),
+            ImOutcome::Inconsistent => None,
+        }
+    }
+}
+
+/// The transformed relative interval `[T_j .. L_j]` of rule IM-2.
+///
+/// Offsets are relative to the local clock reading `C_i` at the moment of
+/// evaluation; the local interval itself is `[-E_i .. +E_i]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeInterval {
+    /// The trailing-edge offset `T_j = C_j − E_j − C_i`.
+    pub trailing: Duration,
+    /// The leading-edge offset `L_j = C_j + E_j + (1+δ_i)ξ^i_j − C_i`.
+    pub leading: Duration,
+}
+
+impl RelativeInterval {
+    /// Width of the relative interval (may be "negative" only in the
+    /// sense that an empty intersection yields `leading < trailing`; for
+    /// a single transformed reply `leading ≥ trailing` always holds).
+    #[must_use]
+    pub fn width(&self) -> Duration {
+        self.leading - self.trailing
+    }
+}
+
+/// Applies the IM-2 transform to one reply.
+#[must_use]
+pub fn im_transform(own: &TimeEstimate, delta: DriftRate, reply: &TimedReply) -> RelativeInterval {
+    let offset = reply.estimate.time() - own.time();
+    RelativeInterval {
+        trailing: offset - reply.estimate.error(),
+        leading: offset + reply.estimate.error() + reply.round_trip * delta.inflation(),
+    }
+}
+
+/// Runs one full IM round: intersects the local interval with every
+/// transformed reply and resets to the midpoint of the intersection.
+///
+/// The local interval `[-E_i .. +E_i]` is always part of the
+/// intersection, exactly as in the Theorem 5 proof (a server only moves
+/// its clock *within* its own current interval). Callers therefore do not
+/// need to add a self-reply.
+///
+/// ```
+/// use tempo_core::{TimeEstimate, Timestamp, Duration, DriftRate};
+/// use tempo_core::sync::TimedReply;
+/// use tempo_core::sync::im::{im_round, ImOutcome};
+///
+/// let own = TimeEstimate::new(Timestamp::from_secs(50.0), Duration::from_secs(1.0));
+/// let reply = TimedReply::new(
+///     TimeEstimate::new(Timestamp::from_secs(50.8), Duration::from_secs(0.5)),
+///     Duration::ZERO,
+/// );
+/// match im_round(&own, DriftRate::ZERO, &[reply]) {
+///     ImOutcome::Reset(r) => {
+///         // intersection is [50.3, 51.0] → midpoint 50.65, radius 0.35
+///         assert!((r.new_clock.as_secs() - 50.65).abs() < 1e-9);
+///         assert!((r.new_error.as_secs() - 0.35).abs() < 1e-9);
+///     }
+///     ImOutcome::Inconsistent => unreachable!(),
+/// }
+/// ```
+#[must_use]
+pub fn im_round(own: &TimeEstimate, delta: DriftRate, replies: &[TimedReply]) -> ImOutcome {
+    // Start from the local interval [-E_i, +E_i].
+    let mut a = -own.error();
+    let mut b = own.error();
+    for reply in replies {
+        let rel = im_transform(own, delta, reply);
+        a = a.max(rel.trailing);
+        b = b.min(rel.leading);
+    }
+    // The paper states the condition as b > a; with closed intervals a
+    // single shared point (b == a) is still a consistent — if degenerate —
+    // intersection, matching the ≤ in the §2.3 consistency predicate.
+    if b >= a {
+        ImOutcome::Reset(Reset {
+            new_clock: own.time() + (a + b).half(),
+            new_error: (b - a).half(),
+        })
+    } else {
+        ImOutcome::Inconsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    fn est(c: f64, e: f64) -> TimeEstimate {
+        TimeEstimate::new(ts(c), dur(e))
+    }
+
+    fn reply(c: f64, e: f64, rtt: f64) -> TimedReply {
+        TimedReply::new(est(c, e), dur(rtt))
+    }
+
+    #[test]
+    fn transform_matches_rule_im2() {
+        let own = est(100.0, 0.5);
+        let delta = DriftRate::new(0.01);
+        let r = reply(100.3, 0.2, 0.1);
+        let rel = im_transform(&own, delta, &r);
+        // T = 100.3 − 0.2 − 100.0 = 0.1
+        assert!((rel.trailing.as_secs() - 0.1).abs() < 1e-12);
+        // L = 100.3 + 0.2 + 1.01·0.1 − 100.0 = 0.601
+        assert!((rel.leading.as_secs() - 0.601).abs() < 1e-12);
+        assert!((rel.width().as_secs() - 0.501).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_with_no_replies_recentres_on_own_interval() {
+        let own = est(10.0, 0.5);
+        match im_round(&own, DriftRate::ZERO, &[]) {
+            ImOutcome::Reset(r) => {
+                assert_eq!(r.new_clock, ts(10.0));
+                assert_eq!(r.new_error, dur(0.5));
+            }
+            ImOutcome::Inconsistent => panic!("own interval alone is consistent"),
+        }
+    }
+
+    #[test]
+    fn intersection_shrinks_error_below_narrowest_input() {
+        // Right side of Figure 2: offset intervals whose intersection is
+        // narrower than either input.
+        let own = est(100.0, 1.0); // [99, 101]
+        let r = reply(101.5, 1.0, 0.0); // [100.5, 102.5]
+        match im_round(&own, DriftRate::ZERO, &[r]) {
+            ImOutcome::Reset(reset) => {
+                // intersection [100.5, 101.0] → C = 100.75, E = 0.25
+                assert_eq!(reset.new_clock, ts(100.75));
+                assert_eq!(reset.new_error, dur(0.25));
+                assert!(reset.new_error < own.error());
+                assert!(reset.new_error < r.estimate.error());
+            }
+            ImOutcome::Inconsistent => panic!("intervals overlap"),
+        }
+    }
+
+    #[test]
+    fn subset_case_yields_inner_interval() {
+        // Left side of Figure 2: the narrow interval lies inside the wide
+        // one; the intersection is the narrow interval itself (plus the
+        // rtt widening).
+        let own = est(100.0, 2.0); // [98, 102]
+        let r = reply(100.5, 0.3, 0.0); // [100.2, 100.8]
+        match im_round(&own, DriftRate::ZERO, &[r]) {
+            ImOutcome::Reset(reset) => {
+                assert!((reset.new_clock.as_secs() - 100.5).abs() < 1e-12);
+                assert!((reset.new_error.as_secs() - 0.3).abs() < 1e-12);
+            }
+            ImOutcome::Inconsistent => panic!("inner interval intersects"),
+        }
+    }
+
+    #[test]
+    fn empty_intersection_is_inconsistent() {
+        let own = est(100.0, 0.1);
+        let r = reply(105.0, 0.1, 0.0);
+        assert_eq!(
+            im_round(&own, DriftRate::ZERO, &[r]),
+            ImOutcome::Inconsistent
+        );
+    }
+
+    #[test]
+    fn pairwise_consistent_but_jointly_empty_is_inconsistent() {
+        // Three intervals, each pair intersects, but no common point —
+        // consistency is not transitive, and IM detects the emptiness.
+        let own = est(0.0, 1.0); // [-1, 1]
+        let r1 = reply(1.8, 1.0, 0.0); // [0.8, 2.8]
+        let r2 = reply(-1.8, 1.0, 0.0); // [-2.8, -0.8]
+        assert!(own.is_consistent_with(&r1.estimate));
+        assert!(own.is_consistent_with(&r2.estimate));
+        assert_eq!(
+            im_round(&own, DriftRate::ZERO, &[r1, r2]),
+            ImOutcome::Inconsistent
+        );
+    }
+
+    #[test]
+    fn touching_intervals_intersect_in_a_point() {
+        let own = est(0.0, 1.0); // [-1, 1]
+        let r = reply(2.0, 1.0, 0.0); // [1, 3]
+        match im_round(&own, DriftRate::ZERO, &[r]) {
+            ImOutcome::Reset(reset) => {
+                assert_eq!(reset.new_clock, ts(1.0));
+                assert_eq!(reset.new_error, Duration::ZERO);
+            }
+            ImOutcome::Inconsistent => panic!("touching intervals share a point"),
+        }
+    }
+
+    #[test]
+    fn round_trip_widens_only_the_leading_edge() {
+        let own = est(0.0, 10.0);
+        let delta = DriftRate::new(0.5);
+        let r = reply(0.0, 1.0, 2.0);
+        let rel = im_transform(&own, delta, &r);
+        assert_eq!(rel.trailing, dur(-1.0));
+        // L = 1.0 + 1.5·2.0 = 4.0
+        assert_eq!(rel.leading, dur(4.0));
+    }
+
+    #[test]
+    fn result_is_exact_interval_intersection() {
+        // Cross-check im_round against TimeInterval::intersect_all on the
+        // same (already-widened) intervals.
+        use crate::interval::TimeInterval;
+        let own = est(100.0, 1.3);
+        let delta = DriftRate::new(0.001);
+        let replies = [
+            reply(100.4, 0.9, 0.03),
+            reply(99.8, 1.1, 0.01),
+            reply(100.1, 0.6, 0.05),
+        ];
+        let outcome = im_round(&own, delta, &replies);
+        let mut intervals = vec![own.interval()];
+        for r in &replies {
+            intervals.push(
+                r.estimate
+                    .interval()
+                    .extend_leading(r.round_trip * delta.inflation()),
+            );
+        }
+        let expected = TimeInterval::intersect_all(&intervals).unwrap();
+        let reset = outcome.reset().unwrap();
+        assert!((reset.new_clock.as_secs() - expected.midpoint().as_secs()).abs() < 1e-12);
+        assert!((reset.new_error.as_secs() - expected.radius().as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem6_never_wider_than_narrowest() {
+        let own = est(100.0, 2.0);
+        let replies = [reply(100.2, 1.5, 0.0), reply(99.9, 0.7, 0.0)];
+        let reset = im_round(&own, DriftRate::ZERO, &replies)
+            .reset()
+            .expect("consistent");
+        let narrowest = replies
+            .iter()
+            .map(|r| r.estimate.error())
+            .fold(own.error(), Duration::min);
+        assert!(reset.new_error <= narrowest);
+    }
+
+    #[test]
+    fn outcome_reset_accessor() {
+        assert!(ImOutcome::Inconsistent.reset().is_none());
+        let own = est(0.0, 1.0);
+        assert!(im_round(&own, DriftRate::ZERO, &[]).reset().is_some());
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-validation of the Marzullo sweep against a brute-force
+//! reference implementation.
+//!
+//! The reference evaluates coverage at every candidate point (all
+//! endpoints plus midpoints between consecutive endpoints) — O(n²) but
+//! obviously correct. The sweep must agree on the maximum coverage, on
+//! the best region's boundaries, and on the membership sets, for both
+//! random and adversarially structured inputs.
+
+use proptest::prelude::*;
+
+use tempo_core::marzullo::best_intersection;
+use tempo_core::{Duration, TimeInterval, Timestamp};
+
+/// Brute force: maximum coverage and the first maximal region.
+fn brute_force(intervals: &[TimeInterval]) -> (usize, TimeInterval) {
+    let mut endpoints: Vec<Timestamp> =
+        intervals.iter().flat_map(|iv| [iv.lo(), iv.hi()]).collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+
+    let cover = |t: Timestamp| intervals.iter().filter(|iv| iv.contains(t)).count();
+
+    // Candidate points: endpoints and gap midpoints.
+    let mut candidates: Vec<Timestamp> = endpoints.clone();
+    for pair in endpoints.windows(2) {
+        candidates.push(pair[0].midpoint(pair[1]));
+    }
+    candidates.sort_unstable();
+
+    let max_cover = candidates
+        .iter()
+        .map(|&t| cover(t))
+        .max()
+        .expect("non-empty");
+    // First maximal region: scan candidates in order; the region is the
+    // intersection of the intervals covering the first max-coverage
+    // candidate.
+    let witness = candidates
+        .iter()
+        .copied()
+        .find(|&t| cover(t) == max_cover)
+        .expect("witness exists");
+    let members: Vec<TimeInterval> = intervals
+        .iter()
+        .copied()
+        .filter(|iv| iv.contains(witness))
+        .collect();
+    let region = TimeInterval::intersect_all(&members).expect("members share the witness");
+    (max_cover, region)
+}
+
+fn arb_intervals() -> impl Strategy<Value = Vec<TimeInterval>> {
+    prop::collection::vec((0.0f64..50.0, 0.0f64..20.0), 1..24).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(lo, w)| {
+                TimeInterval::new(Timestamp::from_secs(lo), Timestamp::from_secs(lo + w))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn sweep_matches_brute_force(intervals in arb_intervals()) {
+        let sweep = best_intersection(&intervals).expect("non-empty input");
+        let (bf_cover, bf_region) = brute_force(&intervals);
+        prop_assert_eq!(sweep.coverage, bf_cover);
+        // The brute-force first region must appear among the sweep's
+        // best regions (and, since both pick the earliest, be the first).
+        prop_assert_eq!(
+            sweep.best().interval, bf_region,
+            "sweep {:?} vs brute {:?}", sweep.best().interval, bf_region
+        );
+    }
+}
+
+#[test]
+fn adversarial_structures_match() {
+    let iv =
+        |lo: f64, hi: f64| TimeInterval::new(Timestamp::from_secs(lo), Timestamp::from_secs(hi));
+    let cases: Vec<Vec<TimeInterval>> = vec![
+        // All identical.
+        vec![iv(1.0, 2.0); 7],
+        // Perfect nesting.
+        (0..8)
+            .map(|k| iv(f64::from(k), 16.0 - f64::from(k)))
+            .collect(),
+        // A staircase of half-overlapping intervals.
+        (0..10)
+            .map(|k| iv(f64::from(k), f64::from(k) + 1.5))
+            .collect(),
+        // Points only.
+        (0..5)
+            .map(|k| TimeInterval::point(Timestamp::from_secs(f64::from(k % 2))))
+            .collect(),
+        // Two far-apart cliques of different sizes.
+        vec![
+            iv(0.0, 1.0),
+            iv(0.2, 1.2),
+            iv(0.4, 1.4),
+            iv(100.0, 101.0),
+            iv(100.5, 101.5),
+        ],
+        // Shared endpoints everywhere.
+        vec![iv(0.0, 5.0), iv(5.0, 10.0), iv(0.0, 10.0), iv(5.0, 5.0)],
+    ];
+    for (k, intervals) in cases.into_iter().enumerate() {
+        let sweep = best_intersection(&intervals).unwrap();
+        let (bf_cover, bf_region) = brute_force(&intervals);
+        assert_eq!(sweep.coverage, bf_cover, "case {k}: coverage");
+        assert_eq!(sweep.best().interval, bf_region, "case {k}: region");
+        // Membership count always equals the coverage.
+        for region in &sweep.regions {
+            assert_eq!(region.members.len(), sweep.coverage, "case {k}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_widths_match() {
+    // Zero-width intervals stacked with wide ones.
+    let iv =
+        |lo: f64, hi: f64| TimeInterval::new(Timestamp::from_secs(lo), Timestamp::from_secs(hi));
+    let intervals = vec![
+        iv(2.0, 2.0),
+        iv(2.0, 2.0),
+        iv(0.0, 4.0),
+        iv(2.0, 6.0),
+        TimeInterval::from_center_radius(Timestamp::from_secs(2.0), Duration::ZERO),
+    ];
+    let sweep = best_intersection(&intervals).unwrap();
+    let (bf_cover, bf_region) = brute_force(&intervals);
+    assert_eq!(sweep.coverage, bf_cover);
+    assert_eq!(sweep.best().interval, bf_region);
+    assert_eq!(sweep.coverage, 5);
+}

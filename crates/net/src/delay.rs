@@ -1,0 +1,224 @@
+//! One-way message delay distributions.
+//!
+//! The paper assumes message delay is "nondeterministic and bounded by
+//! ξ" with zero minimum (§2.2), and notes the algorithms extend easily
+//! to a nonzero minimum — [`DelayModel::Uniform`] with a positive `min`
+//! exercises exactly that extension (ablation A3).
+
+use rand::Rng;
+
+use tempo_core::Duration;
+
+/// A one-way delay distribution with a hard upper bound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long.
+    Constant(Duration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Minimum one-way delay.
+        min: Duration,
+        /// Maximum one-way delay.
+        max: Duration,
+    },
+    /// An exponential distribution with the given `mean`, shifted by
+    /// `min` and truncated at `max` (re-drawn values clamp to `max`).
+    /// Models queueing-dominated internet paths.
+    TruncatedExp {
+        /// Minimum one-way delay.
+        min: Duration,
+        /// Mean of the exponential component.
+        mean: Duration,
+        /// Hard maximum (the paper's boundedness assumption).
+        max: Duration,
+    },
+}
+
+impl DelayModel {
+    /// A zero-delay network (useful in unit tests).
+    #[must_use]
+    pub fn instant() -> Self {
+        DelayModel::Constant(Duration::ZERO)
+    }
+
+    /// The hard upper bound on one-way delay.
+    ///
+    /// Twice this bounds the round-trip, i.e. it plays the role of
+    /// `ξ/2` in the paper.
+    #[must_use]
+    pub fn max_delay(&self) -> Duration {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { max, .. } | DelayModel::TruncatedExp { max, .. } => *max,
+        }
+    }
+
+    /// The minimum one-way delay.
+    #[must_use]
+    pub fn min_delay(&self) -> Duration {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { min, .. } | DelayModel::TruncatedExp { min, .. } => *min,
+        }
+    }
+
+    /// Draws a delay.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Duration {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { min, max } => {
+                if min == max {
+                    *min
+                } else {
+                    Duration::from_secs(rng.random_range(min.as_secs()..=max.as_secs()))
+                }
+            }
+            DelayModel::TruncatedExp { min, mean, max } => {
+                let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+                let exp = -mean.as_secs() * u.ln();
+                let d = min.as_secs() + exp;
+                Duration::from_secs(d.min(max.as_secs()))
+            }
+        }
+    }
+
+    /// Validates the model's internal ordering (`min ≤ max`, etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics when bounds are negative or inverted. Called by
+    /// [`crate::NetConfig`] construction.
+    pub fn validate(&self) {
+        match self {
+            DelayModel::Constant(d) => {
+                assert!(!d.is_negative(), "delay must be non-negative, got {d}");
+            }
+            DelayModel::Uniform { min, max } => {
+                assert!(!min.is_negative(), "min delay must be non-negative");
+                assert!(min <= max, "min delay {min} exceeds max {max}");
+            }
+            DelayModel::TruncatedExp { min, mean, max } => {
+                assert!(!min.is_negative(), "min delay must be non-negative");
+                assert!(!mean.is_negative(), "mean delay must be non-negative");
+                assert!(min <= max, "min delay {min} exceeds max {max}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Constant(dur(0.01));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), dur(0.01));
+        }
+        assert_eq!(m.max_delay(), dur(0.01));
+        assert_eq!(m.min_delay(), dur(0.01));
+    }
+
+    #[test]
+    fn instant_is_zero() {
+        assert_eq!(DelayModel::instant().max_delay(), Duration::ZERO);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DelayModel::Uniform {
+            min: dur(0.001),
+            max: dur(0.05),
+        };
+        let mut lo_seen = f64::MAX;
+        let mut hi_seen = f64::MIN;
+        for _ in 0..2000 {
+            let d = m.sample(&mut rng).as_secs();
+            assert!((0.001..=0.05).contains(&d));
+            lo_seen = lo_seen.min(d);
+            hi_seen = hi_seen.max(d);
+        }
+        // The distribution actually spreads across the range.
+        assert!(lo_seen < 0.005);
+        assert!(hi_seen > 0.045);
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DelayModel::Uniform {
+            min: dur(0.01),
+            max: dur(0.01),
+        };
+        assert_eq!(m.sample(&mut rng), dur(0.01));
+    }
+
+    #[test]
+    fn truncated_exp_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DelayModel::TruncatedExp {
+            min: dur(0.002),
+            mean: dur(0.01),
+            max: dur(0.04),
+        };
+        for _ in 0..2000 {
+            let d = m.sample(&mut rng).as_secs();
+            assert!((0.002..=0.04).contains(&d), "sample {d} out of range");
+        }
+    }
+
+    #[test]
+    fn truncated_exp_mean_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = DelayModel::TruncatedExp {
+            min: dur(0.0),
+            mean: dur(0.01),
+            max: dur(1.0), // effectively untruncated
+        };
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut rng).as_secs()).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 0.01).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn validate_accepts_good_models() {
+        DelayModel::Constant(dur(0.0)).validate();
+        DelayModel::Uniform {
+            min: dur(0.0),
+            max: dur(1.0),
+        }
+        .validate();
+        DelayModel::TruncatedExp {
+            min: dur(0.0),
+            mean: dur(0.1),
+            max: dur(1.0),
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn validate_rejects_negative_constant() {
+        DelayModel::Constant(dur(-1.0)).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn validate_rejects_inverted_uniform() {
+        DelayModel::Uniform {
+            min: dur(1.0),
+            max: dur(0.5),
+        }
+        .validate();
+    }
+}

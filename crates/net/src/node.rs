@@ -1,0 +1,52 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifies a node (time server, client, gateway) in the simulated
+/// network. Indexes directly into the [`crate::World`]'s actor vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from its actor index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The actor index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let n = NodeId::new(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "S3");
+        assert_eq!(NodeId::from(3), n);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,245 @@
+//! Server-graph topologies.
+//!
+//! §3 of the paper: "Define a graph in which time servers are nodes and
+//! communication paths are edges. We assume this graph is connected."
+//! The constructors here build the standard shapes plus the two-network
+//! internet of the §3 recovery experiment.
+
+use crate::node::NodeId;
+
+/// An undirected communication graph over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds a topology from undirected edges.
+    ///
+    /// Duplicate edges are ignored; self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n` or is a self-loop.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut neighbors = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} nodes");
+            assert!(a != b, "self-loop on node {a}");
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            if !neighbors[a].contains(&nb) {
+                neighbors[a].push(nb);
+                neighbors[b].push(na);
+            }
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        Topology { neighbors }
+    }
+
+    /// Every node connected to every other (the paper's fully-connected
+    /// service, the setting of Theorems 2–4).
+    #[must_use]
+    pub fn full_mesh(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Topology::from_edges(n, &edges)
+    }
+
+    /// A ring: node `i` connected to `i±1 mod n`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    /// A star with node 0 as the hub.
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 nodes, got {n}");
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    /// A line: `0 — 1 — … — n−1`.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 2, "a line needs at least 2 nodes, got {n}");
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    /// Two full-mesh networks of sizes `na` and `nb`, joined by a single
+    /// link between node `0` (in network A) and node `na` (the first
+    /// node of network B) — the shape of the §3 recovery experiment,
+    /// where a server facing inconsistency "obtained the time from a
+    /// server on some other network".
+    #[must_use]
+    pub fn two_networks(na: usize, nb: usize) -> Self {
+        assert!(na >= 1 && nb >= 1, "both networks need at least one node");
+        let mut edges = Vec::new();
+        for a in 0..na {
+            for b in (a + 1)..na {
+                edges.push((a, b));
+            }
+        }
+        for a in na..na + nb {
+            for b in (a + 1)..na + nb {
+                edges.push((a, b));
+            }
+        }
+        edges.push((0, na)); // gateway link
+        Topology::from_edges(na + nb, &edges)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// `true` when the topology has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The neighbours of `node`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Whether `a` and `b` share an edge.
+    #[must_use]
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors
+            .get(a.index())
+            .is_some_and(|list| list.contains(&b))
+    }
+
+    /// Whether the graph is connected (the paper's standing assumption).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for nb in &self.neighbors[i] {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    count += 1;
+                    stack.push(nb.index());
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_everyone_connected() {
+        let t = Topology::full_mesh(4);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        for a in 0..4 {
+            assert_eq!(t.neighbors(NodeId::new(a)).len(), 3);
+            for b in 0..4 {
+                assert_eq!(t.connected(NodeId::new(a), NodeId::new(b)), a != b);
+            }
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn ring_has_two_neighbors_each() {
+        let t = Topology::ring(5);
+        for i in 0..5 {
+            assert_eq!(t.neighbors(NodeId::new(i)).len(), 2);
+        }
+        assert!(t.connected(NodeId::new(0), NodeId::new(4)));
+        assert!(!t.connected(NodeId::new(0), NodeId::new(2)));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn star_hub_sees_all() {
+        let t = Topology::star(4);
+        assert_eq!(t.neighbors(NodeId::new(0)).len(), 3);
+        for i in 1..4 {
+            assert_eq!(t.neighbors(NodeId::new(i)), &[NodeId::new(0)]);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn line_endpoints_have_one_neighbor() {
+        let t = Topology::line(4);
+        assert_eq!(t.neighbors(NodeId::new(0)).len(), 1);
+        assert_eq!(t.neighbors(NodeId::new(3)).len(), 1);
+        assert_eq!(t.neighbors(NodeId::new(1)).len(), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn two_networks_joined_by_gateway() {
+        let t = Topology::two_networks(3, 2);
+        assert_eq!(t.len(), 5);
+        assert!(t.is_connected());
+        // Gateway link 0—3.
+        assert!(t.connected(NodeId::new(0), NodeId::new(3)));
+        // Cross-network non-gateway pairs are not direct neighbours.
+        assert!(!t.connected(NodeId::new(1), NodeId::new(3)));
+        assert!(!t.connected(NodeId::new(2), NodeId::new(4)));
+        // Within-network pairs are.
+        assert!(t.connected(NodeId::new(1), NodeId::new(2)));
+        assert!(t.connected(NodeId::new(3), NodeId::new(4)));
+    }
+
+    #[test]
+    fn from_edges_dedupes() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(t.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+        assert_eq!(t.neighbors(NodeId::new(1)), &[NodeId::new(0)]);
+        assert!(!t.is_connected()); // node 2 isolated
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Topology::from_edges(2, &[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(Topology::from_edges(0, &[]).is_connected());
+        assert!(Topology::from_edges(1, &[]).is_connected());
+        assert!(Topology::from_edges(0, &[]).is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Event tracing.
+//!
+//! A [`Trace`] records what the network did — sends, deliveries, drops,
+//! timer firings — with bounded memory, for debugging protocols and for
+//! asserting on communication patterns in tests.
+
+use std::fmt;
+
+use tempo_core::Timestamp;
+
+use crate::node::NodeId;
+
+/// One recorded network event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Send {
+        /// Simulated time of the send.
+        at: Timestamp,
+        /// Sender.
+        from: NodeId,
+        /// Addressee.
+        to: NodeId,
+    },
+    /// A message arrived.
+    Deliver {
+        /// Simulated time of the delivery.
+        at: Timestamp,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A message was dropped by random loss.
+    Lost {
+        /// Simulated time of the drop.
+        at: Timestamp,
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A message was blocked by a partition.
+    Partitioned {
+        /// Simulated time of the drop.
+        at: Timestamp,
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A timer fired.
+    Timer {
+        /// Simulated time of the firing.
+        at: Timestamp,
+        /// Owner of the timer.
+        node: NodeId,
+        /// Timer tag.
+        tag: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    #[must_use]
+    pub fn at(&self) -> Timestamp {
+        match *self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Lost { at, .. }
+            | TraceEvent::Partitioned { at, .. }
+            | TraceEvent::Timer { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Send { at, from, to } => write!(f, "{at} SEND {from} -> {to}"),
+            TraceEvent::Deliver { at, from, to } => write!(f, "{at} RECV {from} -> {to}"),
+            TraceEvent::Lost { at, from, to } => write!(f, "{at} LOST {from} -> {to}"),
+            TraceEvent::Partitioned { at, from, to } => {
+                write!(f, "{at} PART {from} -x- {to}")
+            }
+            TraceEvent::Timer { at, node, tag } => write!(f, "{at} TIMR {node} tag={tag}"),
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s: when full, the oldest events are
+/// discarded (a protocol debugging session usually cares about the most
+/// recent window).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    discarded: usize,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            events: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            discarded: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.discarded += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded (or everything discarded).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were discarded to stay within capacity.
+    #[must_use]
+    pub fn discarded(&self) -> usize {
+        self.discarded
+    }
+
+    /// Events involving `node` (as sender, receiver, or timer owner).
+    pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| match **e {
+            TraceEvent::Send { from, to, .. }
+            | TraceEvent::Deliver { from, to, .. }
+            | TraceEvent::Lost { from, to, .. }
+            | TraceEvent::Partitioned { from, to, .. } => from == node || to == node,
+            TraceEvent::Timer { node: n, .. } => n == node,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.discarded > 0 {
+            writeln!(f, "... {} earlier event(s) discarded ...", self.discarded)?;
+        }
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn send(at: f64, from: usize, to: usize) -> TraceEvent {
+        TraceEvent::Send {
+            at: ts(at),
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new(10);
+        assert!(t.is_empty());
+        t.record(send(1.0, 0, 1));
+        t.record(send(2.0, 1, 0));
+        assert_eq!(t.len(), 2);
+        let ats: Vec<f64> = t.iter().map(|e| e.at().as_secs()).collect();
+        assert_eq!(ats, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ring_discards_oldest() {
+        let mut t = Trace::new(2);
+        t.record(send(1.0, 0, 1));
+        t.record(send(2.0, 0, 1));
+        t.record(send(3.0, 0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.discarded(), 1);
+        assert_eq!(t.iter().next().unwrap().at(), ts(2.0));
+        assert!(t.to_string().contains("discarded"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn involving_filters_by_node() {
+        let mut t = Trace::new(10);
+        t.record(send(1.0, 0, 1));
+        t.record(send(2.0, 2, 3));
+        t.record(TraceEvent::Timer {
+            at: ts(3.0),
+            node: NodeId::new(0),
+            tag: 7,
+        });
+        let n0: Vec<&TraceEvent> = t.involving(NodeId::new(0)).collect();
+        assert_eq!(n0.len(), 2);
+        let n3: Vec<&TraceEvent> = t.involving(NodeId::new(3)).collect();
+        assert_eq!(n3.len(), 1);
+    }
+
+    #[test]
+    fn event_display() {
+        assert!(send(1.0, 0, 1).to_string().contains("SEND"));
+        let e = TraceEvent::Partitioned {
+            at: ts(1.0),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("-x-"));
+        let e = TraceEvent::Lost {
+            at: ts(1.0),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("LOST"));
+        let e = TraceEvent::Deliver {
+            at: ts(2.0),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("RECV"));
+        let e = TraceEvent::Timer {
+            at: ts(2.0),
+            node: NodeId::new(0),
+            tag: 9,
+        };
+        assert!(e.to_string().contains("tag=9"));
+    }
+}

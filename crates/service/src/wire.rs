@@ -1,0 +1,325 @@
+//! A PUP-flavoured wire format for the time-service protocol.
+//!
+//! The paper's service ran over the Xerox PUP internet ([Boggs 80]);
+//! PUP datagrams carried a type byte, a 32-bit id, source/destination
+//! ports, a payload, and a 16-bit ones'-complement checksum. This
+//! module implements a compact, self-checking encoding of [`Message`]
+//! in that spirit so that deployments outside the simulator (or tests
+//! injecting corruption) have a real codec to exercise.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic 0x7E30 ("tempo/0")
+//! 2       1     message type (1 = request, 2 = reply)
+//! 3       1     reserved (0)
+//! 4       8     request id
+//! 12      8     received-at T2 (IEEE-754 bits; replies only)
+//! 20      8     clock time C   (IEEE-754 bits; replies only)
+//! 28      8     max error E    (IEEE-754 bits; replies only)
+//! last 2        checksum (ones'-complement sum of 16-bit words)
+//! ```
+//!
+//! Requests are 14 bytes, replies 38.
+
+use std::fmt;
+
+use tempo_core::{Duration, TimeEstimate, Timestamp};
+
+use crate::message::Message;
+
+const MAGIC: u16 = 0x7E30;
+const TYPE_REQUEST: u8 = 1;
+const TYPE_REPLY: u8 = 2;
+const REQUEST_LEN: usize = 14;
+const REPLY_LEN: usize = 38;
+
+/// Why a packet failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the smallest valid packet.
+    Truncated {
+        /// How many bytes arrived.
+        len: usize,
+    },
+    /// The magic number did not match.
+    BadMagic {
+        /// The value found where the magic belongs.
+        found: u16,
+    },
+    /// Unknown message-type byte.
+    UnknownType {
+        /// The offending type byte.
+        found: u8,
+    },
+    /// The length is wrong for the declared type.
+    BadLength {
+        /// Declared type byte.
+        kind: u8,
+        /// Actual packet length.
+        len: usize,
+    },
+    /// The checksum did not verify.
+    BadChecksum,
+    /// A reply carried a non-finite clock value or a negative/non-finite
+    /// error.
+    BadPayload,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { len } => write!(f, "packet truncated at {len} bytes"),
+            DecodeError::BadMagic { found } => write!(f, "bad magic {found:#06x}"),
+            DecodeError::UnknownType { found } => write!(f, "unknown message type {found}"),
+            DecodeError::BadLength { kind, len } => {
+                write!(f, "wrong length {len} for message type {kind}")
+            }
+            DecodeError::BadChecksum => write!(f, "checksum mismatch"),
+            DecodeError::BadPayload => write!(f, "non-finite or negative payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Ones'-complement sum of 16-bit big-endian words (odd trailing byte
+/// padded with zero), PUP/IP style.
+fn checksum(bytes: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = bytes.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encodes a message.
+#[must_use]
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(REPLY_LEN);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    match *msg {
+        Message::TimeRequest { request_id } => {
+            out.push(TYPE_REQUEST);
+            out.push(0);
+            out.extend_from_slice(&request_id.to_be_bytes());
+        }
+        Message::TimeReply {
+            request_id,
+            received_at,
+            estimate,
+        } => {
+            out.push(TYPE_REPLY);
+            out.push(0);
+            out.extend_from_slice(&request_id.to_be_bytes());
+            out.extend_from_slice(&received_at.as_secs().to_bits().to_be_bytes());
+            out.extend_from_slice(&estimate.time().as_secs().to_bits().to_be_bytes());
+            out.extend_from_slice(&estimate.error().as_secs().to_bits().to_be_bytes());
+        }
+    }
+    let ck = checksum(&out);
+    out.extend_from_slice(&ck.to_be_bytes());
+    out
+}
+
+/// Decodes a packet.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first defect found:
+/// truncation, bad magic, unknown type, wrong length, checksum
+/// mismatch, or an invalid payload.
+pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
+    if bytes.len() < REQUEST_LEN {
+        return Err(DecodeError::Truncated { len: bytes.len() });
+    }
+    let magic = u16::from_be_bytes([bytes[0], bytes[1]]);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic { found: magic });
+    }
+    let kind = bytes[2];
+    let expected_len = match kind {
+        TYPE_REQUEST => REQUEST_LEN,
+        TYPE_REPLY => REPLY_LEN,
+        other => return Err(DecodeError::UnknownType { found: other }),
+    };
+    if bytes.len() != expected_len {
+        return Err(DecodeError::BadLength {
+            kind,
+            len: bytes.len(),
+        });
+    }
+    let (body, ck_bytes) = bytes.split_at(expected_len - 2);
+    let declared = u16::from_be_bytes([ck_bytes[0], ck_bytes[1]]);
+    if checksum(body) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    let request_id = u64::from_be_bytes(body[4..12].try_into().expect("length checked"));
+    match kind {
+        TYPE_REQUEST => Ok(Message::TimeRequest { request_id }),
+        TYPE_REPLY => {
+            let received = f64::from_bits(u64::from_be_bytes(
+                body[12..20].try_into().expect("length checked"),
+            ));
+            let time = f64::from_bits(u64::from_be_bytes(
+                body[20..28].try_into().expect("length checked"),
+            ));
+            let error = f64::from_bits(u64::from_be_bytes(
+                body[28..36].try_into().expect("length checked"),
+            ));
+            if !received.is_finite() || !time.is_finite() || !error.is_finite() || error < 0.0 {
+                return Err(DecodeError::BadPayload);
+            }
+            Ok(Message::TimeReply {
+                request_id,
+                received_at: Timestamp::from_secs(received),
+                estimate: TimeEstimate::new(Timestamp::from_secs(time), Duration::from_secs(error)),
+            })
+        }
+        _ => unreachable!("type validated above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(id: u64, c: f64, e: f64) -> Message {
+        Message::TimeReply {
+            request_id: id,
+            received_at: Timestamp::from_secs(c - 0.001),
+            estimate: TimeEstimate::new(Timestamp::from_secs(c), Duration::from_secs(e)),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let msg = Message::TimeRequest {
+            request_id: 0xDEAD_BEEF,
+        };
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), REQUEST_LEN);
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let msg = reply(42, 1234.5678, 0.025);
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), REPLY_LEN);
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_roundtrip_extreme_values() {
+        for (c, e) in [(0.0, 0.0), (-1.0e9, 3600.0), (4.0e9, 1e-9)] {
+            let msg = reply(u64::MAX, c, e);
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = encode(&Message::TimeRequest { request_id: 1 });
+        assert_eq!(decode(&bytes[..5]), Err(DecodeError::Truncated { len: 5 }));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated { len: 0 }));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        bytes[0] = 0x00;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        bytes[2] = 9;
+        assert_eq!(decode(&bytes), Err(DecodeError::UnknownType { found: 9 }));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadLength { .. })));
+        // A reply-typed packet at request length.
+        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        bytes[2] = TYPE_REPLY;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadLength { .. })));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = encode(&reply(7, 100.0, 0.5));
+        // Flip every single byte in turn; the checksum (or a validator)
+        // must catch each.
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xA5;
+            assert!(
+                decode(&corrupted).is_err(),
+                "flip at byte {i} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_payload_rejected() {
+        // Hand-build a reply with a NaN clock value and a valid
+        // checksum.
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        body.push(TYPE_REPLY);
+        body.push(0);
+        body.extend_from_slice(&7u64.to_be_bytes());
+        body.extend_from_slice(&1.0f64.to_bits().to_be_bytes());
+        body.extend_from_slice(&f64::NAN.to_bits().to_be_bytes());
+        body.extend_from_slice(&0.5f64.to_bits().to_be_bytes());
+        let ck = checksum(&body);
+        body.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode(&body), Err(DecodeError::BadPayload));
+    }
+
+    #[test]
+    fn negative_error_payload_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        body.push(TYPE_REPLY);
+        body.push(0);
+        body.extend_from_slice(&7u64.to_be_bytes());
+        body.extend_from_slice(&99.9f64.to_bits().to_be_bytes());
+        body.extend_from_slice(&100.0f64.to_bits().to_be_bytes());
+        body.extend_from_slice(&(-0.5f64).to_bits().to_be_bytes());
+        let ck = checksum(&body);
+        body.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode(&body), Err(DecodeError::BadPayload));
+    }
+
+    #[test]
+    fn checksum_matches_ip_style_properties() {
+        // Appending the (complemented) checksum makes the total sum
+        // come out to 0xFFFF — the classic verification identity.
+        let bytes = encode(&reply(3, 50.0, 0.1));
+        let (body, ck) = bytes.split_at(bytes.len() - 2);
+        let declared = u16::from_be_bytes([ck[0], ck[1]]);
+        assert_eq!(checksum(body), declared);
+        // Odd-length bodies are padded, not rejected.
+        assert_ne!(checksum(&[0x12]), checksum(&[0x13]));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
+        assert!(DecodeError::Truncated { len: 3 }.to_string().contains('3'));
+    }
+}

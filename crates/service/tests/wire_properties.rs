@@ -1,0 +1,72 @@
+//! Property tests for the PUP-flavoured wire codec: lossless round
+//! trips for every representable message, graceful rejection of every
+//! malformed byte string, and detection of arbitrary single-byte
+//! corruption.
+
+use proptest::prelude::*;
+
+use tempo_core::{Duration, TimeEstimate, Timestamp};
+use tempo_service::wire::{decode, encode};
+use tempo_service::Message;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|request_id| Message::TimeRequest { request_id }),
+        (
+            any::<u64>(),
+            -1.0e12f64..1.0e12,
+            0.0f64..1.0e9,
+            -1.0f64..1.0
+        )
+            .prop_map(|(id, c, e, r)| Message::TimeReply {
+                request_id: id,
+                received_at: Timestamp::from_secs(c + r),
+                estimate: TimeEstimate::new(Timestamp::from_secs(c), Duration::from_secs(e),),
+            },),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity for every representable message.
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let bytes = encode(&msg);
+        prop_assert_eq!(decode(&bytes), Ok(msg));
+    }
+
+    /// Decoding arbitrary bytes never panics; it returns a structured
+    /// error or — only when the bytes happen to be a valid packet — a
+    /// message that re-encodes to the same bytes.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(msg) = decode(&bytes) {
+            prop_assert_eq!(encode(&msg), bytes);
+        }
+    }
+
+    /// Any single-byte corruption of a valid packet is rejected.
+    #[test]
+    fn single_byte_corruption_detected(
+        msg in arb_message(),
+        idx_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode(&msg);
+        let idx = idx_seed % bytes.len();
+        bytes[idx] ^= flip;
+        // Corruption may coincidentally produce another *valid* packet
+        // only if it still checksums — the ones'-complement sum makes
+        // that impossible for a single-byte change.
+        if let Ok(other) = decode(&bytes) {
+            prop_assert_eq!(other, msg, "corruption accepted as a different message");
+        }
+    }
+
+    /// Truncating a valid packet anywhere is rejected.
+    #[test]
+    fn truncation_detected(msg in arb_message(), cut_seed in any::<usize>()) {
+        let bytes = encode(&msg);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(decode(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Error-growth experiments: E9 (Theorem 8's `E(e) → e₀` limit) and E11
+//! (the §4 anecdote: IM's error "grew ten times slower" than MM's).
+
+use std::fmt;
+
+use tempo_clocks::{DriftModel, SimClock};
+use tempo_core::{DriftRate, Duration, ErrorState, TimeInterval, Timestamp};
+use tempo_net::DelayModel;
+use tempo_service::Strategy;
+
+use crate::metrics::RunResult;
+use crate::report::{ratio, secs, Table};
+use crate::scenario::{Scenario, ServerSpec};
+
+/// One point of the Theorem 8 curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Thm8Row {
+    /// Number of servers intersected.
+    pub n: usize,
+    /// Mean intersection half-width `E(e)` over the trials (seconds).
+    pub mean_e: f64,
+    /// The shared initial error `e₀`.
+    pub e0: f64,
+    /// `E(e) / e₀` — Theorem 8 says this tends to 1 as `n → ∞`.
+    pub ratio: f64,
+    /// A single server's claimed error at the same instant
+    /// (`e₀ + δ·t`), for scale.
+    pub single_server_e: f64,
+}
+
+/// Results of E9.
+#[derive(Debug, Clone)]
+pub struct Thm8 {
+    /// One row per `n`.
+    pub rows: Vec<Thm8Row>,
+    /// Drift half-width `δ` of the i.i.d. drift distribution.
+    pub delta: f64,
+    /// Elapsed time between synchronization and measurement.
+    pub elapsed: f64,
+}
+
+/// Runs E9: `n` clocks synchronized at `t₀` with identical error `e₀`
+/// drift i.i.d.-uniformly; after `t` seconds the intersection of their
+/// intervals is measured. As `n` grows, the expected half-width returns
+/// to `e₀` — the service synthesises a clock whose error does not grow.
+#[must_use]
+pub fn thm8_error_vs_n(ns: &[usize], trials: usize) -> Thm8 {
+    let delta = 1e-4;
+    let e0 = 0.05;
+    let elapsed = 1_000.0;
+    // Theorem 8 models the drift "a clock exhibits between two
+    // successive readings" as one i.i.d. draw — a single quantum
+    // covering the whole measurement interval.
+    let quantum = Duration::from_secs(elapsed);
+    let measure_at = Timestamp::from_secs(elapsed);
+
+    let mut rows = Vec::new();
+    for &n in ns {
+        let mut total_e = 0.0;
+        let mut used_trials = 0usize;
+        for trial in 0..trials {
+            let mut intervals = Vec::with_capacity(n);
+            for i in 0..n {
+                let seed = (trial * 10_007 + i) as u64;
+                let mut clock = SimClock::builder()
+                    .drift(DriftModel::UniformResample {
+                        bound: delta,
+                        quantum,
+                    })
+                    .seed(seed)
+                    .build();
+                let state = ErrorState::new(
+                    clock.read(Timestamp::ZERO),
+                    Duration::from_secs(e0),
+                    DriftRate::new(delta),
+                );
+                intervals.push(state.estimate_at(clock.read(measure_at)).interval());
+            }
+            if let Some(common) = TimeInterval::intersect_all(&intervals) {
+                total_e += common.radius().as_secs();
+                used_trials += 1;
+            }
+        }
+        assert!(used_trials > 0, "honest intervals always intersect");
+        let mean_e = total_e / used_trials as f64;
+        rows.push(Thm8Row {
+            n,
+            mean_e,
+            e0,
+            ratio: mean_e / e0,
+            single_server_e: e0 + delta * elapsed,
+        });
+    }
+    Thm8 {
+        rows,
+        delta,
+        elapsed,
+    }
+}
+
+impl Thm8 {
+    /// The curve is monotone-ish decreasing towards `e₀`: the largest
+    /// `n` comes closer to 1 than the smallest.
+    #[must_use]
+    pub fn converges(&self) -> bool {
+        match (self.rows.first(), self.rows.last()) {
+            (Some(first), Some(last)) => last.ratio < first.ratio && last.ratio < 1.5,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Thm8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Theorem 8 — expected IM error vs n (δ = {:.0e}, {}s after sync)",
+            self.delta, self.elapsed
+        )?;
+        let mut table = Table::new(vec!["n", "E(e)", "e0", "E(e)/e0", "1 server"]);
+        for r in &self.rows {
+            table.row(vec![
+                r.n.to_string(),
+                secs(r.mean_e),
+                secs(r.e0),
+                format!("{:.3}", r.ratio),
+                secs(r.single_server_e),
+            ]);
+        }
+        write!(f, "{table}")?;
+        writeln!(f, "E(e)/e0 approaches 1 with n: {}", self.converges())
+    }
+}
+
+/// Results of E11 — the "ten times slower" comparison.
+#[derive(Debug, Clone)]
+pub struct TenX {
+    /// Mean-claimed-error growth rate under MM (seconds/second).
+    pub mm_slope: f64,
+    /// Mean-claimed-error growth rate under IM.
+    pub im_slope: f64,
+    /// `mm_slope / im_slope` — the paper reports ≈ 10×.
+    pub speedup: f64,
+    /// Correctness violations in either run.
+    pub violations: usize,
+}
+
+fn growth_scenario(strategy: Strategy) -> RunResult {
+    // "a small system where the δ_i were chosen casually": every server
+    // claims δ = 10⁻⁴ while actually drifting at up to ±0.9·10⁻⁴ in
+    // *diverse directions*. MM's error must grow at the claimed rate;
+    // IM's interval intersection tracks the actual spread instead.
+    let delta = 1e-4;
+    let actuals = [0.9e-4, -0.9e-4, 0.45e-4, -0.45e-4];
+    let mut scenario = Scenario::new(strategy)
+        .delay(DelayModel::Uniform {
+            min: Duration::ZERO,
+            max: Duration::from_micros(200.0),
+        })
+        .resync_period(Duration::from_secs(60.0))
+        .collect_window(Duration::from_secs(0.05))
+        .duration(Duration::from_secs(8_000.0))
+        .sample_interval(Duration::from_secs(40.0))
+        .seed(31);
+    for &a in &actuals {
+        scenario =
+            scenario.server(ServerSpec::honest(a, delta).initial_error(Duration::from_millis(5.0)));
+    }
+    scenario.run()
+}
+
+/// Runs E11: the same clocks, delays, and seeds under MM and IM; the
+/// slope of the mean claimed error is compared after warm-up.
+#[must_use]
+pub fn ten_x() -> TenX {
+    let mm = growth_scenario(Strategy::Mm);
+    let im = growth_scenario(Strategy::Im);
+    let skip = 40; // warm-up samples
+    let mm_series: Vec<(f64, f64)> = mm.mean_error_series().split_off(skip);
+    let im_series: Vec<(f64, f64)> = im.mean_error_series().split_off(skip);
+    let mm_slope = RunResult::slope(&mm_series);
+    let im_slope = RunResult::slope(&im_series);
+    TenX {
+        mm_slope,
+        im_slope,
+        speedup: mm_slope / im_slope,
+        violations: mm.correctness_violations() + im.correctness_violations(),
+    }
+}
+
+impl TenX {
+    /// The paper's claim: the error grew "ten times slower" under IM.
+    /// With drifts spread to ±0.9 of the casually claimed bound, the
+    /// analytical ratio is `δ_claimed / (δ_claimed − max drift) = 10`;
+    /// we accept ≥ 8× as reproducing it.
+    #[must_use]
+    pub fn reproduces_shape(&self) -> bool {
+        self.speedup >= 8.0 && self.violations == 0
+    }
+}
+
+impl fmt::Display for TenX {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§4 experiment — error growth, MM vs IM (same clocks & seeds)"
+        )?;
+        writeln!(f, "  MM mean-error slope: {}/s", secs(self.mm_slope))?;
+        writeln!(f, "  IM mean-error slope: {}/s", secs(self.im_slope))?;
+        writeln!(
+            f,
+            "  IM grows {} slower (paper reports ≈10x); violations: {}",
+            ratio(self.speedup),
+            self.violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm8_ratio_decreases_with_n() {
+        let t = thm8_error_vs_n(&[2, 8, 32], 20);
+        assert_eq!(t.rows.len(), 3);
+        assert!(
+            t.rows[2].ratio < t.rows[0].ratio,
+            "ratio must fall with n: {:?}",
+            t.rows
+        );
+        // Even n = 2 beats a single free-running server.
+        for r in &t.rows {
+            assert!(r.mean_e <= r.single_server_e + 1e-12);
+            assert!(r.ratio >= 1.0 - 1e-9, "cannot beat e0 itself");
+        }
+        assert!(t.converges());
+        assert!(t.to_string().contains("Theorem 8"));
+    }
+
+    #[test]
+    fn ten_x_im_grows_much_slower() {
+        let t = ten_x();
+        assert_eq!(t.violations, 0);
+        assert!(t.mm_slope > 0.0);
+        assert!(t.im_slope >= 0.0);
+        assert!(
+            t.speedup >= 8.0,
+            "expected IM ≈10x slower, got {:.2}x (mm {:.3e}, im {:.3e})",
+            t.speedup,
+            t.mm_slope,
+            t.im_slope
+        );
+        assert!(t.to_string().contains("slower"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The experiment library: every figure and every quantitative claim of
+//! the paper, regenerated (see DESIGN.md's experiment index E1–E12 and
+//! the ablations A1–A3).
+//!
+//! Each experiment is a pure function returning a result struct whose
+//! `Display` implementation prints the paper-style report; the
+//! `experiments` binary in `tempo-bench` simply calls these.
+
+pub mod ablations;
+pub mod bounds;
+pub mod churn;
+pub mod consonance;
+pub mod convergence;
+pub mod figures;
+pub mod growth;
+pub mod loss;
+pub mod recovery;
+pub mod scale;
+
+pub use ablations::{
+    marzullo_ablation, screening_ablation, strategy_comparison, MarzulloAblation,
+    ScreeningAblation, StrategyComparison,
+};
+pub use bounds::{im_bounds, min_delay_ablation, mm_bounds, ImBounds, MmBounds};
+pub use churn::{churn, churn_with, Churn};
+pub use consonance::{consonance, Consonance};
+pub use convergence::{convergence, Convergence};
+pub use figures::{figure1, figure2, figure3, figure4, Fig1, Fig2, Fig3, Fig4};
+pub use growth::{ten_x, thm8_error_vs_n, TenX, Thm8};
+pub use loss::{loss_sweep, LossSweep};
+pub use recovery::{recovery, Recovery};
+pub use scale::{scale, Scale};

@@ -1,0 +1,39 @@
+//! # tempo-sim
+//!
+//! Scenario construction, metrics, and the experiment library that
+//! regenerates every figure and measurement of Marzullo & Owicki,
+//! *Maintaining the Time in a Distributed System* (1983).
+//!
+//! * [`scenario`] — declarative deployments ([`Scenario`],
+//!   [`ServerSpec`]) running on the `tempo-net` simulator,
+//! * [`metrics`] — what a finished run reveals
+//!   ([`RunResult`]): correctness violations,
+//!   asynchronism, error growth, consistency groups,
+//! * [`experiments`] — E1–E12 and A1–A3, one function per paper
+//!   artifact (see DESIGN.md for the index),
+//! * [`report`] — plain-text tables for the experiment reports.
+//!
+//! ```
+//! use tempo_core::Duration;
+//! use tempo_service::Strategy;
+//! use tempo_sim::{Scenario, ServerSpec};
+//!
+//! let result = Scenario::new(Strategy::Im)
+//!     .servers(3, &ServerSpec::honest(1e-5, 1e-4))
+//!     .duration(Duration::from_secs(120.0))
+//!     .run();
+//! assert_eq!(result.correctness_violations(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod plot;
+pub mod report;
+pub mod scenario;
+
+pub use metrics::{RunResult, SampleRow};
+pub use scenario::{Scenario, ServerSpec};

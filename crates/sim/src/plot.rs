@@ -1,0 +1,215 @@
+//! Plain-text rendering of time series: ASCII charts for terminal
+//! reports and CSV export for external plotting.
+
+use std::fmt::Write as _;
+
+/// Renders a `(t, y)` series as a fixed-size ASCII chart.
+///
+/// The chart is `width × height` characters, plus y-axis labels. Points
+/// are bucketed along the x-axis; each bucket plots its mean.
+///
+/// ```
+/// use tempo_sim::plot::ascii_chart;
+///
+/// let series: Vec<(f64, f64)> = (0..100).map(|i| {
+///     let t = f64::from(i);
+///     (t, t / 100.0)
+/// }).collect();
+/// let chart = ascii_chart(&series, 40, 8, "ramp");
+/// assert!(chart.contains("ramp"));
+/// assert!(chart.lines().count() >= 8);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+#[must_use]
+pub fn ascii_chart(series: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    assert!(width > 0 && height > 0, "chart must have positive size");
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if series.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+
+    let (t_min, t_max) = series
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(t, _)| {
+            (lo.min(t), hi.max(t))
+        });
+    let (mut y_min, mut y_max) = series
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    if y_min == y_max {
+        // Flat series: pad the range so the line sits mid-chart.
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+
+    // Bucket means along x.
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0usize; width];
+    let t_span = (t_max - t_min).max(f64::MIN_POSITIVE);
+    for &(t, y) in series {
+        let col = (((t - t_min) / t_span) * (width as f64 - 1.0)).round() as usize;
+        sums[col] += y;
+        counts[col] += 1;
+    }
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for col in 0..width {
+        if counts[col] == 0 {
+            continue;
+        }
+        let y = sums[col] / counts[col] as f64;
+        let frac = (y - y_min) / (y_max - y_min);
+        let row = ((1.0 - frac) * (height as f64 - 1.0)).round() as usize;
+        grid[row.min(height - 1)][col] = b'*';
+    }
+
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>11.4}")
+        } else if i == height - 1 {
+            format!("{y_min:>11.4}")
+        } else {
+            " ".repeat(11)
+        };
+        let _ = writeln!(
+            out,
+            "{label} |{}",
+            String::from_utf8(row.clone()).expect("ascii grid")
+        );
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(11), "-".repeat(width));
+    let _ = writeln!(out, "{} t: {t_min:.1} .. {t_max:.1}", " ".repeat(11));
+    out
+}
+
+/// Serialises one or more named series sharing an x-axis into CSV.
+///
+/// All series must have the same length and x-values (the usual case
+/// for [`crate::RunResult`] extracts); the first column is `t`.
+///
+/// ```
+/// use tempo_sim::plot::to_csv;
+///
+/// let a = vec![(0.0, 1.0), (1.0, 2.0)];
+/// let b = vec![(0.0, 5.0), (1.0, 6.0)];
+/// let csv = to_csv(&[("mm", &a), ("im", &b)]);
+/// assert_eq!(csv.lines().next().unwrap(), "t,mm,im");
+/// assert!(csv.contains("1,2,6"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or their x-values disagree.
+#[must_use]
+pub fn to_csv(series: &[(&str, &[(f64, f64)])]) -> String {
+    let mut out = String::from("t");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let Some((_, first)) = series.first() else {
+        return out;
+    };
+    for (name, s) in series {
+        assert_eq!(
+            s.len(),
+            first.len(),
+            "series '{name}' length differs from the first series"
+        );
+    }
+    for i in 0..first.len() {
+        let t = first[i].0;
+        let _ = write!(out, "{t}");
+        for (name, s) in series {
+            assert!(
+                (s[i].0 - t).abs() < 1e-9,
+                "series '{name}' x-value mismatch at row {i}"
+            );
+            let _ = write!(out, ",{}", s[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_shapes_a_ramp() {
+        let series: Vec<(f64, f64)> = (0..=100).map(|i| (f64::from(i), f64::from(i))).collect();
+        let chart = ascii_chart(&series, 20, 5, "ramp");
+        let lines: Vec<&str> = chart.lines().collect();
+        // Title + 5 rows + axis + footer.
+        assert_eq!(lines.len(), 8);
+        // The first data row (max) has its star on the right, the last
+        // (min) on the left.
+        let top_pos = lines[1].rfind('*').unwrap();
+        let bottom_pos = lines[5].find('*').unwrap();
+        assert!(top_pos > bottom_pos);
+        assert!(lines[1].contains("100.0000"));
+        assert!(lines[5].contains("0.0000"));
+    }
+
+    #[test]
+    fn chart_handles_flat_series() {
+        let series = vec![(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)];
+        let chart = ascii_chart(&series, 10, 4, "flat");
+        assert!(chart.contains('*'));
+        assert!(chart.contains("3.5000")); // padded range
+    }
+
+    #[test]
+    fn chart_handles_empty_and_single() {
+        assert!(ascii_chart(&[], 10, 4, "empty").contains("no data"));
+        let chart = ascii_chart(&[(1.0, 2.0)], 10, 4, "one");
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_size_rejected() {
+        let _ = ascii_chart(&[(0.0, 0.0)], 0, 5, "bad");
+    }
+
+    #[test]
+    fn csv_roundtrip_columns() {
+        let a = vec![(0.0, 1.5), (1.0, 2.5)];
+        let b = vec![(0.0, -1.0), (1.0, -2.0)];
+        let csv = to_csv(&[("alpha", &a), ("beta", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,alpha,beta");
+        assert_eq!(lines[1], "0,1.5,-1");
+        assert_eq!(lines[2], "1,2.5,-2");
+    }
+
+    #[test]
+    fn csv_empty_is_header_only() {
+        assert_eq!(to_csv(&[]), "t\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn csv_rejects_ragged_series() {
+        let a = vec![(0.0, 1.0)];
+        let b = vec![(0.0, 1.0), (1.0, 2.0)];
+        let _ = to_csv(&[("a", &a), ("b", &b)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x-value mismatch")]
+    fn csv_rejects_misaligned_series() {
+        let a = vec![(0.0, 1.0), (1.0, 2.0)];
+        let b = vec![(0.0, 1.0), (9.0, 2.0)];
+        let _ = to_csv(&[("a", &a), ("b", &b)]);
+    }
+}

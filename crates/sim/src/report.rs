@@ -1,0 +1,149 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The experiments binary prints the same rows the paper's figures and
+//! anecdotes report; this module keeps that formatting in one place.
+
+use std::fmt;
+
+/// A simple left-padded text table.
+///
+/// ```
+/// use tempo_sim::report::Table;
+///
+/// let mut t = Table::new(vec!["n", "observed", "bound"]);
+/// t.row(vec!["3".into(), "0.012".into(), "0.040".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("observed"));
+/// assert!(text.contains("0.012"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in seconds with engineering-friendly precision.
+#[must_use]
+pub fn secs(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 0.1 {
+        format!("{x:.3}s")
+    } else if x.abs() >= 1e-4 {
+        format!("{:.3}ms", x * 1e3)
+    } else {
+        format!("{:.3}us", x * 1e6)
+    }
+}
+
+/// Formats a ratio with two decimals and a trailing `×`.
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["123".into(), "4".into()]);
+        t.row(vec!["5".into(), "6789".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a'));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(0.0), "0");
+        assert_eq!(secs(1.5), "1.500s");
+        assert_eq!(secs(0.0123), "12.300ms");
+        assert_eq!(secs(4.2e-5), "42.000us");
+        assert_eq!(secs(-0.25), "-0.250s");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(9.87), "9.87x");
+    }
+}

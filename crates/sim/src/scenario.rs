@@ -1,0 +1,428 @@
+//! Declarative scenario construction.
+//!
+//! A [`Scenario`] describes a complete time-service deployment — server
+//! clocks, claimed bounds, strategy, topology, network behaviour, and
+//! measurement schedule — and [`Scenario::run`] executes it
+//! deterministically, returning a [`crate::metrics::RunResult`].
+
+use tempo_clocks::{DriftModel, Fault, SimClock};
+use tempo_core::{DriftRate, Duration, Timestamp};
+use tempo_net::{DelayModel, NetConfig, Topology, World};
+use tempo_service::{
+    ApplyMode, RecoveryPolicy, ScreeningPolicy, ServerConfig, Strategy, TimeServer,
+};
+
+use crate::metrics::{RunResult, SampleRow};
+
+/// One server's hardware and claims.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// The clock's actual drift process.
+    pub drift: DriftModel,
+    /// The *claimed* bound `δ_i` (may be invalid — that is the
+    /// experiment in §3).
+    pub claimed_bound: DriftRate,
+    /// Initial inherited error `ε_i(0)`.
+    pub initial_error: Duration,
+    /// Initial clock offset from true time (positive = fast).
+    pub initial_offset: Duration,
+    /// Optional armed fault.
+    pub fault: Option<Fault>,
+    /// Delay before this server joins the service (§1.1 churn).
+    pub join_after: Duration,
+    /// When this server leaves the service, if ever.
+    pub leave_after: Option<Duration>,
+}
+
+impl ServerSpec {
+    /// A server with the given actual drift and claimed bound, starting
+    /// correct (zero offset) with a 10 ms initial error.
+    #[must_use]
+    pub fn new(drift: DriftModel, claimed_bound: DriftRate) -> Self {
+        ServerSpec {
+            drift,
+            claimed_bound,
+            initial_error: Duration::from_millis(10.0),
+            initial_offset: Duration::ZERO,
+            fault: None,
+            join_after: Duration::ZERO,
+            leave_after: None,
+        }
+    }
+
+    /// A well-behaved server: constant actual drift `drift`, honest
+    /// claimed bound `bound ≥ |drift|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the claimed bound does not cover the actual drift (use
+    /// the long constructor to build dishonest servers deliberately).
+    #[must_use]
+    pub fn honest(drift: f64, bound: f64) -> Self {
+        assert!(
+            drift.abs() <= bound,
+            "honest server requires |drift| ≤ bound; got {drift} vs {bound}"
+        );
+        ServerSpec::new(DriftModel::Constant(drift), DriftRate::new(bound))
+    }
+
+    /// Sets the initial inherited error.
+    #[must_use]
+    pub fn initial_error(mut self, error: Duration) -> Self {
+        self.initial_error = error;
+        self
+    }
+
+    /// Sets the initial clock offset from true time.
+    #[must_use]
+    pub fn initial_offset(mut self, offset: Duration) -> Self {
+        self.initial_offset = offset;
+        self
+    }
+
+    /// Arms a fault on this server's clock.
+    #[must_use]
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Delays this server's entry into the service.
+    #[must_use]
+    pub fn join_after(mut self, delay: Duration) -> Self {
+        self.join_after = delay;
+        self
+    }
+
+    /// Schedules this server's departure.
+    #[must_use]
+    pub fn leave_after(mut self, at: Duration) -> Self {
+        self.leave_after = Some(at);
+        self
+    }
+}
+
+/// A complete, runnable deployment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Per-server hardware and claims.
+    pub servers: Vec<ServerSpec>,
+    /// The synchronization function every server runs.
+    pub strategy: Strategy,
+    /// The server graph (must match the number of servers; defaults to a
+    /// full mesh at [`Scenario::run`] when left `None`).
+    pub topology: Option<Topology>,
+    /// One-way delay model.
+    pub delay: DelayModel,
+    /// Message loss probability.
+    pub loss: f64,
+    /// Resync period `τ`.
+    pub resync_period: Duration,
+    /// Round collection window.
+    pub collect_window: Duration,
+    /// Reaction to inconsistency.
+    pub recovery: RecoveryPolicy,
+    /// §5 rate screening (applied to every server).
+    pub screening: ScreeningPolicy,
+    /// How resets are realised (step or slew; applied to every server).
+    pub apply: ApplyMode,
+    /// Resync-period jitter fraction.
+    pub jitter: f64,
+    /// How long to run.
+    pub duration: Duration,
+    /// Measurement sampling interval.
+    pub sample_interval: Duration,
+    /// Master seed (drives clocks, network, and per-server RNGs).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario skeleton with sane defaults: 10 ms-max uniform delay,
+    /// no loss, `τ = 10 s`, 0.5 s window, 10 % jitter, 5-minute run
+    /// sampled every second, seed 0.
+    #[must_use]
+    pub fn new(strategy: Strategy) -> Self {
+        Scenario {
+            servers: Vec::new(),
+            strategy,
+            topology: None,
+            delay: DelayModel::Uniform {
+                min: Duration::ZERO,
+                max: Duration::from_millis(10.0),
+            },
+            loss: 0.0,
+            resync_period: Duration::from_secs(10.0),
+            collect_window: Duration::from_secs(0.5),
+            recovery: RecoveryPolicy::Ignore,
+            screening: ScreeningPolicy::Off,
+            apply: ApplyMode::Step,
+            jitter: 0.1,
+            duration: Duration::from_secs(300.0),
+            sample_interval: Duration::from_secs(1.0),
+            seed: 0,
+        }
+    }
+
+    /// Adds a server.
+    #[must_use]
+    pub fn server(mut self, spec: ServerSpec) -> Self {
+        self.servers.push(spec);
+        self
+    }
+
+    /// Adds `n` identical servers.
+    #[must_use]
+    pub fn servers(mut self, n: usize, spec: &ServerSpec) -> Self {
+        for _ in 0..n {
+            self.servers.push(spec.clone());
+        }
+        self
+    }
+
+    /// Sets an explicit topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the delay model.
+    #[must_use]
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the loss probability.
+    #[must_use]
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the resync period `τ`.
+    #[must_use]
+    pub fn resync_period(mut self, tau: Duration) -> Self {
+        self.resync_period = tau;
+        self
+    }
+
+    /// Sets the round collection window.
+    #[must_use]
+    pub fn collect_window(mut self, window: Duration) -> Self {
+        self.collect_window = window;
+        self
+    }
+
+    /// Sets the recovery policy.
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Enables §5 rate screening on every server.
+    #[must_use]
+    pub fn screening(mut self, screening: ScreeningPolicy) -> Self {
+        self.screening = screening;
+        self
+    }
+
+    /// Chooses how every server applies resets (step or slew).
+    #[must_use]
+    pub fn apply(mut self, apply: ApplyMode) -> Self {
+        self.apply = apply;
+        self
+    }
+
+    /// Sets the jitter fraction.
+    #[must_use]
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the run duration.
+    #[must_use]
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the sampling interval.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: Duration) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The worst-case round-trip `ξ` implied by the delay model.
+    #[must_use]
+    pub fn xi(&self) -> Duration {
+        self.delay.max_delay() * 2.0
+    }
+
+    /// Builds the world and runs it, sampling on the configured
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no servers or the explicit topology
+    /// size does not match.
+    #[must_use]
+    pub fn run(&self) -> RunResult {
+        assert!(
+            !self.servers.is_empty(),
+            "scenario needs at least one server"
+        );
+        let n = self.servers.len();
+        let topology = self
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::full_mesh(n));
+        assert_eq!(topology.len(), n, "topology size must match server count");
+
+        let servers: Vec<TimeServer> = self
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut builder = SimClock::builder()
+                    .drift(spec.drift.clone())
+                    .initial_value(Timestamp::ZERO + spec.initial_offset)
+                    .seed(
+                        self.seed
+                            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                            .wrapping_add(i as u64),
+                    );
+                if let Some(fault) = spec.fault {
+                    builder = builder.fault(fault);
+                }
+                let mut config = ServerConfig::new(self.strategy, spec.claimed_bound)
+                    .resync_period(self.resync_period)
+                    .collect_window(self.collect_window)
+                    .initial_error(spec.initial_error)
+                    .recovery(self.recovery)
+                    .screening(self.screening)
+                    .apply(self.apply)
+                    .jitter(self.jitter)
+                    .join_after(spec.join_after);
+                if let Some(leave) = spec.leave_after {
+                    config = config.leave_after(leave);
+                }
+                TimeServer::new(builder.build(), config)
+            })
+            .collect();
+
+        let net = NetConfig::with_delay(self.delay.clone()).loss(self.loss);
+        let mut world = World::new(servers, topology, net, self.seed);
+
+        let mut samples = Vec::new();
+        let end = Timestamp::ZERO + self.duration;
+        world.run_sampled(end, self.sample_interval, |t, actors| {
+            let per_server = actors.iter_mut().map(|s| s.sample(t)).collect();
+            samples.push(SampleRow { t, per_server });
+        });
+
+        let final_stats = world.actors().iter().map(|s| s.stats()).collect();
+        RunResult {
+            samples,
+            final_stats,
+            net: world.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_runs_and_samples() {
+        let result = Scenario::new(Strategy::Im)
+            .servers(3, &ServerSpec::honest(1e-5, 1e-4))
+            .duration(Duration::from_secs(60.0))
+            .run();
+        assert_eq!(result.samples.len(), 60);
+        assert_eq!(result.final_stats.len(), 3);
+        assert!(result.net.sent > 0);
+        // Everyone stayed correct.
+        assert_eq!(result.correctness_violations(), 0);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let build = || {
+            Scenario::new(Strategy::Mm)
+                .servers(4, &ServerSpec::honest(2e-5, 1e-4))
+                .duration(Duration::from_secs(50.0))
+                .seed(9)
+                .run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (ra, rb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(ra.per_server, rb.per_server);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            Scenario::new(Strategy::Im)
+                .servers(3, &ServerSpec::honest(0.0, 1e-4))
+                .duration(Duration::from_secs(30.0))
+                .seed(seed)
+                .run()
+                .samples
+                .last()
+                .unwrap()
+                .per_server
+                .clone()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one server")]
+    fn empty_scenario_rejected() {
+        let _ = Scenario::new(Strategy::Mm).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "honest server requires")]
+    fn dishonest_spec_via_honest_ctor_rejected() {
+        let _ = ServerSpec::honest(1e-3, 1e-5);
+    }
+
+    #[test]
+    fn xi_is_twice_max_delay() {
+        let s = Scenario::new(Strategy::Mm).delay(DelayModel::Constant(Duration::from_secs(0.02)));
+        assert_eq!(s.xi(), Duration::from_secs(0.04));
+    }
+
+    #[test]
+    fn initial_offset_is_applied() {
+        let result = Scenario::new(Strategy::Mm)
+            .server(
+                ServerSpec::honest(0.0, 1e-6)
+                    .initial_offset(Duration::from_secs(2.0))
+                    .initial_error(Duration::from_secs(3.0)),
+            )
+            .server(ServerSpec::honest(0.0, 1e-6).initial_error(Duration::from_secs(3.0)))
+            .duration(Duration::from_secs(5.0))
+            .resync_period(Duration::from_secs(100.0)) // effectively never
+            .run();
+        let first = &result.samples[0].per_server;
+        assert!((first[0].true_offset.as_secs() - 2.0).abs() < 1e-9);
+        assert!(first[1].true_offset.abs().as_secs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Watching Figure 4 happen: a six-server service is partitioned into
+//! three cells; within each cell the servers keep each other tight
+//! while the cells drift apart, and the service decomposes into the
+//! paper's three consistency groups.
+//!
+//! The punchline is the §5 observation: when the *network* heals, the
+//! *service* does not — the cells' intervals no longer overlap, every
+//! cross-cell reply is rejected as inconsistent, and the groups persist
+//! indefinitely. Only the §3 recovery rule ("reset to the value of any
+//! third server") re-merges them.
+//!
+//! ```text
+//! cargo run --example consistency_groups
+//! ```
+
+use tempo::clocks::{DriftModel, SimClock};
+use tempo::core::DriftRate;
+use tempo::core::{Duration, Timestamp};
+use tempo::net::{DelayModel, NetConfig, Partition, Topology, World};
+use tempo::service::{RecoveryPolicy, ServerConfig, Strategy, TimeServer};
+use tempo_core::consistency::consistency_groups;
+
+fn run(recovery: RecoveryPolicy) -> Vec<(f64, usize)> {
+    // Three cells of two servers; each cell has a distinct drift
+    // direction so the cells separate while partitioned. Claimed bounds
+    // are deliberately *understated* (1/4 of actual) so the intervals
+    // cannot absorb the separation — the §5 precondition for
+    // inconsistency.
+    let drifts = [3e-4, 3.2e-4, -2.8e-4, -3e-4, 1e-5, -1e-5];
+    let claimed = 8e-5;
+    let servers: Vec<TimeServer> = drifts
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let clock = SimClock::builder()
+                .drift(DriftModel::Constant(d))
+                .seed(i as u64)
+                .build();
+            TimeServer::new(
+                clock,
+                ServerConfig::new(Strategy::Im, DriftRate::new(claimed))
+                    .resync_period(Duration::from_secs(10.0))
+                    .collect_window(Duration::from_secs(0.5))
+                    .initial_error(Duration::from_millis(20.0))
+                    .recovery(recovery),
+            )
+        })
+        .collect();
+
+    let cell = |nodes: [usize; 2]| nodes.map(Into::into).to_vec();
+    let partition = Partition {
+        from: Timestamp::from_secs(50.0),
+        until: Timestamp::from_secs(350.0),
+        groups: vec![cell([0, 1]), cell([2, 3]), cell([4, 5])],
+    };
+    let mut world = World::new(
+        servers,
+        Topology::full_mesh(6),
+        NetConfig::with_delay(DelayModel::Constant(Duration::from_millis(5.0)))
+            .partition(partition),
+        11,
+    );
+
+    let mut history = Vec::new();
+    for checkpoint in [40.0, 150.0, 349.0, 420.0, 600.0, 900.0] {
+        world.run_until(Timestamp::from_secs(checkpoint));
+        let now = world.now();
+        let intervals: Vec<_> = world
+            .actors_mut()
+            .iter_mut()
+            .map(|s| s.current_estimate(now).interval())
+            .collect();
+        let groups = consistency_groups(&intervals);
+        let rendered: Vec<String> = groups
+            .iter()
+            .map(|g| {
+                let members: Vec<String> =
+                    g.members.iter().map(|m| format!("S{}", m + 1)).collect();
+                format!("{{{}}}", members.join(","))
+            })
+            .collect();
+        println!(
+            "{checkpoint:>5.0}s  {} group(s): {}",
+            groups.len(),
+            rendered.join("  ")
+        );
+        history.push((checkpoint, groups.len()));
+    }
+    history
+}
+
+fn main() {
+    println!("partition t=50..350s; network heals afterwards");
+    println!();
+    println!("— without recovery (bare IM) —");
+    let bare = run(RecoveryPolicy::Ignore);
+    println!();
+    println!("— with the §3 third-server recovery —");
+    let recovered = run(RecoveryPolicy::ThirdServer);
+
+    // While partitioned, both decompose into Figure 4-style groups.
+    let groups_at =
+        |h: &[(f64, usize)], t: f64| h.iter().find(|&&(ht, _)| ht == t).map(|&(_, g)| g).unwrap();
+    assert!(
+        groups_at(&bare, 349.0) >= 3,
+        "partition must split the service"
+    );
+    // Without recovery the split outlives the partition (§5's point):
+    assert!(
+        groups_at(&bare, 900.0) >= 3,
+        "bare IM must stay partitioned into consistency groups"
+    );
+    // With §3 recovery the cells re-knit (the clocks still violate
+    // their claimed bounds, so perfect service-wide consistency is out
+    // of reach — the §3 caveat about several incorrect servers — but
+    // the disjoint cells are gone).
+    assert!(
+        groups_at(&recovered, 900.0) < groups_at(&bare, 900.0),
+        "recovery must reduce the fragmentation"
+    );
+    println!();
+    println!("the network healed at t=350s; only §3 recovery re-knit the *service* ✓");
+}

@@ -1,0 +1,73 @@
+//! The §3 recovery experiment, replayed as a narrative: a server whose
+//! clock runs an hour per day fast while claiming one second per day,
+//! recovering through a server on another network every time it finds
+//! itself inconsistent with its neighbour.
+//!
+//! ```text
+//! cargo run --example faulty_clock_recovery
+//! ```
+
+use tempo::clocks::DriftModel;
+use tempo::core::{DriftRate, Duration};
+use tempo::net::{DelayModel, Topology};
+use tempo::service::{RecoveryPolicy, Strategy};
+use tempo::sim::{Scenario, ServerSpec};
+
+fn main() {
+    let claimed = DriftRate::per_day(1.0); // "one second a day"
+    let actual = 0.042; // "closer to one hour a day (about four percent fast)"
+    let tau = 60.0;
+
+    // Network A = {S0 (the bad clock), S1}; network B = {S2, S3}; both
+    // A-servers can reach S2 through gateway links.
+    let topology = Topology::from_edges(4, &[(0, 1), (2, 3), (0, 2), (1, 2)]);
+
+    let scenario = Scenario::new(Strategy::Mm)
+        .server(ServerSpec::new(DriftModel::Constant(actual), claimed))
+        .server(ServerSpec::honest(1e-6, claimed.as_f64()))
+        .server(ServerSpec::honest(-1e-6, claimed.as_f64()))
+        .server(ServerSpec::honest(0.5e-6, claimed.as_f64()))
+        .topology(topology)
+        .delay(DelayModel::Uniform {
+            min: Duration::ZERO,
+            max: Duration::from_millis(10.0),
+        })
+        .resync_period(Duration::from_secs(tau))
+        .recovery(RecoveryPolicy::ThirdServer)
+        .duration(Duration::from_secs(tau * 15.0))
+        .sample_interval(Duration::from_secs(tau / 20.0))
+        .seed(7);
+    let result = scenario.run();
+
+    println!(
+        "the bad clock drifts at {:.1}% while claiming {:.1e} s/s",
+        actual * 100.0,
+        claimed.as_f64()
+    );
+    println!("its true offset over time (sawtooth = drift, then recovery):");
+    let series = result.offset_series(0);
+    let mut last_shown = f64::MIN;
+    for &(t, offset) in &series {
+        // Show one line every ~2 minutes plus every big downward jump.
+        if t - last_shown >= 120.0 {
+            let bar_len = (offset.abs() * 10.0).min(60.0) as usize;
+            println!(
+                "  t={t:>6.0}s  offset {offset:>8.3}s  {}",
+                "#".repeat(bar_len)
+            );
+            last_shown = t;
+        }
+    }
+
+    let stats = result.final_stats[0];
+    println!(
+        "recoveries: {} started, {} applied",
+        stats.recoveries_started, stats.recoveries_applied
+    );
+    let max_offset = series.iter().map(|&(_, o)| o.abs()).fold(0.0f64, f64::max);
+    println!(
+        "worst excursion {max_offset:.3}s ≈ drift × τ = {:.3}s — \"very far off by the time it reset\"",
+        actual * tau
+    );
+    assert!(stats.recoveries_applied > 0);
+}

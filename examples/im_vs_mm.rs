@@ -1,0 +1,84 @@
+//! Algorithm IM versus algorithm MM on identical hardware, delays, and
+//! seeds — the §4 comparison, printed as an error-growth table.
+//!
+//! ```text
+//! cargo run --example im_vs_mm
+//! ```
+
+use tempo::core::Duration;
+use tempo::net::DelayModel;
+use tempo::service::Strategy;
+use tempo::sim::{RunResult, Scenario, ServerSpec};
+
+fn run(strategy: Strategy) -> RunResult {
+    // δ "chosen casually": everyone claims 100 ppm, actual drifts spread
+    // to ±90 ppm in both directions.
+    let delta = 1e-4;
+    let actuals = [0.9e-4, -0.9e-4, 0.45e-4, -0.45e-4];
+    let mut scenario = Scenario::new(strategy)
+        .delay(DelayModel::Uniform {
+            min: Duration::ZERO,
+            max: Duration::from_micros(200.0),
+        })
+        .resync_period(Duration::from_secs(60.0))
+        .collect_window(Duration::from_secs(0.05))
+        .duration(Duration::from_secs(6_000.0))
+        .sample_interval(Duration::from_secs(60.0))
+        .seed(31);
+    for &a in &actuals {
+        scenario =
+            scenario.server(ServerSpec::honest(a, delta).initial_error(Duration::from_millis(5.0)));
+    }
+    scenario.run()
+}
+
+fn main() {
+    let mm = run(Strategy::Mm);
+    let im = run(Strategy::Im);
+
+    println!("mean claimed error over time, MM vs IM (identical clocks & seeds)");
+    println!("{:>8}  {:>12}  {:>12}", "t", "MM mean E", "IM mean E");
+    for (a, b) in mm
+        .mean_error_series()
+        .iter()
+        .zip(im.mean_error_series().iter())
+        .step_by(10)
+    {
+        println!(
+            "{:>7.0}s  {:>11.1}ms  {:>11.1}ms",
+            a.0,
+            a.1 * 1e3,
+            b.1 * 1e3
+        );
+    }
+
+    println!();
+    print!(
+        "{}",
+        tempo::sim::plot::ascii_chart(&mm.mean_error_series(), 60, 10, "MM mean claimed error (s)")
+    );
+    print!(
+        "{}",
+        tempo::sim::plot::ascii_chart(&im.mean_error_series(), 60, 10, "IM mean claimed error (s)")
+    );
+
+    let skip = 40;
+    let mm_slope = RunResult::slope(&mm.mean_error_series().split_off(skip));
+    let im_slope = RunResult::slope(&im.mean_error_series().split_off(skip));
+    println!(
+        "MM slope {:.2e} s/s, IM slope {:.2e} s/s → IM grows {:.1}x slower",
+        mm_slope,
+        im_slope,
+        mm_slope / im_slope
+    );
+    println!(
+        "asynchronism: MM {}, IM {}",
+        mm.max_asynchronism(),
+        im.max_asynchronism()
+    );
+    println!(
+        "violations: MM {}, IM {}",
+        mm.correctness_violations(),
+        im.correctness_violations()
+    );
+}

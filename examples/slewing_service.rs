@@ -1,0 +1,73 @@
+//! Server-side slewing: the same IM service run twice — stepping clocks
+//! (the paper's rules, clocks "freely set backward as well as forward")
+//! versus slewing corrections in gradually (`ApplyMode::Slew`). The
+//! slewing service serves locally monotonic time to every client while
+//! still keeping every server provably correct.
+//!
+//! ```text
+//! cargo run --example slewing_service
+//! ```
+
+use tempo::core::Duration;
+use tempo::service::{ApplyMode, Strategy};
+use tempo::sim::{Scenario, ServerSpec};
+
+fn run(apply: ApplyMode) -> (usize, usize, f64) {
+    // Deliberately sloppy clocks (±0.9 %) so each reset is a visible
+    // ~90 ms correction — far larger than the 40 ms sampling stride.
+    let mut scenario = Scenario::new(Strategy::Im)
+        .apply(apply)
+        .resync_period(Duration::from_secs(10.0))
+        .duration(Duration::from_secs(300.0))
+        .sample_interval(Duration::from_secs(0.04))
+        .seed(33);
+    for frac in [0.9f64, -0.9, 0.5, -0.5] {
+        scenario = scenario.server(ServerSpec::honest(frac * 1e-2, 1e-2));
+    }
+    let result = scenario.run();
+
+    // Count backward steps of served clocks between samples.
+    let n = result.samples[0].per_server.len();
+    let mut regressions = 0;
+    for i in 0..n {
+        let mut last = f64::MIN;
+        for row in &result.samples {
+            let reading = row.per_server[i].clock.as_secs();
+            if reading < last {
+                regressions += 1;
+            }
+            last = reading;
+        }
+    }
+    (
+        regressions,
+        result.correctness_violations(),
+        result.last().mean_error().as_secs(),
+    )
+}
+
+fn main() {
+    let (step_regr, step_viol, step_err) = run(ApplyMode::Step);
+    let (slew_regr, slew_viol, slew_err) = run(ApplyMode::Slew { max_rate: 2e-2 });
+
+    println!("four ±0.9% servers, IM, 300 s, sampled every 40 ms");
+    println!();
+    println!("                 backward steps  violations  final mean E");
+    println!(
+        "  step (paper)   {step_regr:>14}  {step_viol:>10}  {:.1}ms",
+        step_err * 1e3
+    );
+    println!(
+        "  slew (ours)    {slew_regr:>14}  {slew_viol:>10}  {:.1}ms",
+        slew_err * 1e3
+    );
+    println!();
+    assert!(step_regr > 0, "stepping clocks must visibly step back");
+    assert_eq!(slew_regr, 0, "slewing clocks must never step back");
+    assert_eq!(step_viol, 0);
+    assert_eq!(slew_viol, 0);
+    println!("slewing trades nothing in correctness for local monotonicity ✓");
+    println!("(the outstanding correction is carried in the reported error —");
+    println!(" the ⟨C, E⟩ interval still always contains true time; the visible");
+    println!(" price is a wider claimed bound while corrections drain)");
+}

@@ -1,0 +1,152 @@
+//! A miniature Xerox Research Internet: three full-mesh networks joined
+//! by gateway links, eighteen time servers of wildly varying quality,
+//! and three workstation clients querying with the three client
+//! strategies of the paper (§1/§3/§4).
+//!
+//! ```text
+//! cargo run --example xerox_internet
+//! ```
+
+use tempo::clocks::{DriftModel, SimClock};
+use tempo::core::{DriftRate, Duration, Timestamp};
+use tempo::net::{DelayModel, NetConfig, Topology, World};
+use tempo::service::{ClientStrategy, ServerConfig, ServiceNode, Strategy, TimeClient, TimeServer};
+
+fn server(seed: u64, drift: f64, bound: f64) -> ServiceNode {
+    let clock = SimClock::builder()
+        .drift(DriftModel::RandomWalk {
+            sigma: bound / 50.0,
+            bound: drift.abs().max(bound / 10.0),
+            quantum: Duration::from_secs(30.0),
+        })
+        .seed(seed)
+        .build();
+    TimeServer::new(
+        clock,
+        ServerConfig::new(Strategy::Im, DriftRate::new(bound))
+            .resync_period(Duration::from_secs(20.0))
+            .collect_window(Duration::from_secs(1.0)),
+    )
+    .into()
+}
+
+fn main() {
+    // Nodes 0-5: "Palo Alto" (net A); 6-11: "Webster" (net B);
+    // 12-17: "Rochester" (net C); 18-20: workstation clients.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for base in [0usize, 6, 12] {
+        for a in base..base + 6 {
+            for b in (a + 1)..base + 6 {
+                edges.push((a, b));
+            }
+        }
+    }
+    // Gateway links between the networks.
+    edges.extend([(0, 6), (6, 12), (12, 0)]);
+    // Each client talks to three servers of its home network.
+    edges.extend([(18, 0), (18, 1), (18, 2)]);
+    edges.extend([(19, 6), (19, 7), (19, 8)]);
+    edges.extend([(20, 12), (20, 13), (20, 14)]);
+    let topology = Topology::from_edges(21, &edges);
+    assert!(topology.is_connected());
+
+    let mut nodes: Vec<ServiceNode> = Vec::new();
+    for i in 0..18u64 {
+        // Clock quality varies: most machines are ~20 ppm, a few public
+        // servers have lab-grade 2 ppm clocks, some are sloppy 200 ppm.
+        let bound = match i % 6 {
+            0 => 2e-6,
+            5 => 2e-4,
+            _ => 2e-5,
+        };
+        nodes.push(server(i, bound * 0.8, bound));
+    }
+    nodes.push(
+        TimeClient::new(
+            ClientStrategy::FirstReply,
+            Duration::from_secs(30.0),
+            Duration::from_secs(2.0),
+        )
+        .into(),
+    );
+    nodes.push(
+        TimeClient::new(
+            ClientStrategy::SmallestError,
+            Duration::from_secs(30.0),
+            Duration::from_secs(2.0),
+        )
+        .into(),
+    );
+    nodes.push(
+        TimeClient::new(
+            ClientStrategy::Intersection,
+            Duration::from_secs(30.0),
+            Duration::from_secs(2.0),
+        )
+        .into(),
+    );
+
+    // Cross-country links are slower than LAN hops.
+    let mut net = NetConfig::with_delay(DelayModel::TruncatedExp {
+        min: Duration::from_millis(1.0),
+        mean: Duration::from_millis(8.0),
+        max: Duration::from_millis(60.0),
+    })
+    .loss(0.01);
+    for (a, b) in [(0usize, 6usize), (6, 12), (12, 0)] {
+        for (x, y) in [(a, b), (b, a)] {
+            net = net.link_override(
+                x.into(),
+                y.into(),
+                DelayModel::TruncatedExp {
+                    min: Duration::from_millis(20.0),
+                    mean: Duration::from_millis(40.0),
+                    max: Duration::from_millis(150.0),
+                },
+            );
+        }
+    }
+
+    let mut world = World::new(nodes, topology, net, 2026);
+    world.run_until(Timestamp::from_secs(1_800.0));
+    let now = world.now();
+
+    println!("30 simulated minutes of an 18-server, 3-network internet");
+    println!(
+        "  messages: {} sent, {} delivered, {} lost",
+        world.stats().sent,
+        world.stats().delivered,
+        world.stats().lost
+    );
+
+    for (name, range) in [
+        ("Palo Alto", 0..6),
+        ("Webster", 6..12),
+        ("Rochester", 12..18),
+    ] {
+        let mut worst_offset = Duration::ZERO;
+        let mut worst_error = Duration::ZERO;
+        let mut all_correct = true;
+        for i in range {
+            let s = world.actors_mut()[i].as_server_mut().expect("server node");
+            let sample = s.sample(now);
+            worst_offset = worst_offset.max(sample.true_offset.abs());
+            worst_error = worst_error.max(sample.error);
+            all_correct &= sample.correct;
+        }
+        println!(
+            "  {name:<10} worst offset {worst_offset}, worst claimed error {worst_error}, all correct: {all_correct}"
+        );
+    }
+
+    for i in 18..21 {
+        let c = world.actors()[i].as_client().expect("client node");
+        let correct = c.observations().iter().filter(|o| o.correct()).count();
+        println!(
+            "  client {:<15} {} queries, {} correct",
+            c.strategy().to_string(),
+            c.observations().len(),
+            correct
+        );
+    }
+}
