@@ -10,7 +10,10 @@ use tempo_service::wire::{decode, encode};
 use tempo_service::Message;
 
 fn bench_codec(c: &mut Criterion) {
-    let request = Message::TimeRequest { request_id: 42 };
+    let request = Message::TimeRequest {
+        request_id: 42,
+        attempt: 0,
+    };
     let reply = Message::TimeReply {
         request_id: 42,
         received_at: Timestamp::from_secs(1_234.566),

@@ -125,6 +125,11 @@ pub fn all() -> Vec<Experiment> {
             artifact: "E15 — message-loss robustness",
             run: || Box::new(ex::loss_sweep()),
         },
+        Experiment {
+            name: "chaos",
+            artifact: "E16 — loss + partition + crashed + lying servers at once",
+            run: || Box::new(ex::chaos()),
+        },
     ]
 }
 
@@ -135,11 +140,11 @@ mod tests {
     #[test]
     fn catalogue_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 18);
+        assert_eq!(experiments.len(), 19);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18, "names must be unique");
+        assert_eq!(names.len(), 19, "names must be unique");
     }
 
     #[test]

@@ -40,6 +40,16 @@ pub enum TraceEvent {
         /// Intended receiver.
         to: NodeId,
     },
+    /// A message was duplicated in flight: a second, independently
+    /// delayed copy was scheduled for delivery.
+    Duplicated {
+        /// Simulated time of the duplication (the original send).
+        at: Timestamp,
+        /// Sender.
+        from: NodeId,
+        /// Receiver (both copies go to the same node).
+        to: NodeId,
+    },
     /// A message was blocked by a partition.
     Partitioned {
         /// Simulated time of the drop.
@@ -68,6 +78,7 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Lost { at, .. }
+            | TraceEvent::Duplicated { at, .. }
             | TraceEvent::Partitioned { at, .. }
             | TraceEvent::Timer { at, .. } => at,
         }
@@ -80,6 +91,7 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Send { at, from, to } => write!(f, "{at} SEND {from} -> {to}"),
             TraceEvent::Deliver { at, from, to } => write!(f, "{at} RECV {from} -> {to}"),
             TraceEvent::Lost { at, from, to } => write!(f, "{at} LOST {from} -> {to}"),
+            TraceEvent::Duplicated { at, from, to } => write!(f, "{at} DUPE {from} -> {to}"),
             TraceEvent::Partitioned { at, from, to } => {
                 write!(f, "{at} PART {from} -x- {to}")
             }
@@ -151,6 +163,7 @@ impl Trace {
             TraceEvent::Send { from, to, .. }
             | TraceEvent::Deliver { from, to, .. }
             | TraceEvent::Lost { from, to, .. }
+            | TraceEvent::Duplicated { from, to, .. }
             | TraceEvent::Partitioned { from, to, .. } => from == node || to == node,
             TraceEvent::Timer { node: n, .. } => n == node,
         })
@@ -245,6 +258,13 @@ mod tests {
             to: NodeId::new(1),
         };
         assert!(e.to_string().contains("LOST"));
+        let e = TraceEvent::Duplicated {
+            at: ts(1.0),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("DUPE"));
+        assert_eq!(e.at(), ts(1.0));
         let e = TraceEvent::Deliver {
             at: ts(2.0),
             from: NodeId::new(0),

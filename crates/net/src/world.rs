@@ -158,6 +158,15 @@ pub struct NetConfig {
     pub loss: f64,
     /// Per-directed-link delay overrides `((from, to), model)`.
     pub link_overrides: Vec<((NodeId, NodeId), DelayModel)>,
+    /// Per-directed-link loss overrides `((from, to), probability)` —
+    /// these replace the global [`loss`](Self::loss) on their link,
+    /// exactly as delay overrides replace the default delay model.
+    pub loss_overrides: Vec<((NodeId, NodeId), f64)>,
+    /// Probability that a delivered message is *duplicated*: a second
+    /// copy is scheduled with an independently sampled delay. Datagram
+    /// networks (and retransmitting transports) deliver duplicates, so
+    /// protocol retries must be idempotent.
+    pub duplication: f64,
     /// Scheduled partitions.
     pub partitions: Vec<Partition>,
     /// When `true`, each directed link delivers in FIFO order: a
@@ -182,6 +191,8 @@ impl NetConfig {
             delay,
             loss: 0.0,
             link_overrides: Vec::new(),
+            loss_overrides: Vec::new(),
+            duplication: 0.0,
             partitions: Vec::new(),
             fifo_links: false,
         }
@@ -217,6 +228,36 @@ impl NetConfig {
         self
     }
 
+    /// Overrides the loss probability of one directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ loss < 1`.
+    #[must_use]
+    pub fn link_loss(mut self, from: NodeId, to: NodeId, loss: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "link loss probability must be in [0, 1), got {loss}"
+        );
+        self.loss_overrides.push(((from, to), loss));
+        self
+    }
+
+    /// Sets the duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ duplication < 1`.
+    #[must_use]
+    pub fn duplication(mut self, duplication: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&duplication),
+            "duplication probability must be in [0, 1), got {duplication}"
+        );
+        self.duplication = duplication;
+        self
+    }
+
     /// Adds a scheduled partition.
     #[must_use]
     pub fn partition(mut self, partition: Partition) -> Self {
@@ -240,6 +281,13 @@ impl NetConfig {
             .find(|((f, t), _)| *f == from && *t == to)
             .map_or(&self.delay, |(_, model)| model)
     }
+
+    fn loss_for(&self, from: NodeId, to: NodeId) -> f64 {
+        self.loss_overrides
+            .iter()
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map_or(self.loss, |(_, loss)| *loss)
+    }
 }
 
 impl Default for NetConfig {
@@ -257,6 +305,8 @@ pub struct NetStats {
     pub delivered: usize,
     /// Messages dropped by random loss.
     pub lost: usize,
+    /// Extra message copies injected by random duplication.
+    pub duplicated: usize,
     /// Messages dropped because a partition separated the endpoints.
     pub partitioned: usize,
     /// Timer events fired.
@@ -492,6 +542,25 @@ impl<A: Actor> World<A> {
         s
     }
 
+    /// Samples a delay for one copy of a message and enqueues its
+    /// delivery (respecting the per-link FIFO horizon when enabled).
+    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        let delay = self.config.delay_for(from, to).sample(&mut self.net_rng);
+        let mut deliver_at = self.now + delay;
+        if self.config.fifo_links {
+            if let Some(&horizon) = self.link_horizon.get(&(from, to)) {
+                deliver_at = deliver_at.max(horizon);
+            }
+            self.link_horizon.insert((from, to), deliver_at);
+        }
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: deliver_at,
+            seq,
+            kind: EventKind::Deliver { from, to, msg },
+        });
+    }
+
     fn dispatch_start(&mut self, node: NodeId) {
         let actions = {
             let mut ctx = Context {
@@ -561,7 +630,8 @@ impl<A: Actor> World<A> {
                         });
                         continue;
                     }
-                    if self.config.loss > 0.0 && self.net_rng.random::<f64>() < self.config.loss {
+                    let loss = self.config.loss_for(from, to);
+                    if loss > 0.0 && self.net_rng.random::<f64>() < loss {
                         self.stats.lost += 1;
                         self.record(TraceEvent::Lost {
                             at: self.now,
@@ -570,20 +640,18 @@ impl<A: Actor> World<A> {
                         });
                         continue;
                     }
-                    let delay = self.config.delay_for(from, to).sample(&mut self.net_rng);
-                    let mut deliver_at = self.now + delay;
-                    if self.config.fifo_links {
-                        if let Some(&horizon) = self.link_horizon.get(&(from, to)) {
-                            deliver_at = deliver_at.max(horizon);
-                        }
-                        self.link_horizon.insert((from, to), deliver_at);
+                    if self.config.duplication > 0.0
+                        && self.net_rng.random::<f64>() < self.config.duplication
+                    {
+                        self.stats.duplicated += 1;
+                        self.record(TraceEvent::Duplicated {
+                            at: self.now,
+                            from,
+                            to,
+                        });
+                        self.schedule_delivery(from, to, msg.clone());
                     }
-                    let seq = self.next_seq();
-                    self.queue.push(Event {
-                        time: deliver_at,
-                        seq,
-                        kind: EventKind::Deliver { from, to, msg },
-                    });
+                    self.schedule_delivery(from, to, msg);
                 }
                 Action::Timer { delay, tag } => {
                     let seq = self.next_seq();
@@ -759,6 +827,72 @@ mod tests {
         world.run_until(ts(1.0));
         assert_eq!(world.stats().lost, 1);
         assert!(world.actors()[1].received.is_empty());
+    }
+
+    #[test]
+    fn per_link_loss_override_composes_with_global_loss() {
+        // Global loss 0, but the 0→1 link always drops: node 1 starves
+        // while node 2 (default link) receives.
+        let mut actors = recorders(3);
+        actors[0].start_broadcast = Some(4);
+        let cfg = NetConfig::with_delay(DelayModel::instant()).link_loss(
+            NodeId::new(0),
+            NodeId::new(1),
+            0.999_999,
+        );
+        let mut world = World::new(actors, Topology::full_mesh(3), cfg, 11);
+        world.run_until(ts(1.0));
+        assert!(world.actors()[1].received.is_empty());
+        assert_eq!(world.actors()[2].received.len(), 1);
+        assert_eq!(world.stats().lost, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut actors = recorders(2);
+        actors[0].start_broadcast = Some(6);
+        let mut world = World::new(
+            actors,
+            Topology::full_mesh(2),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))).duplication(0.999_999),
+            13,
+        );
+        world.run_until(ts(1.0));
+        assert_eq!(world.actors()[1].received.len(), 2, "original + duplicate");
+        assert_eq!(world.stats().sent, 1);
+        assert_eq!(world.stats().duplicated, 1);
+        assert_eq!(world.stats().delivered, 2);
+    }
+
+    #[test]
+    fn duplication_traces_and_respects_loss() {
+        // A lost message is never duplicated: loss is decided first.
+        let mut actors = recorders(2);
+        actors[0].start_broadcast = Some(1);
+        let mut world = World::new(
+            actors,
+            Topology::full_mesh(2),
+            NetConfig::with_delay(DelayModel::instant())
+                .loss(0.999_999)
+                .duplication(0.999_999),
+            17,
+        );
+        world.enable_trace(8);
+        world.run_until(ts(1.0));
+        assert_eq!(world.stats().lost, 1);
+        assert_eq!(world.stats().duplicated, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplication probability")]
+    fn bad_duplication_rejected() {
+        let _ = NetConfig::default().duplication(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "link loss probability")]
+    fn bad_link_loss_rejected() {
+        let _ = NetConfig::default().link_loss(NodeId::new(0), NodeId::new(1), -0.1);
     }
 
     #[test]
@@ -1011,6 +1145,24 @@ mod trace_tests {
             1,
         );
         assert!(world.trace().is_none());
+    }
+
+    #[test]
+    fn trace_records_duplicates() {
+        let mut world = World::new(
+            vec![Echo, Echo],
+            Topology::full_mesh(2),
+            NetConfig::with_delay(DelayModel::instant()).duplication(0.999_999),
+            1,
+        );
+        world.enable_trace(16);
+        world.run_until(Timestamp::from_secs(1.0));
+        let trace = world.trace().unwrap();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Duplicated { .. })));
+        assert_eq!(world.stats().duplicated, 1);
+        assert_eq!(world.stats().delivered, 2);
     }
 
     #[test]

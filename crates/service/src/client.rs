@@ -291,7 +291,7 @@ impl Actor for TimeClient {
     fn on_message(&mut self, _from: NodeId, msg: Message, ctx: &mut Context<'_, Message>) {
         // (the sender id is needed by the Filtered strategy)
         match msg {
-            Message::TimeRequest { request_id } => {
+            Message::TimeRequest { request_id, .. } => {
                 // Clients do not serve time; politely decline by not
                 // responding. (Servers never query clients anyway —
                 // requests can only arrive in mixed topologies.)
@@ -348,7 +348,13 @@ impl Actor for TimeClient {
                     let id = self.next_request_id;
                     self.next_request_id += 1;
                     self.send_times.insert(id, now);
-                    ctx.send(peer, Message::TimeRequest { request_id: id });
+                    ctx.send(
+                        peer,
+                        Message::TimeRequest {
+                            request_id: id,
+                            attempt: 0,
+                        },
+                    );
                 }
                 if self.strategy != ClientStrategy::FirstReply {
                     ctx.set_timer(self.window, TIMER_WINDOW);

@@ -3,6 +3,54 @@
 use tempo_core::sync::baseline::BaselineKind;
 use tempo_core::{DriftRate, Duration};
 
+use crate::fault::ServerFault;
+use crate::health::HealthConfig;
+
+/// Per-request timeout and retry behaviour, measured on the server's
+/// *own* clock (no other clock is trustworthy by assumption).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryPolicy {
+    /// No per-request timeouts: a lost reply sits in the pending map
+    /// until the next round's cleanup (the original protocol).
+    Off,
+    /// Detect lost replies and re-solicit them with exponential backoff
+    /// inside the collection window.
+    Backoff {
+        /// Base per-request timeout on the server's clock. Must exceed
+        /// the worst honest round-trip or healthy peers get falsely
+        /// suspected.
+        timeout: Duration,
+        /// Retries after the initial attempt (0 = time out once, never
+        /// re-send).
+        max_retries: u32,
+        /// Timeout multiplier per retry (`timeout · multiplier^attempt`).
+        multiplier: f64,
+        /// Random fraction in `[0, 1)` added to each backoff so retries
+        /// from different servers don't synchronise.
+        jitter: f64,
+    },
+}
+
+impl RetryPolicy {
+    /// Conservative retrying defaults: 100 ms timeout, 3 retries,
+    /// doubling backoff, 10 % jitter.
+    #[must_use]
+    pub fn backoff_defaults() -> Self {
+        RetryPolicy::Backoff {
+            timeout: Duration::from_millis(100.0),
+            max_retries: 3,
+            multiplier: 2.0,
+            jitter: 0.1,
+        }
+    }
+
+    /// Whether timeouts are armed at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, RetryPolicy::Off)
+    }
+}
+
 /// How a server realises an accepted reset on its hardware clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ApplyMode {
@@ -138,6 +186,19 @@ pub struct ServerConfig {
     /// When (after start) the server leaves the service for good, if
     /// ever. A departed server goes silent.
     pub leave_after: Option<Duration>,
+    /// Per-request timeout/retry behaviour.
+    pub retry: RetryPolicy,
+    /// Peer health thresholds (consulted only when `retry` is enabled —
+    /// without timeouts there is no failure signal to track).
+    pub health: HealthConfig,
+    /// Minimum replies a round must gather before its synthesis is
+    /// trusted (round-window strategies only). A round with fewer
+    /// replies is *degraded*: the reset is skipped, `E_i` grows per rule
+    /// MM-1, and §3 recovery fires if configured. `0` disables the
+    /// check.
+    pub quorum: usize,
+    /// An injected server-process fault, if any (simulation only).
+    pub fault: Option<ServerFault>,
 }
 
 impl ServerConfig {
@@ -163,6 +224,10 @@ impl ServerConfig {
             apply: ApplyMode::Step,
             join_after: Duration::ZERO,
             leave_after: None,
+            retry: RetryPolicy::Off,
+            health: HealthConfig::default(),
+            quorum: 0,
+            fault: None,
         }
     }
 
@@ -229,6 +294,34 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the per-request timeout/retry policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the peer health thresholds.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Sets the round quorum (`0` disables degraded-mode detection).
+    #[must_use]
+    pub fn quorum(mut self, quorum: usize) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Arms a server-process fault.
+    #[must_use]
+    pub fn fault(mut self, fault: ServerFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Checks the configuration invariants.
     ///
     /// # Panics
@@ -276,6 +369,27 @@ impl ServerConfig {
                 max_rate.is_finite() && max_rate > 0.0 && max_rate < 1.0,
                 "slew rate must be in (0, 1), got {max_rate}"
             );
+        }
+        if let RetryPolicy::Backoff {
+            timeout,
+            multiplier,
+            jitter,
+            ..
+        } = self.retry
+        {
+            assert!(
+                timeout.as_secs() > 0.0,
+                "retry timeout must be positive, got {timeout}"
+            );
+            assert!(
+                multiplier.is_finite() && multiplier >= 1.0,
+                "backoff multiplier must be >= 1, got {multiplier}"
+            );
+            assert!(
+                jitter.is_finite() && (0.0..1.0).contains(&jitter),
+                "retry jitter must be in [0, 1), got {jitter}"
+            );
+            self.health.validate();
         }
     }
 }
@@ -340,6 +454,48 @@ mod tests {
     fn bad_jitter_rejected() {
         ServerConfig::new(Strategy::Mm, DriftRate::ZERO)
             .jitter(1.5)
+            .validate();
+    }
+
+    #[test]
+    fn retry_defaults_validate() {
+        assert!(!RetryPolicy::Off.is_enabled());
+        let retry = RetryPolicy::backoff_defaults();
+        assert!(retry.is_enabled());
+        let c = ServerConfig::new(Strategy::Im, DriftRate::new(1e-5))
+            .retry(retry)
+            .quorum(2)
+            .fault(crate::fault::ServerFault::crash_at(
+                tempo_core::Timestamp::from_secs(5.0),
+            ));
+        c.validate();
+        assert_eq!(c.quorum, 2);
+        assert!(c.fault.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff multiplier must be >= 1")]
+    fn bad_backoff_multiplier_rejected() {
+        ServerConfig::new(Strategy::Im, DriftRate::ZERO)
+            .retry(RetryPolicy::Backoff {
+                timeout: Duration::from_millis(100.0),
+                max_retries: 1,
+                multiplier: 0.5,
+                jitter: 0.0,
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry timeout must be positive")]
+    fn zero_retry_timeout_rejected() {
+        ServerConfig::new(Strategy::Im, DriftRate::ZERO)
+            .retry(RetryPolicy::Backoff {
+                timeout: Duration::ZERO,
+                max_retries: 1,
+                multiplier: 2.0,
+                jitter: 0.0,
+            })
             .validate();
     }
 }

@@ -1,0 +1,146 @@
+//! Server-level fault injection.
+//!
+//! The clock layer can already stop, race, step, or refuse resets
+//! (`tempo_clocks::Fault`); a [`ServerFault`] makes the *server process*
+//! itself misbehave, orthogonally to its clock: it may crash and go
+//! silent, omit replies probabilistically, or lie in its answers — the
+//! Byzantine-adjacent behaviours the paper's §5 screening and the
+//! Marzullo-tolerant intersection are meant to survive. The fault arms
+//! at a chosen real time; the server behaves perfectly before it.
+
+use tempo_core::{Duration, Timestamp};
+
+/// The server-process failure catalogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerFaultKind {
+    /// The server crashes: from the trigger on it neither answers
+    /// requests, processes replies, nor starts rounds. Its clock keeps
+    /// running, but nobody can read it.
+    Crash,
+    /// The server omits replies: each incoming time request is dropped
+    /// with probability `prob` (it still synchronises its own clock).
+    Omit {
+        /// Per-request drop probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// The server lies: replies report a clock skewed by `clock_skew`
+    /// while the claimed error is multiplied by `error_shrink`, so the
+    /// advertised interval can exclude true time entirely. The liar's
+    /// own synchronisation is untouched — it lies only to others.
+    Lie {
+        /// Signed skew added to the reported clock reading.
+        clock_skew: Duration,
+        /// Factor in `[0, 1]` applied to the reported error (`0.0` =
+        /// claim perfection, `1.0` = honest error, skewed clock only).
+        error_shrink: f64,
+    },
+}
+
+/// A server fault armed to trigger at a given real time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerFault {
+    /// Real time at which the failure begins.
+    pub at: Timestamp,
+    /// Which failure mode triggers.
+    pub kind: ServerFaultKind,
+}
+
+impl ServerFault {
+    /// The server crashes at real time `at`.
+    #[must_use]
+    pub fn crash_at(at: Timestamp) -> Self {
+        ServerFault {
+            at,
+            kind: ServerFaultKind::Crash,
+        }
+    }
+
+    /// The server drops each request with probability `prob` from `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is in `[0, 1]`.
+    #[must_use]
+    pub fn omit_from(at: Timestamp, prob: f64) -> Self {
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "omission probability must be in [0, 1], got {prob}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::Omit { prob },
+        }
+    }
+
+    /// The server starts lying at `at`: replies are skewed by
+    /// `clock_skew` and their error shrunk by `error_shrink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `error_shrink` is in `[0, 1]`.
+    #[must_use]
+    pub fn lie_from(at: Timestamp, clock_skew: Duration, error_shrink: f64) -> Self {
+        assert!(
+            error_shrink.is_finite() && (0.0..=1.0).contains(&error_shrink),
+            "error shrink must be in [0, 1], got {error_shrink}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::Lie {
+                clock_skew,
+                error_shrink,
+            },
+        }
+    }
+
+    /// Whether the fault is active at real time `now`.
+    #[must_use]
+    pub fn active_at(&self, now: Timestamp) -> bool {
+        now >= self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(ServerFault::crash_at(ts(5.0)).kind, ServerFaultKind::Crash);
+        assert_eq!(
+            ServerFault::omit_from(ts(5.0), 0.3).kind,
+            ServerFaultKind::Omit { prob: 0.3 }
+        );
+        assert_eq!(
+            ServerFault::lie_from(ts(5.0), Duration::from_secs(2.0), 0.1).kind,
+            ServerFaultKind::Lie {
+                clock_skew: Duration::from_secs(2.0),
+                error_shrink: 0.1
+            }
+        );
+    }
+
+    #[test]
+    fn activation_boundary_is_inclusive() {
+        let f = ServerFault::crash_at(ts(10.0));
+        assert!(!f.active_at(ts(9.999)));
+        assert!(f.active_at(ts(10.0)));
+        assert!(f.active_at(ts(11.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_omit_probability_rejected() {
+        let _ = ServerFault::omit_from(ts(0.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_error_shrink_rejected() {
+        let _ = ServerFault::lie_from(ts(0.0), Duration::ZERO, -0.1);
+    }
+}

@@ -56,6 +56,8 @@
 
 mod client;
 mod config;
+mod fault;
+mod health;
 mod message;
 mod node;
 mod rate;
@@ -63,7 +65,9 @@ mod server;
 pub mod wire;
 
 pub use client::{ClientObservation, ClientStrategy, TimeClient};
-pub use config::{ApplyMode, RecoveryPolicy, ScreeningPolicy, ServerConfig, Strategy};
+pub use config::{ApplyMode, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig, Strategy};
+pub use fault::{ServerFault, ServerFaultKind};
+pub use health::{HealthConfig, HealthTracker, PeerState};
 pub use message::Message;
 pub use node::ServiceNode;
 pub use rate::RateMonitor;

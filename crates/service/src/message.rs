@@ -15,6 +15,12 @@ pub enum Message {
     TimeRequest {
         /// Requester-local correlation id.
         request_id: u64,
+        /// Retry ordinal: `0` for the first solicitation, incremented on
+        /// each re-send of a timed-out request. Purely diagnostic for
+        /// the responder; the requester correlates by `request_id`
+        /// (every retry gets a fresh id, so a late original and its
+        /// retry's reply can never be confused).
+        attempt: u8,
     },
     /// The rule MM-1 response: the pair `⟨C_j(t), E_j(t)⟩`, plus the
     /// server-clock reading at request reception (the `T2` of a
@@ -40,7 +46,10 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_and_comparable() {
-        let req = Message::TimeRequest { request_id: 7 };
+        let req = Message::TimeRequest {
+            request_id: 7,
+            attempt: 0,
+        };
         assert_eq!(req, req);
         let rep = Message::TimeReply {
             request_id: 7,

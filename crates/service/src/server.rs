@@ -20,7 +20,11 @@ use tempo_core::{marzullo, ErrorState, TimeEstimate, TimeInterval};
 use tempo_core::{Duration, Timestamp};
 use tempo_net::{Actor, Context, NodeId};
 
-use crate::config::{ApplyMode, RecoveryPolicy, ScreeningPolicy, ServerConfig, Strategy};
+use crate::config::{
+    ApplyMode, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig, Strategy,
+};
+use crate::fault::ServerFaultKind;
+use crate::health::{HealthTracker, PeerState};
 use crate::message::Message;
 use crate::rate::RateMonitor;
 
@@ -32,6 +36,9 @@ const TIMER_ROUND_END: u64 = 2;
 const TIMER_JOIN: u64 = 3;
 /// Timer tag: leave the service (§1.1 churn).
 const TIMER_LEAVE: u64 = 4;
+/// High bit marking a per-request timeout timer; the low bits carry the
+/// request id. Request ids are sequential and never reach 2^63.
+const TIMER_TIMEOUT_FLAG: u64 = 1 << 63;
 
 /// Why a request was sent, remembered until its reply arrives.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +49,11 @@ struct Pending {
     send_clock: Timestamp,
     round: u64,
     recovery: bool,
+    /// How many times this solicitation has already been retried.
+    attempt: u32,
+    /// The own-clock reading at which the request counts as lost
+    /// (armed only under [`RetryPolicy::Backoff`]).
+    deadline_clock: Option<Timestamp>,
 }
 
 /// A reply buffered during a collection round.
@@ -75,6 +87,21 @@ pub struct ServerStats {
     pub recoveries_applied: usize,
     /// Replies dropped by §5 rate screening (dissonant neighbours).
     pub screened: usize,
+    /// Requests whose reply missed its own-clock deadline.
+    pub timeouts: usize,
+    /// Timed-out requests that were re-solicited.
+    pub retries: usize,
+    /// Replies whose sender did not match the recorded request peer
+    /// (dropped unprocessed).
+    pub mismatched_replies: usize,
+    /// Peers that left Healthy (→ Suspect or Dead) on consecutive
+    /// timeouts.
+    pub peers_suspected: usize,
+    /// Suspect/Dead peers reinstated to Healthy by a reply.
+    pub peers_reinstated: usize,
+    /// Rounds that gathered fewer than the configured quorum of replies
+    /// and therefore skipped their reset (rule MM-1 keeps growing `E_i`).
+    pub degraded_rounds: usize,
 }
 
 /// A snapshot of a server's externally observable and simulation-only
@@ -118,6 +145,12 @@ pub struct TimeServer {
     active: bool,
     /// §5 rate monitor, present when screening is enabled.
     rates: Option<RateMonitor>,
+    /// Per-peer health verdicts, fed by reply timeouts (inert under
+    /// [`RetryPolicy::Off`] — no timeouts, no signal).
+    health: HealthTracker,
+    /// Own-clock reading when the current round began (bounds retries
+    /// to the collection window).
+    round_start_clock: Timestamp,
     /// Slewing discipline, present in [`ApplyMode::Slew`]. The protocol
     /// then runs entirely on the *disciplined* (monotonic) clock.
     discipline: Option<ClockDiscipline>,
@@ -155,6 +188,7 @@ impl TimeServer {
                 max_slew_rate: max_rate,
             })),
         };
+        let health = HealthTracker::new(config.health);
         TimeServer {
             clock,
             state,
@@ -168,6 +202,8 @@ impl TimeServer {
             recovering: false,
             active: false,
             rates,
+            health,
+            round_start_clock: start_reading,
             discipline,
         }
     }
@@ -226,6 +262,21 @@ impl TimeServer {
         &mut self.clock
     }
 
+    /// The current health verdict on `peer` (always Healthy under
+    /// [`RetryPolicy::Off`] — without timeouts there is no signal).
+    #[must_use]
+    pub fn peer_state(&self, peer: NodeId) -> PeerState {
+        self.health.state(peer)
+    }
+
+    /// The armed server fault's kind, if it has triggered by `now`.
+    fn fault_kind(&self, now: Timestamp) -> Option<ServerFaultKind> {
+        self.config
+            .fault
+            .filter(|f| f.active_at(now))
+            .map(|f| f.kind)
+    }
+
     fn fresh_request_id(&mut self) -> u64 {
         let id = self.next_request_id;
         self.next_request_id += 1;
@@ -281,19 +332,14 @@ impl TimeServer {
         self.recovering = self.pending.values().any(|p| p.recovery);
 
         let now = ctx.now();
-        let send_clock = self.reading(now);
+        self.round_start_clock = self.reading(now);
         for peer in ctx.neighbors().to_vec() {
-            let request_id = self.fresh_request_id();
-            self.pending.insert(
-                request_id,
-                Pending {
-                    peer,
-                    send_clock,
-                    round: self.current_round,
-                    recovery: false,
-                },
-            );
-            ctx.send(peer, Message::TimeRequest { request_id });
+            // Dead peers are skipped except on probe rounds, so a
+            // crashed neighbour costs nothing until it comes back.
+            if self.config.retry.is_enabled() && !self.health.should_poll(peer, round) {
+                continue;
+            }
+            self.send_request(peer, 0, false, ctx);
         }
         if self.config.strategy.uses_round_window() {
             ctx.set_timer(self.config.collect_window, TIMER_ROUND_END);
@@ -309,6 +355,97 @@ impl TimeServer {
         ctx.set_timer(self.config.resync_period * jitter, TIMER_RESYNC);
     }
 
+    /// Sends one time request to `peer`, records it as pending and —
+    /// under [`RetryPolicy::Backoff`] — arms its timeout: the deadline
+    /// is a reading of the server's *own* clock
+    /// (`send_clock + timeout·multiplier^attempt·(1+jitter·r)`), and the
+    /// timer re-arms until that reading is actually reached, so a slow
+    /// clock never shortens the patience it promised.
+    fn send_request(
+        &mut self,
+        peer: NodeId,
+        attempt: u32,
+        recovery: bool,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        let request_id = self.fresh_request_id();
+        let send_clock = self.reading(ctx.now());
+        let deadline_clock = if let RetryPolicy::Backoff {
+            timeout,
+            multiplier,
+            jitter,
+            ..
+        } = self.config.retry
+        {
+            let mut wait = timeout * multiplier.powi(attempt.min(i32::MAX as u32) as i32);
+            if jitter > 0.0 {
+                wait = wait * (1.0 + jitter * ctx.rng().random::<f64>());
+            }
+            ctx.set_timer(wait, TIMER_TIMEOUT_FLAG | request_id);
+            Some(send_clock + wait)
+        } else {
+            None
+        };
+        self.pending.insert(
+            request_id,
+            Pending {
+                peer,
+                send_clock,
+                round: self.current_round,
+                recovery,
+                attempt,
+                deadline_clock,
+            },
+        );
+        ctx.send(
+            peer,
+            Message::TimeRequest {
+                request_id,
+                attempt: attempt.min(u32::from(u8::MAX)) as u8,
+            },
+        );
+    }
+
+    /// A request's timeout timer fired. The timer runs on real time, but
+    /// the deadline is an own-clock reading: if our clock is slow the
+    /// deadline hasn't arrived *for us*, so the timer re-arms. A
+    /// confirmed loss is retried with backoff while the round (and its
+    /// collection window) lasts; when retries are exhausted the peer's
+    /// health record takes the hit.
+    fn handle_timeout(&mut self, request_id: u64, ctx: &mut Context<'_, Message>) {
+        let Some(&pending) = self.pending.get(&request_id) else {
+            // Answered (or swept by round cleanup) before the deadline.
+            return;
+        };
+        let clock_now = self.reading(ctx.now());
+        if let Some(deadline) = pending.deadline_clock {
+            if clock_now < deadline {
+                ctx.set_timer(deadline - clock_now, TIMER_TIMEOUT_FLAG | request_id);
+                return;
+            }
+        }
+        self.pending.remove(&request_id);
+        self.stats.timeouts += 1;
+        if pending.recovery {
+            // A lost recovery request just clears the latch so a future
+            // inconsistency can try another third server.
+            self.recovering = false;
+            return;
+        }
+        let RetryPolicy::Backoff { max_retries, .. } = self.config.retry else {
+            return;
+        };
+        let round_current = pending.round == self.current_round;
+        let window_open = !self.config.strategy.uses_round_window()
+            || clock_now - self.round_start_clock < self.config.collect_window;
+        if pending.attempt < max_retries && round_current && window_open {
+            self.stats.retries += 1;
+            self.send_request(pending.peer, pending.attempt + 1, false, ctx);
+        } else if self.health.record_timeout(pending.peer) {
+            self.stats.peers_suspected += 1;
+        }
+    }
+
     fn handle_reply(
         &mut self,
         from: NodeId,
@@ -316,12 +453,25 @@ impl TimeServer {
         estimate: TimeEstimate,
         ctx: &mut Context<'_, Message>,
     ) {
-        let Some(pending) = self.pending.remove(&request_id) else {
+        let Some(&pending) = self.pending.get(&request_id) else {
             self.stats.late_replies += 1;
             return;
         };
-        debug_assert_eq!(pending.peer, from, "reply from unexpected peer");
+        if pending.peer != from {
+            // A reply whose sender doesn't match the recorded request
+            // peer (misrouted, forged, or a duplicate id collision) must
+            // not be processed under the wrong `Pending` — its round
+            // trip and screening record would be attributed to the
+            // wrong neighbour. Drop it; the original request stays
+            // pending for the real peer.
+            self.stats.mismatched_replies += 1;
+            return;
+        }
+        self.pending.remove(&request_id);
         self.stats.replies += 1;
+        if self.config.retry.is_enabled() && self.health.record_reply(from) {
+            self.stats.peers_reinstated += 1;
+        }
         let now = ctx.now();
         let clock_now = self.reading(now);
         let rtt = clock_now - pending.send_clock;
@@ -369,7 +519,7 @@ impl TimeServer {
                     MmOutcome::Keep => {}
                     MmOutcome::Inconsistent => {
                         self.stats.inconsistencies += 1;
-                        self.maybe_recover(from, ctx);
+                        self.maybe_recover(Some(from), ctx);
                     }
                 }
             }
@@ -385,9 +535,9 @@ impl TimeServer {
     }
 
     /// The §3 recovery rule: ask a random neighbour other than the
-    /// inconsistent one, and adopt its answer unconditionally when it
-    /// arrives.
-    fn maybe_recover(&mut self, inconsistent_with: NodeId, ctx: &mut Context<'_, Message>) {
+    /// inconsistent one (if any is named), and adopt its answer
+    /// unconditionally when it arrives.
+    fn maybe_recover(&mut self, inconsistent_with: Option<NodeId>, ctx: &mut Context<'_, Message>) {
         if self.config.recovery != RecoveryPolicy::ThirdServer || self.recovering {
             return;
         }
@@ -395,24 +545,13 @@ impl TimeServer {
             .neighbors()
             .iter()
             .copied()
-            .filter(|&n| n != inconsistent_with)
+            .filter(|&n| Some(n) != inconsistent_with)
             .collect();
         if candidates.is_empty() {
             return;
         }
         let peer = candidates[ctx.rng().random_range(0..candidates.len())];
-        let request_id = self.fresh_request_id();
-        let send_clock = self.reading(ctx.now());
-        self.pending.insert(
-            request_id,
-            Pending {
-                peer,
-                send_clock,
-                round: self.current_round,
-                recovery: true,
-            },
-        );
-        ctx.send(peer, Message::TimeRequest { request_id });
+        self.send_request(peer, 0, true, ctx);
         self.recovering = true;
         self.stats.recoveries_started += 1;
     }
@@ -420,6 +559,19 @@ impl TimeServer {
     fn close_round(&mut self, ctx: &mut Context<'_, Message>) {
         let now = ctx.now();
         let clock_now = self.reading(now);
+        // Degraded mode: a starved round (fewer replies than the
+        // quorum) is not allowed to reset the clock — a partition or
+        // mass crash could otherwise hand the synthesis to whatever
+        // minority happens to answer. Skipping the reset is always
+        // safe: rule MM-1 keeps growing `E_i`, so correctness is
+        // preserved at the price of a wider interval, and §3 recovery
+        // (if configured) looks for help.
+        if self.config.quorum > 0 && self.round_replies.len() < self.config.quorum {
+            self.stats.degraded_rounds += 1;
+            self.round_replies.clear();
+            self.maybe_recover(None, ctx);
+            return;
+        }
         let own = self.state.estimate_at(clock_now);
         // A buffered reply has aged while waiting for the round to
         // close. Two sound adjustments keep it sharp:
@@ -452,9 +604,8 @@ impl TimeServer {
                 ImOutcome::Reset(reset) => self.apply_reset(now, reset),
                 ImOutcome::Inconsistent => {
                     self.stats.inconsistencies += 1;
-                    if let Some(peer) = self.round_replies.first().map(|b| b.peer) {
-                        self.maybe_recover(peer, ctx);
-                    }
+                    let peer = self.round_replies.first().map(|b| b.peer);
+                    self.maybe_recover(peer, ctx);
                 }
             },
             Strategy::MarzulloTolerant { max_faulty } => {
@@ -541,11 +692,36 @@ impl Actor for TimeServer {
             // requests, deaf to replies.
             return;
         }
+        let fault = self.fault_kind(ctx.now());
+        if matches!(fault, Some(ServerFaultKind::Crash)) {
+            // Crashed: deaf and mute. The clock keeps ticking, but
+            // nobody can read it any more.
+            return;
+        }
         match msg {
-            Message::TimeRequest { request_id } => {
+            Message::TimeRequest { request_id, .. } => {
+                if let Some(ServerFaultKind::Omit { prob }) = fault {
+                    if ctx.rng().random::<f64>() < prob {
+                        return;
+                    }
+                }
                 // Rule MM-1: reply with ⟨C_i(t), E_i(t)⟩. Handling is
                 // instantaneous here, so T2 = T3 = the same reading.
-                let estimate = self.current_estimate(ctx.now());
+                let mut estimate = self.current_estimate(ctx.now());
+                if let Some(ServerFaultKind::Lie {
+                    clock_skew,
+                    error_shrink,
+                }) = fault
+                {
+                    // The liar reports a skewed clock under a shrunken
+                    // error claim — its advertised interval can exclude
+                    // true time entirely. Its own synchronisation is
+                    // untouched; it lies only to others.
+                    estimate = TimeEstimate::new(
+                        estimate.time() + clock_skew,
+                        estimate.error() * error_shrink,
+                    );
+                }
                 ctx.send(
                     from,
                     Message::TimeReply {
@@ -566,6 +742,15 @@ impl Actor for TimeServer {
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Message>) {
+        if matches!(self.fault_kind(ctx.now()), Some(ServerFaultKind::Crash)) {
+            return;
+        }
+        if tag & TIMER_TIMEOUT_FLAG != 0 {
+            if self.active {
+                self.handle_timeout(tag & !TIMER_TIMEOUT_FLAG, ctx);
+            }
+            return;
+        }
         match tag {
             TIMER_RESYNC if self.active => self.begin_round(ctx),
             TIMER_ROUND_END if self.active => self.close_round(ctx),
@@ -842,6 +1027,283 @@ mod tests {
         let s = server(0.0, base_config(Strategy::Mm), 0);
         assert_eq!(s.stats(), ServerStats::default());
         assert_eq!(s.config().strategy, Strategy::Mm);
+    }
+
+    #[test]
+    fn lossless_run_shows_zero_timeouts() {
+        // On a clean network whose worst round-trip is well under the
+        // timeout, retries must never fire: no false suspicion.
+        let servers: Vec<TimeServer> = (0..3)
+            .map(|i| {
+                server(
+                    [5e-5, -5e-5, 1e-5][i as usize],
+                    base_config(Strategy::Im).retry(RetryPolicy::Backoff {
+                        timeout: dur(0.2),
+                        max_retries: 3,
+                        multiplier: 2.0,
+                        jitter: 0.1,
+                    }),
+                    i,
+                )
+            })
+            .collect();
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Uniform {
+                min: Duration::ZERO,
+                max: dur(0.05),
+            }),
+            11,
+        );
+        world.run_until(ts(200.0));
+        for (i, s) in world.actors().iter().enumerate() {
+            let stats = s.stats();
+            assert_eq!(stats.timeouts, 0, "server {i} falsely timed out: {stats:?}");
+            assert_eq!(stats.retries, 0);
+            assert_eq!(stats.peers_suspected, 0);
+        }
+    }
+
+    #[test]
+    fn loss_triggers_timeouts_and_retries() {
+        let servers: Vec<TimeServer> = (0..4)
+            .map(|i| {
+                server(
+                    [5e-5, -5e-5, 2e-5, -1e-5][i as usize],
+                    base_config(Strategy::Im).collect_window(dur(1.0)).retry(
+                        RetryPolicy::Backoff {
+                            timeout: dur(0.15),
+                            max_retries: 3,
+                            multiplier: 2.0,
+                            jitter: 0.1,
+                        },
+                    ),
+                    i,
+                )
+            })
+            .collect();
+        let mut config = NetConfig::with_delay(DelayModel::Uniform {
+            min: Duration::ZERO,
+            max: dur(0.05),
+        });
+        config.loss = 0.3;
+        let mut world = World::new(servers, Topology::full_mesh(4), config, 12);
+        world.run_until(ts(300.0));
+        let now = world.now();
+        let mut timeouts = 0;
+        let mut retries = 0;
+        for s in world.actors_mut() {
+            timeouts += s.stats().timeouts;
+            retries += s.stats().retries;
+            assert!(s.sample(now).correct, "lossy-run server went incorrect");
+        }
+        assert!(timeouts > 0, "30% loss must produce timeouts");
+        assert!(retries > 0, "timeouts inside the window must retry");
+    }
+
+    #[test]
+    fn crashed_peer_is_suspected_then_dead() {
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut config = base_config(Strategy::Mm).retry(RetryPolicy::Backoff {
+                timeout: dur(0.2),
+                max_retries: 1,
+                multiplier: 2.0,
+                jitter: 0.0,
+            });
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::crash_at(ts(15.0)));
+            }
+            servers.push(server(0.0, config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            13,
+        );
+        world.run_until(ts(400.0));
+        let crashed = NodeId::new(2);
+        for (i, s) in world.actors().iter().enumerate().take(2) {
+            assert_eq!(
+                s.peer_state(crashed),
+                PeerState::Dead,
+                "server {i} never buried the crashed peer: {:?}",
+                s.stats()
+            );
+            assert!(s.stats().peers_suspected >= 1);
+            assert_eq!(s.peer_state(NodeId::new(1 - i)), PeerState::Healthy);
+        }
+    }
+
+    #[test]
+    fn starved_rounds_degrade_instead_of_resetting() {
+        // Two of three servers crash early: the survivor's rounds can
+        // no longer meet a quorum of 2, so it must stop resetting and
+        // let E_i grow (staying correct) rather than adopt whatever a
+        // single straggler reply says.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut config = base_config(Strategy::Im)
+                .quorum(2)
+                .retry(RetryPolicy::backoff_defaults());
+            if i > 0 {
+                config = config.fault(crate::fault::ServerFault::crash_at(ts(15.0)));
+            }
+            servers.push(server(2e-5, config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            14,
+        );
+        world.run_until(ts(200.0));
+        let now = world.now();
+        let survivor = &mut world.actors_mut()[0];
+        let stats = survivor.stats();
+        assert!(
+            stats.degraded_rounds > 0,
+            "rounds without quorum must degrade: {stats:?}"
+        );
+        let sample = survivor.sample(now);
+        assert!(sample.correct, "the degraded survivor must stay correct");
+        // E_i grew per rule MM-1 since the last good round.
+        assert!(sample.error > dur(0.02));
+    }
+
+    #[test]
+    fn partition_suspects_then_reinstates_peers() {
+        let servers: Vec<TimeServer> = (0..4)
+            .map(|i| {
+                server(
+                    [3e-5, -3e-5, 1e-5, -1e-5][i as usize],
+                    base_config(Strategy::Im)
+                        .retry(RetryPolicy::Backoff {
+                            timeout: dur(0.2),
+                            max_retries: 1,
+                            multiplier: 2.0,
+                            jitter: 0.0,
+                        })
+                        .health(crate::health::HealthConfig {
+                            suspect_after: 2,
+                            dead_after: 6,
+                            probe_every: 3,
+                        }),
+                    i,
+                )
+            })
+            .collect();
+        let mut config = NetConfig::with_delay(DelayModel::Constant(dur(0.01)));
+        config.partitions.push(tempo_net::Partition {
+            from: ts(30.0),
+            until: ts(120.0),
+            groups: vec![
+                vec![NodeId::new(0), NodeId::new(1)],
+                vec![NodeId::new(2), NodeId::new(3)],
+            ],
+        });
+        let mut world = World::new(servers, Topology::full_mesh(4), config, 15);
+        world.run_until(ts(400.0));
+        let now = world.now();
+        for (i, s) in world.actors_mut().iter_mut().enumerate() {
+            let stats = s.stats();
+            assert!(
+                stats.peers_suspected > 0,
+                "server {i} never suspected its partitioned peers: {stats:?}"
+            );
+            assert!(
+                stats.peers_reinstated > 0,
+                "server {i} never reinstated a peer after healing: {stats:?}"
+            );
+            assert!(s.sample(now).correct, "server {i} went incorrect");
+            // Long after healing, everyone is healthy again.
+            for peer in 0..4 {
+                if peer != i {
+                    assert_eq!(s.peer_state(NodeId::new(peer)), PeerState::Healthy);
+                }
+            }
+        }
+    }
+
+    /// A node that answers its own requests honestly but *also* forges a
+    /// reply to `request_id + 1` — an id the requester recorded against
+    /// a different peer (ids are handed out sequentially within a
+    /// round). The runtime peer check must drop the forgery.
+    #[derive(Debug)]
+    enum ForgeNode {
+        Server(Box<TimeServer>),
+        Forger,
+    }
+
+    impl Actor for ForgeNode {
+        type Msg = Message;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+            if let ForgeNode::Server(s) = self {
+                s.on_start(ctx);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_, Message>) {
+            match self {
+                ForgeNode::Server(s) => s.on_message(from, msg, ctx),
+                ForgeNode::Forger => {
+                    if let Message::TimeRequest { request_id, .. } = msg {
+                        let estimate =
+                            TimeEstimate::new(ctx.now() + Duration::from_secs(30.0), dur(0.001));
+                        for id in [request_id, request_id + 1] {
+                            ctx.send(
+                                from,
+                                Message::TimeReply {
+                                    request_id: id,
+                                    received_at: estimate.time(),
+                                    estimate,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Message>) {
+            if let ForgeNode::Server(s) = self {
+                s.on_timer(tag, ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn forged_reply_from_wrong_peer_is_dropped() {
+        // Node 1 forges answers to ids addressed to node 2. Before the
+        // runtime check this was only a debug_assert: in release the
+        // forged estimate would be processed under node 2's pending
+        // entry, polluting its round-trip measurement and (with
+        // screening) node 2's rate record.
+        let nodes = vec![
+            ForgeNode::Server(Box::new(server(0.0, base_config(Strategy::Mm), 0))),
+            ForgeNode::Forger,
+            ForgeNode::Server(Box::new(server(0.0, base_config(Strategy::Mm), 2))),
+        ];
+        let mut world = World::new(
+            nodes,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            16,
+        );
+        world.run_until(ts(100.0));
+        let now = world.now();
+        let ForgeNode::Server(s) = &mut world.actors_mut()[0] else {
+            unreachable!()
+        };
+        let stats = s.stats();
+        assert!(
+            stats.mismatched_replies > 0,
+            "the forged replies must be counted: {stats:?}"
+        );
+        assert!(s.sample(now).correct, "the forgery must not be adopted");
     }
 
     #[test]

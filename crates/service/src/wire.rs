@@ -13,7 +13,7 @@
 //! offset  size  field
 //! 0       2     magic 0x7E30 ("tempo/0")
 //! 2       1     message type (1 = request, 2 = reply)
-//! 3       1     reserved (0)
+//! 3       1     retry attempt (requests), reserved 0 (replies)
 //! 4       8     request id
 //! 12      8     received-at T2 (IEEE-754 bits; replies only)
 //! 20      8     clock time C   (IEEE-754 bits; replies only)
@@ -107,9 +107,12 @@ pub fn encode(msg: &Message) -> Vec<u8> {
     let mut out = Vec::with_capacity(REPLY_LEN);
     out.extend_from_slice(&MAGIC.to_be_bytes());
     match *msg {
-        Message::TimeRequest { request_id } => {
+        Message::TimeRequest {
+            request_id,
+            attempt,
+        } => {
             out.push(TYPE_REQUEST);
-            out.push(0);
+            out.push(attempt);
             out.extend_from_slice(&request_id.to_be_bytes());
         }
         Message::TimeReply {
@@ -164,7 +167,10 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
     }
     let request_id = u64::from_be_bytes(body[4..12].try_into().expect("length checked"));
     match kind {
-        TYPE_REQUEST => Ok(Message::TimeRequest { request_id }),
+        TYPE_REQUEST => Ok(Message::TimeRequest {
+            request_id,
+            attempt: body[3],
+        }),
         TYPE_REPLY => {
             let received = f64::from_bits(u64::from_be_bytes(
                 body[12..20].try_into().expect("length checked"),
@@ -202,12 +208,16 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let msg = Message::TimeRequest {
-            request_id: 0xDEAD_BEEF,
-        };
-        let bytes = encode(&msg);
-        assert_eq!(bytes.len(), REQUEST_LEN);
-        assert_eq!(decode(&bytes).unwrap(), msg);
+        for attempt in [0, 1, u8::MAX] {
+            let msg = Message::TimeRequest {
+                request_id: 0xDEAD_BEEF,
+                attempt,
+            };
+            let bytes = encode(&msg);
+            assert_eq!(bytes.len(), REQUEST_LEN);
+            assert_eq!(bytes[3], attempt);
+            assert_eq!(decode(&bytes).unwrap(), msg);
+        }
     }
 
     #[test]
@@ -228,32 +238,47 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        let bytes = encode(&Message::TimeRequest { request_id: 1 });
+        let bytes = encode(&Message::TimeRequest {
+            request_id: 1,
+            attempt: 0,
+        });
         assert_eq!(decode(&bytes[..5]), Err(DecodeError::Truncated { len: 5 }));
         assert_eq!(decode(&[]), Err(DecodeError::Truncated { len: 0 }));
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        let mut bytes = encode(&Message::TimeRequest {
+            request_id: 1,
+            attempt: 0,
+        });
         bytes[0] = 0x00;
         assert!(matches!(decode(&bytes), Err(DecodeError::BadMagic { .. })));
     }
 
     #[test]
     fn unknown_type_rejected() {
-        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        let mut bytes = encode(&Message::TimeRequest {
+            request_id: 1,
+            attempt: 0,
+        });
         bytes[2] = 9;
         assert_eq!(decode(&bytes), Err(DecodeError::UnknownType { found: 9 }));
     }
 
     #[test]
     fn wrong_length_rejected() {
-        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        let mut bytes = encode(&Message::TimeRequest {
+            request_id: 1,
+            attempt: 0,
+        });
         bytes.push(0);
         assert!(matches!(decode(&bytes), Err(DecodeError::BadLength { .. })));
         // A reply-typed packet at request length.
-        let mut bytes = encode(&Message::TimeRequest { request_id: 1 });
+        let mut bytes = encode(&Message::TimeRequest {
+            request_id: 1,
+            attempt: 0,
+        });
         bytes[2] = TYPE_REPLY;
         assert!(matches!(decode(&bytes), Err(DecodeError::BadLength { .. })));
     }

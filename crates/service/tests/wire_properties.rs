@@ -11,7 +11,10 @@ use tempo_service::Message;
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        any::<u64>().prop_map(|request_id| Message::TimeRequest { request_id }),
+        (any::<u64>(), any::<u8>()).prop_map(|(request_id, attempt)| Message::TimeRequest {
+            request_id,
+            attempt,
+        }),
         (
             any::<u64>(),
             -1.0e12f64..1.0e12,

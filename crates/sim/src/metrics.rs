@@ -156,6 +156,24 @@ impl RunResult {
         self.samples.iter().map(SampleRow::incorrect_count).sum()
     }
 
+    /// Per-server violation counts: how many sample instants each server
+    /// spent incorrect. Fault-injection experiments use this to check
+    /// the *non-faulty* servers specifically — a deliberately lying
+    /// server is expected to be incorrect, its honest peers are not.
+    #[must_use]
+    pub fn violations_per_server(&self) -> Vec<usize> {
+        let n = self.samples.first().map_or(0, |r| r.per_server.len());
+        let mut counts = vec![0usize; n];
+        for row in &self.samples {
+            for (i, s) in row.per_server.iter().enumerate() {
+                if !s.correct {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
     /// The worst asynchronism over the whole run.
     #[must_use]
     pub fn max_asynchronism(&self) -> Duration {
@@ -374,6 +392,7 @@ mod tests {
         );
         assert!((result.max_error_gap_after(Timestamp::ZERO).as_secs() - 0.2).abs() < 1e-12);
         assert_eq!(result.correctness_violations(), 1); // 0.5 > 0.4
+        assert_eq!(result.violations_per_server(), vec![0, 1]);
         assert_eq!(result.error_series(0), vec![(1.0, 0.1), (2.0, 0.2)]);
         assert_eq!(result.offset_series(1), vec![(1.0, 0.2), (2.0, 0.5)]);
         assert_eq!(result.last().t, Timestamp::from_secs(2.0));

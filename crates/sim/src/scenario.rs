@@ -7,9 +7,10 @@
 
 use tempo_clocks::{DriftModel, Fault, SimClock};
 use tempo_core::{DriftRate, Duration, Timestamp};
-use tempo_net::{DelayModel, NetConfig, Topology, World};
+use tempo_net::{DelayModel, NetConfig, Partition, Topology, World};
 use tempo_service::{
-    ApplyMode, RecoveryPolicy, ScreeningPolicy, ServerConfig, Strategy, TimeServer,
+    ApplyMode, HealthConfig, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig,
+    ServerFault, Strategy, TimeServer,
 };
 
 use crate::metrics::{RunResult, SampleRow};
@@ -26,8 +27,10 @@ pub struct ServerSpec {
     pub initial_error: Duration,
     /// Initial clock offset from true time (positive = fast).
     pub initial_offset: Duration,
-    /// Optional armed fault.
+    /// Optional armed clock fault.
     pub fault: Option<Fault>,
+    /// Optional armed server-process fault (crash / omit / lie).
+    pub server_fault: Option<ServerFault>,
     /// Delay before this server joins the service (§1.1 churn).
     pub join_after: Duration,
     /// When this server leaves the service, if ever.
@@ -45,6 +48,7 @@ impl ServerSpec {
             initial_error: Duration::from_millis(10.0),
             initial_offset: Duration::ZERO,
             fault: None,
+            server_fault: None,
             join_after: Duration::ZERO,
             leave_after: None,
         }
@@ -87,6 +91,13 @@ impl ServerSpec {
         self
     }
 
+    /// Arms a fault on the server *process* (crash / omit / lie).
+    #[must_use]
+    pub fn server_fault(mut self, fault: ServerFault) -> Self {
+        self.server_fault = Some(fault);
+        self
+    }
+
     /// Delays this server's entry into the service.
     #[must_use]
     pub fn join_after(mut self, delay: Duration) -> Self {
@@ -116,6 +127,10 @@ pub struct Scenario {
     pub delay: DelayModel,
     /// Message loss probability.
     pub loss: f64,
+    /// Message duplication probability.
+    pub duplication: f64,
+    /// Scheduled network partitions.
+    pub partitions: Vec<Partition>,
     /// Resync period `τ`.
     pub resync_period: Duration,
     /// Round collection window.
@@ -128,6 +143,12 @@ pub struct Scenario {
     pub apply: ApplyMode,
     /// Resync-period jitter fraction.
     pub jitter: f64,
+    /// Per-request timeout/retry policy (applied to every server).
+    pub retry: RetryPolicy,
+    /// Peer health thresholds (used when `retry` is enabled).
+    pub health: HealthConfig,
+    /// Round reply quorum; starved rounds degrade (`0` disables).
+    pub quorum: usize,
     /// How long to run.
     pub duration: Duration,
     /// Measurement sampling interval.
@@ -151,12 +172,17 @@ impl Scenario {
                 max: Duration::from_millis(10.0),
             },
             loss: 0.0,
+            duplication: 0.0,
+            partitions: Vec::new(),
             resync_period: Duration::from_secs(10.0),
             collect_window: Duration::from_secs(0.5),
             recovery: RecoveryPolicy::Ignore,
             screening: ScreeningPolicy::Off,
             apply: ApplyMode::Step,
             jitter: 0.1,
+            retry: RetryPolicy::Off,
+            health: HealthConfig::default(),
+            quorum: 0,
             duration: Duration::from_secs(300.0),
             sample_interval: Duration::from_secs(1.0),
             seed: 0,
@@ -200,6 +226,20 @@ impl Scenario {
         self
     }
 
+    /// Sets the duplication probability.
+    #[must_use]
+    pub fn duplication(mut self, duplication: f64) -> Self {
+        self.duplication = duplication;
+        self
+    }
+
+    /// Schedules a network partition.
+    #[must_use]
+    pub fn partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
     /// Sets the resync period `τ`.
     #[must_use]
     pub fn resync_period(mut self, tau: Duration) -> Self {
@@ -239,6 +279,27 @@ impl Scenario {
     #[must_use]
     pub fn jitter(mut self, jitter: f64) -> Self {
         self.jitter = jitter;
+        self
+    }
+
+    /// Sets the timeout/retry policy on every server.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the peer health thresholds on every server.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Sets the round reply quorum on every server.
+    #[must_use]
+    pub fn quorum(mut self, quorum: usize) -> Self {
+        self.quorum = quorum;
         self
     }
 
@@ -313,15 +374,25 @@ impl Scenario {
                     .screening(self.screening)
                     .apply(self.apply)
                     .jitter(self.jitter)
+                    .retry(self.retry)
+                    .health(self.health)
+                    .quorum(self.quorum)
                     .join_after(spec.join_after);
                 if let Some(leave) = spec.leave_after {
                     config = config.leave_after(leave);
+                }
+                if let Some(fault) = spec.server_fault {
+                    config = config.fault(fault);
                 }
                 TimeServer::new(builder.build(), config)
             })
             .collect();
 
-        let net = NetConfig::with_delay(self.delay.clone()).loss(self.loss);
+        let mut net = NetConfig::with_delay(self.delay.clone()).loss(self.loss);
+        if self.duplication > 0.0 {
+            net = net.duplication(self.duplication);
+        }
+        net.partitions.extend(self.partitions.iter().cloned());
         let mut world = World::new(servers, topology, net, self.seed);
 
         let mut samples = Vec::new();
@@ -389,6 +460,41 @@ mod tests {
                 .clone()
         };
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn fault_tolerance_knobs_reach_the_servers() {
+        use tempo_net::NodeId;
+        let result = Scenario::new(Strategy::Im)
+            .servers(3, &ServerSpec::honest(1e-5, 1e-4))
+            .server(
+                ServerSpec::honest(1e-5, 1e-4)
+                    .server_fault(ServerFault::crash_at(Timestamp::from_secs(30.0))),
+            )
+            .loss(0.2)
+            .duplication(0.05)
+            .partition(Partition {
+                from: Timestamp::from_secs(60.0),
+                until: Timestamp::from_secs(90.0),
+                groups: vec![
+                    vec![NodeId::new(0), NodeId::new(1)],
+                    vec![NodeId::new(2), NodeId::new(3)],
+                ],
+            })
+            .retry(RetryPolicy::backoff_defaults())
+            .quorum(1)
+            .duration(Duration::from_secs(200.0))
+            .seed(5)
+            .run();
+        let timeouts: usize = result.final_stats.iter().map(|s| s.timeouts).sum();
+        assert!(timeouts > 0, "loss + a crashed peer must cause timeouts");
+        let suspected: usize = result.final_stats.iter().map(|s| s.peers_suspected).sum();
+        assert!(suspected > 0, "the crashed server must get suspected");
+        // The three honest servers stay correct; only the crashed one is
+        // exempt (its clock keeps claiming MM-1 growth, which is fine —
+        // crash means silent, not wrong).
+        let violations = result.violations_per_server();
+        assert_eq!(&violations[..3], &[0, 0, 0], "honest servers violated");
     }
 
     #[test]
