@@ -1,14 +1,75 @@
 //! Regenerates the paper's figures and measurements.
 //!
 //! ```text
-//! experiments              # run everything
-//! experiments --list       # show the catalogue
-//! experiments fig3 thm8    # run selected experiments
+//! experiments                                # run everything
+//! experiments --list                         # show the catalogue
+//! experiments fig3 thm8                      # run selected experiments
+//! experiments fuzz --seeds 0..64 \
+//!             --horizon-secs 60              # oracle-gated fuzz sweep
 //! ```
+//!
+//! `fuzz` exits non-zero when any generated scenario violates a gated
+//! theorem, so CI can run it as a smoke gate.
 
+use std::ops::Range;
 use std::process::ExitCode;
 
 use tempo_bench::catalog;
+
+/// Parses `fuzz` subcommand flags. Defaults: seeds `0..32`, 60 s.
+fn parse_fuzz_args(args: &[String]) -> Result<(Range<u64>, f64), String> {
+    let mut seeds = 0..32u64;
+    let mut horizon = 60.0f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--seeds" => {
+                let (lo, hi) = value
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds wants START..END, got '{value}'"))?;
+                let lo: u64 = lo
+                    .parse()
+                    .map_err(|e| format!("bad seed start '{lo}': {e}"))?;
+                let hi: u64 = hi
+                    .parse()
+                    .map_err(|e| format!("bad seed end '{hi}': {e}"))?;
+                if lo >= hi {
+                    return Err(format!("--seeds range '{value}' is empty"));
+                }
+                seeds = lo..hi;
+            }
+            "--horizon-secs" => {
+                horizon = value
+                    .parse()
+                    .map_err(|e| format!("bad horizon '{value}': {e}"))?;
+                if !horizon.is_finite() || horizon <= 0.0 {
+                    return Err(format!("horizon must be positive, got {horizon}"));
+                }
+            }
+            other => return Err(format!("unknown fuzz flag '{other}'")),
+        }
+    }
+    Ok((seeds, horizon))
+}
+
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let (seeds, horizon) = match parse_fuzz_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("fuzz: {message}");
+            eprintln!("usage: experiments fuzz [--seeds START..END] [--horizon-secs SECS]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = tempo_sim::experiments::fuzz(seeds, horizon);
+    println!("{outcome}");
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +81,12 @@ fn main() -> ExitCode {
             println!("  {:<20} {}", e.name, e.artifact);
         }
         return ExitCode::SUCCESS;
+    }
+
+    // `fuzz` takes its own flags, so it is a subcommand rather than a
+    // catalogue selection (the bare name still works via the catalogue).
+    if args.first().is_some_and(|a| a == "fuzz") && args.len() > 1 {
+        return run_fuzz(&args[1..]);
     }
 
     let selected: Vec<&catalog::Experiment> = if args.is_empty() {

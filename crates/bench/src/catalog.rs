@@ -130,6 +130,11 @@ pub fn all() -> Vec<Experiment> {
             artifact: "E16 — loss + partition + crashed + lying servers at once",
             run: || Box::new(ex::chaos()),
         },
+        Experiment {
+            name: "fuzz",
+            artifact: "E17 — oracle-gated scenario fuzzer (Theorems 1–7 online)",
+            run: || Box::new(ex::fuzz_smoke()),
+        },
     ]
 }
 
@@ -140,11 +145,11 @@ mod tests {
     #[test]
     fn catalogue_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 19);
+        assert_eq!(experiments.len(), 20);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19, "names must be unique");
+        assert_eq!(names.len(), 20, "names must be unique");
     }
 
     #[test]

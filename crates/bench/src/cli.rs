@@ -117,6 +117,24 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     if !(0.0..=1.0).contains(&opts.spread) {
         return Err("--spread must be in [0, 1]".to_string());
     }
+    // The remaining ranges would otherwise surface as panics deep in the
+    // type constructors (`DriftRate`, `Duration`, the scenario builder);
+    // a CLI typo deserves a message, not a backtrace.
+    if !opts.tau.is_finite() || opts.tau <= 0.0 {
+        return Err("--tau must be a positive number of seconds".to_string());
+    }
+    if !opts.bound.is_finite() || !(0.0..1.0).contains(&opts.bound) {
+        return Err("--bound must satisfy 0 <= bound < 1".to_string());
+    }
+    if !opts.delay_max.is_finite() || opts.delay_max <= 0.0 {
+        return Err("--delay-max must be a positive number of seconds".to_string());
+    }
+    if !(0.0..=1.0).contains(&opts.loss) {
+        return Err("--loss must be a probability in [0, 1]".to_string());
+    }
+    if !opts.duration.is_finite() || opts.duration <= 0.0 {
+        return Err("--duration must be a positive number of seconds".to_string());
+    }
     Ok(opts)
 }
 
@@ -208,6 +226,13 @@ mod tests {
     fn range_checks() {
         assert!(parse(&args(&["--servers", "0"])).is_err());
         assert!(parse(&args(&["--spread", "1.5"])).is_err());
+        assert!(parse(&args(&["--tau", "-5"])).is_err());
+        assert!(parse(&args(&["--tau", "0"])).is_err());
+        assert!(parse(&args(&["--bound", "-1e-4"])).is_err());
+        assert!(parse(&args(&["--bound", "1.0"])).is_err());
+        assert!(parse(&args(&["--delay-max", "-0.01"])).is_err());
+        assert!(parse(&args(&["--loss", "1.5"])).is_err());
+        assert!(parse(&args(&["--duration", "inf"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! * [`sync::mm`] — algorithm **MM** (*minimization of maximum error*),
 //! * [`sync::im`] — algorithm **IM** (*intersection*),
 //! * [`sync::baseline`] — the Lamport max / median / mean comparators,
+//! * [`bounds`] — the theorems' bound formulas as named functions,
 //! * [`marzullo`] — the fault-tolerant generalisation of IM from
 //!   [Marzullo 83] (the ancestor of NTP's clock-select),
 //! * [`ntp`] — an RFC-5905-style selection built on the same sweep,
@@ -67,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bounds;
 pub mod consistency;
 pub mod consonance;
 pub mod estimate;

@@ -20,6 +20,7 @@
 //! of servers grows — IM can synthesise a clock more precise than any
 //! individual clock in the service.
 
+use crate::bounds::im2_leading_allowance;
 use crate::sync::{Reset, TimedReply};
 use crate::time::{DriftRate, Duration};
 use crate::TimeEstimate;
@@ -73,7 +74,7 @@ pub fn im_transform(own: &TimeEstimate, delta: DriftRate, reply: &TimedReply) ->
     let offset = reply.estimate.time() - own.time();
     RelativeInterval {
         trailing: offset - reply.estimate.error(),
-        leading: offset + reply.estimate.error() + reply.round_trip * delta.inflation(),
+        leading: offset + reply.estimate.error() + im2_leading_allowance(reply.round_trip, delta),
     }
 }
 

@@ -17,6 +17,7 @@
 //! different sources, its synchronization is limited by consistency
 //! (Theorem 3) rather than by the round-trip bound.
 
+use crate::bounds::mm2_adjusted_error;
 use crate::sync::{Reset, TimedReply};
 use crate::time::DriftRate;
 use crate::TimeEstimate;
@@ -73,7 +74,7 @@ pub fn mm_decide(own: &TimeEstimate, delta: DriftRate, reply: &TimedReply) -> Mm
     if !own.is_consistent_with(&reply.estimate) {
         return MmOutcome::Inconsistent;
     }
-    let adjusted = reply.estimate.error() + reply.round_trip * delta.inflation();
+    let adjusted = mm2_adjusted_error(reply.estimate.error(), reply.round_trip, delta);
     if adjusted <= own.error() {
         MmOutcome::Reset(Reset {
             new_clock: reply.estimate.time(),

@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use tempo_core::marzullo::best_intersection;
+use tempo_core::marzullo::{best_intersection, intersect_tolerating};
 use tempo_core::{Duration, TimeInterval, Timestamp};
 
 /// Brute force: maximum coverage and the first maximal region.
@@ -60,6 +60,41 @@ fn arb_intervals() -> impl Strategy<Value = Vec<TimeInterval>> {
     })
 }
 
+/// Brute-force reference for [`intersect_tolerating`]: the earliest
+/// maximum-coverage region, provided the coverage reaches `n − f`.
+fn brute_force_tolerating(intervals: &[TimeInterval], max_faulty: usize) -> Option<TimeInterval> {
+    let (cover, region) = brute_force(intervals);
+    (cover >= intervals.len() - max_faulty).then_some(region)
+}
+
+/// Like [`arb_intervals`] but deliberately nasty: widths may be exactly
+/// zero (point intervals), coordinates snap to a coarse grid so shared
+/// endpoints are common, and a suffix of the vector duplicates earlier
+/// entries verbatim.
+fn arb_degenerate_intervals() -> impl Strategy<Value = Vec<TimeInterval>> {
+    let entry = (0u32..40, prop_oneof![Just(0u32), 0u32..8]);
+    (
+        prop::collection::vec(entry, 1..16),
+        prop::collection::vec(0usize..64, 0..8),
+    )
+        .prop_map(|(raw, dup_picks)| {
+            let mut intervals: Vec<TimeInterval> = raw
+                .into_iter()
+                .map(|(lo, w)| {
+                    // Snap to a 0.5 s grid: collisions on purpose.
+                    let lo = f64::from(lo) * 0.5;
+                    let hi = lo + f64::from(w) * 0.5;
+                    TimeInterval::new(Timestamp::from_secs(lo), Timestamp::from_secs(hi))
+                })
+                .collect();
+            for pick in dup_picks {
+                let copy = intervals[pick % intervals.len()];
+                intervals.push(copy);
+            }
+            intervals
+        })
+}
+
 proptest! {
     #[test]
     fn sweep_matches_brute_force(intervals in arb_intervals()) {
@@ -72,6 +107,39 @@ proptest! {
             sweep.best().interval, bf_region,
             "sweep {:?} vs brute {:?}", sweep.best().interval, bf_region
         );
+    }
+
+    #[test]
+    fn sweep_matches_brute_force_on_degenerate_inputs(
+        intervals in arb_degenerate_intervals()
+    ) {
+        let sweep = best_intersection(&intervals).expect("non-empty input");
+        let (bf_cover, bf_region) = brute_force(&intervals);
+        prop_assert_eq!(sweep.coverage, bf_cover);
+        prop_assert_eq!(sweep.best().interval, bf_region);
+        for region in &sweep.regions {
+            prop_assert_eq!(region.members.len(), sweep.coverage);
+        }
+    }
+
+    #[test]
+    fn tolerating_matches_brute_force(
+        intervals in arb_degenerate_intervals(),
+        f_pick in 0usize..4,
+    ) {
+        let max_faulty = f_pick.min(intervals.len() - 1);
+        let got = intersect_tolerating(&intervals, max_faulty);
+        let want = brute_force_tolerating(&intervals, max_faulty);
+        prop_assert_eq!(got, want, "f = {}", max_faulty);
+        // Whenever an answer exists, every non-faulty-majority member
+        // really contains it: the region is a genuine intersection.
+        if let Some(region) = got {
+            let containing = intervals
+                .iter()
+                .filter(|iv| iv.contains_interval(&region))
+                .count();
+            prop_assert!(containing >= intervals.len() - max_faulty);
+        }
     }
 }
 

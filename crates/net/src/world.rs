@@ -370,6 +370,9 @@ pub struct World<A: Actor> {
     trace: Option<Trace>,
     /// Latest delivery time scheduled per directed link (FIFO mode).
     link_horizon: std::collections::HashMap<(NodeId, NodeId), Timestamp>,
+    /// Largest one-way delay actually scheduled so far (FIFO queueing
+    /// included) — the empirical half of the paper's `ξ`.
+    max_observed_delay: Duration,
 }
 
 impl<A: Actor> World<A> {
@@ -403,6 +406,7 @@ impl<A: Actor> World<A> {
             stats: NetStats::default(),
             trace: None,
             link_horizon: std::collections::HashMap::new(),
+            max_observed_delay: Duration::ZERO,
         };
         for i in 0..world.actors.len() {
             world.dispatch_start(NodeId::new(i));
@@ -431,6 +435,15 @@ impl<A: Actor> World<A> {
     #[must_use]
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// The largest one-way delay actually scheduled so far. Doubled,
+    /// this is the empirical counterpart of [`NetConfig::max_round_trip`]
+    /// (always `≤` it), letting an observer validate the `ξ` a bound was
+    /// computed with.
+    #[must_use]
+    pub fn max_observed_delay(&self) -> Duration {
+        self.max_observed_delay
     }
 
     /// The topology in force.
@@ -553,6 +566,7 @@ impl<A: Actor> World<A> {
             }
             self.link_horizon.insert((from, to), deliver_at);
         }
+        self.max_observed_delay = self.max_observed_delay.max(deliver_at - self.now);
         let seq = self.next_seq();
         self.queue.push(Event {
             time: deliver_at,
@@ -733,6 +747,22 @@ mod tests {
         }
         assert_eq!(world.stats().sent, 2);
         assert_eq!(world.stats().delivered, 2);
+    }
+
+    #[test]
+    fn observed_delay_tracks_scheduled_maximum() {
+        let mut actors = recorders(3);
+        actors[0].start_broadcast = Some(7);
+        let mut world = World::new(
+            actors,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            1,
+        );
+        // on_start already broadcast, so the delay is observed at build.
+        world.run_until(ts(1.0));
+        assert_eq!(world.max_observed_delay(), dur(0.01));
+        assert!(world.max_observed_delay() * 2.0 <= world.config.max_round_trip());
     }
 
     #[test]

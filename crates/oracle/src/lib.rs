@@ -1,0 +1,849 @@
+//! # tempo-oracle
+//!
+//! Online checking of the paper's theorems against a running simulation.
+//!
+//! The simulator knows ground-truth real time, so every claim the paper
+//! *proves* can be evaluated mechanically while a scenario runs:
+//!
+//! | Check | Paper reference |
+//! |---|---|
+//! | [`TheoremId::Correctness`] | Theorems 1 & 5 — `real ∈ [C−E, C+E]` |
+//! | [`TheoremId::ErrorGrowth`] | Rules MM-1/IM-1 — `E` grows at ≤ δ, resets only shrink it |
+//! | [`TheoremId::AdoptionGuard`] | Rules MM-2/IM-2 — a reset never increases `E` |
+//! | [`TheoremId::ErrorEnvelope`] | Theorems 2 & 4 — `E_i − E_M ≤ ξ + δ_i(τ+2ξ)` |
+//! | [`TheoremId::MmAsynchronism`] | Theorem 3 — MM pairwise clock skew bound |
+//! | [`TheoremId::IntersectionWidth`] | Theorem 6 — IM output ≤ narrowest input |
+//! | [`TheoremId::ImAsynchronism`] | Theorem 7 — IM pairwise clock skew bound |
+//! | [`TheoremId::Consistency`] | §5 — correct servers form one consistency group |
+//!
+//! (Theorem 8 — the *expected* IM width need not grow with the number of
+//! servers — is a distributional claim; experiment E9 covers it offline.)
+//!
+//! The oracle is pure: it never touches the network or the servers. The
+//! simulation feeds it per-sample snapshots ([`Oracle::observe_sample`])
+//! and per-reset round records ([`Oracle::observe_round`]); it returns a
+//! structured [`OracleReport`] whose [`Violation`]s carry everything
+//! needed to reproduce: the scenario seed, the event index, the server,
+//! the predicate, and the observed-vs-bound pair.
+//!
+//! Which predicates are *sound* depends on the scenario. Correctness of a
+//! non-faulty server, for example, is only guaranteed when no lying peer
+//! can sneak a consistent-but-wrong estimate past the strategy, and the
+//! envelope theorems assume a clean steady state (no loss, partitions, or
+//! faults). [`OracleConfig`] therefore gates each family; the scenario
+//! layer decides what applies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+use tempo_core::bounds::{thm2_gap_bound, thm3_asynchronism_bound, thm7_asynchronism_bound};
+use tempo_core::{DriftRate, Duration, Timestamp};
+
+/// Which proved statement a check (and hence a violation) refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TheoremId {
+    /// Theorems 1 & 5: a non-faulty server's interval contains real time.
+    Correctness,
+    /// Rules MM-1/IM-1 plus the shrink-only reset rules: between two
+    /// observations `E` may grow by at most `δ(1+δ)·Δt` of real time.
+    ErrorGrowth,
+    /// Rules MM-2/IM-2: an accepted reset never increases `E`.
+    AdoptionGuard,
+    /// Theorems 2 & 4: in steady state, `E_i − min_j E_j` is bounded by
+    /// `ξ + δ_i(τ + 2ξ)` (plus the proof's second-order slack).
+    ErrorEnvelope,
+    /// Theorem 3: MM pairwise asynchronism bound.
+    MmAsynchronism,
+    /// Theorem 6: an IM round's interval is never wider than its
+    /// narrowest input interval.
+    IntersectionWidth,
+    /// Theorem 7: IM pairwise asynchronism bound.
+    ImAsynchronism,
+    /// §5: correct servers are pairwise consistent (their intervals
+    /// intersect), i.e. they form a single consistency group.
+    Consistency,
+}
+
+impl TheoremId {
+    /// The statement in the paper this predicate encodes.
+    #[must_use]
+    pub fn paper_ref(&self) -> &'static str {
+        match self {
+            TheoremId::Correctness => "Theorems 1 & 5",
+            TheoremId::ErrorGrowth => "Rules MM-1/IM-1",
+            TheoremId::AdoptionGuard => "Rules MM-2/IM-2",
+            TheoremId::ErrorEnvelope => "Theorems 2 & 4",
+            TheoremId::MmAsynchronism => "Theorem 3",
+            TheoremId::IntersectionWidth => "Theorem 6",
+            TheoremId::ImAsynchronism => "Theorem 7",
+            TheoremId::Consistency => "Section 5 (consistency groups)",
+        }
+    }
+}
+
+impl fmt::Display for TheoremId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?} ({})", self.paper_ref())
+    }
+}
+
+/// One observed breach of a theorem predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The scenario's master seed (reproduces the run).
+    pub seed: u64,
+    /// Event index: the sample index for sample-level checks, the round
+    /// record index for round-level checks.
+    pub event: usize,
+    /// The server the predicate is *about* (for pairwise predicates, the
+    /// first of the pair; `detail` names the other).
+    pub server: usize,
+    /// The predicate that failed.
+    pub theorem: TheoremId,
+    /// The observed quantity, in seconds.
+    pub observed: f64,
+    /// The bound it had to respect, in seconds.
+    pub bound: f64,
+    /// Human-readable specifics (the pair, the phase, …).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} event {} server {}: {} violated — observed {:.6e}s > bound {:.6e}s ({})",
+            self.seed,
+            self.event,
+            self.server,
+            self.theorem,
+            self.observed,
+            self.bound,
+            self.detail
+        )
+    }
+}
+
+/// Steady-state envelope parameters for the bound theorems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeParams {
+    /// Which strategy's asynchronism theorem applies.
+    pub kind: EnvelopeKind,
+    /// The round-trip bound `ξ`.
+    pub xi: Duration,
+    /// The *effective* inter-reset spacing (nominal period plus jitter
+    /// plus collection window — see the E5/E8 experiments).
+    pub tau: Duration,
+    /// Real time before which the envelope is not checked (the service
+    /// needs a few rounds to reach steady state).
+    pub warmup: Timestamp,
+    /// Extra slack granted on top of the theorem bound, absorbing the
+    /// discreteness of sampling and non-simultaneous resets.
+    pub slack: Duration,
+}
+
+/// Which asynchronism theorem an envelope check uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeKind {
+    /// Theorems 2 & 3 (algorithm MM).
+    Mm,
+    /// Theorem 7 (algorithm IM).
+    Im,
+}
+
+/// Which predicate families the oracle evaluates.
+///
+/// Soundness is scenario-dependent; the layer that builds the scenario
+/// (and therefore knows about faults, loss, and the strategy) is
+/// responsible for enabling only the checks the theorems actually
+/// guarantee there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleConfig {
+    /// Theorems 1 & 5 on every trusted server.
+    pub check_correctness: bool,
+    /// Rule MM-1/IM-1 growth between consecutive samples.
+    pub check_error_growth: bool,
+    /// Rules MM-2/IM-2: resets never increase `E` (round-level).
+    pub check_adoption: bool,
+    /// Theorem 6 on IM round records.
+    pub check_intersection: bool,
+    /// §5 pairwise consistency of trusted servers.
+    pub check_consistency: bool,
+    /// Steady-state envelope theorems (2/3 or 7), when applicable.
+    pub envelope: Option<EnvelopeParams>,
+    /// Numeric tolerance added to every bound (floating-point headroom).
+    pub tolerance: Duration,
+}
+
+impl OracleConfig {
+    /// The always-sound safety core for the interval strategies under
+    /// step application: correctness, growth, adoption, intersection,
+    /// and consistency — no envelope.
+    #[must_use]
+    pub fn safety() -> Self {
+        OracleConfig {
+            check_correctness: true,
+            check_error_growth: true,
+            check_adoption: true,
+            check_intersection: true,
+            check_consistency: true,
+            envelope: None,
+            tolerance: Duration::from_secs(1e-9),
+        }
+    }
+
+    /// Adds the steady-state envelope checks.
+    #[must_use]
+    pub fn envelope(mut self, params: EnvelopeParams) -> Self {
+        self.envelope = Some(params);
+        self
+    }
+
+    /// Disables the per-server correctness and consistency checks (for
+    /// scenarios where a lying peer can legitimately corrupt an honest
+    /// server's estimate).
+    #[must_use]
+    pub fn without_trust_checks(mut self) -> Self {
+        self.check_correctness = false;
+        self.check_consistency = false;
+        self
+    }
+}
+
+/// Static per-server facts the oracle needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerView {
+    /// The server's claimed drift bound `δ_i`.
+    pub drift_bound: DriftRate,
+    /// Whether the theorems apply to this server at all: its clock obeys
+    /// the claimed bound and no fault is injected into it. Untrusted
+    /// servers are observed but never checked.
+    pub trusted: bool,
+}
+
+/// One server's state at a sampling instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleState {
+    /// The served clock reading `C_i(t)`.
+    pub clock: Timestamp,
+    /// The claimed error `E_i(t)`.
+    pub error: Duration,
+}
+
+/// One synthesis decision, as reported by the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundObservation {
+    /// Served clock at the decision instant.
+    pub clock: Timestamp,
+    /// `E_i` immediately before the decision.
+    pub error_before: Duration,
+    /// `E_i` written by the reset (`None` when the round kept the clock).
+    pub error_after: Option<Duration>,
+    /// Full widths of the candidate intervals (own first, each reply
+    /// widened by its round-trip allowance). Empty when the strategy is
+    /// not interval-synthesising (MM records leave it empty).
+    pub input_widths: Vec<Duration>,
+    /// True for §3 recovery adoptions, which are unconditional and may
+    /// legitimately increase `E`.
+    pub recovery: bool,
+}
+
+/// Keep at most this many violations verbatim; the total is still counted.
+const MAX_STORED_VIOLATIONS: usize = 64;
+
+/// The checker. Feed it samples and round records, then [`finish`].
+///
+/// [`finish`]: Oracle::finish
+#[derive(Debug)]
+pub struct Oracle {
+    seed: u64,
+    config: OracleConfig,
+    servers: Vec<ServerView>,
+    /// Last (real, error) per server, for the growth check.
+    prev: Vec<Option<(Timestamp, Duration)>>,
+    violations: Vec<Violation>,
+    total_violations: usize,
+    samples_checked: usize,
+    rounds_checked: Vec<usize>,
+}
+
+impl Oracle {
+    /// Creates an oracle for a run with the given master seed and
+    /// per-server facts.
+    #[must_use]
+    pub fn new(seed: u64, config: OracleConfig, servers: Vec<ServerView>) -> Self {
+        let n = servers.len();
+        Oracle {
+            seed,
+            config,
+            servers,
+            prev: vec![None; n],
+            violations: Vec::new(),
+            total_violations: 0,
+            samples_checked: 0,
+            rounds_checked: vec![0; n],
+        }
+    }
+
+    fn record(&mut self, violation: Violation) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_STORED_VIOLATIONS {
+            self.violations.push(violation);
+        }
+    }
+
+    fn tol(&self) -> Duration {
+        self.config.tolerance
+    }
+
+    /// Checks one sampling instant: `real` is ground-truth real time,
+    /// `states[i]` the snapshot of server `i` (`None` while it is not
+    /// part of the service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the server count.
+    pub fn observe_sample(&mut self, real: Timestamp, states: &[Option<SampleState>]) {
+        assert_eq!(
+            states.len(),
+            self.servers.len(),
+            "oracle was built for {} servers",
+            self.servers.len()
+        );
+        let event = self.samples_checked;
+        self.samples_checked += 1;
+        let tol = self.tol();
+
+        for (i, state) in states.iter().enumerate() {
+            let view = self.servers[i];
+            let Some(s) = state else {
+                self.prev[i] = None;
+                continue;
+            };
+            if !view.trusted {
+                continue;
+            }
+            if self.config.check_correctness {
+                let offset = (s.clock - real).abs();
+                if offset > s.error + tol {
+                    self.record(Violation {
+                        seed: self.seed,
+                        event,
+                        server: i,
+                        theorem: TheoremId::Correctness,
+                        observed: offset.as_secs(),
+                        bound: s.error.as_secs(),
+                        detail: format!("clock {} at real {real}", s.clock),
+                    });
+                }
+            }
+            if self.config.check_error_growth {
+                if let Some((prev_real, prev_error)) = self.prev[i] {
+                    let dt = (real - prev_real).max(Duration::ZERO);
+                    let delta = view.drift_bound;
+                    // The clock runs at most (1+δ) fast, and E grows at δ
+                    // per clock second; resets only shrink it.
+                    let allowed = prev_error
+                        + Duration::from_secs(dt.as_secs() * delta.as_f64() * delta.inflation())
+                        + tol;
+                    if s.error > allowed {
+                        self.record(Violation {
+                            seed: self.seed,
+                            event,
+                            server: i,
+                            theorem: TheoremId::ErrorGrowth,
+                            observed: s.error.as_secs(),
+                            bound: allowed.as_secs(),
+                            detail: format!("error rose from {prev_error} over {dt} of real time"),
+                        });
+                    }
+                }
+            }
+            self.prev[i] = Some((real, s.error));
+        }
+
+        if self.config.check_consistency {
+            self.check_pairwise_consistency(real, states, event);
+        }
+        if let Some(envelope) = self.config.envelope {
+            if real >= envelope.warmup {
+                self.check_envelope(&envelope, states, event);
+            }
+        }
+    }
+
+    fn check_pairwise_consistency(
+        &mut self,
+        _real: Timestamp,
+        states: &[Option<SampleState>],
+        event: usize,
+    ) {
+        let tol = self.tol();
+        for i in 0..states.len() {
+            if !self.servers[i].trusted {
+                continue;
+            }
+            let Some(a) = states[i] else { continue };
+            for (j, b) in states.iter().enumerate().skip(i + 1) {
+                if !self.servers[j].trusted {
+                    continue;
+                }
+                let Some(b) = *b else { continue };
+                let gap = (a.clock - b.clock).abs();
+                let reach = a.error + b.error + tol;
+                if gap > reach {
+                    self.record(Violation {
+                        seed: self.seed,
+                        event,
+                        server: i,
+                        theorem: TheoremId::Consistency,
+                        observed: gap.as_secs(),
+                        bound: reach.as_secs(),
+                        detail: format!("intervals of servers {i} and {j} are disjoint"),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_envelope(
+        &mut self,
+        envelope: &EnvelopeParams,
+        states: &[Option<SampleState>],
+        event: usize,
+    ) {
+        let tol = self.tol() + envelope.slack;
+        // E_M stand-in: the most accurate trusted server right now.
+        let Some(e_min) = states
+            .iter()
+            .zip(&self.servers)
+            .filter_map(|(s, v)| if v.trusted { s.map(|s| s.error) } else { None })
+            .min()
+        else {
+            return;
+        };
+
+        for i in 0..states.len() {
+            if !self.servers[i].trusted {
+                continue;
+            }
+            let Some(a) = states[i] else { continue };
+            let delta_i = self.servers[i].drift_bound;
+
+            if envelope.kind == EnvelopeKind::Mm {
+                let bound = thm2_gap_bound(envelope.xi, envelope.tau, delta_i) + tol;
+                let gap = (a.error - e_min).max(Duration::ZERO);
+                if gap > bound {
+                    self.record(Violation {
+                        seed: self.seed,
+                        event,
+                        server: i,
+                        theorem: TheoremId::ErrorEnvelope,
+                        observed: gap.as_secs(),
+                        bound: bound.as_secs(),
+                        detail: format!("E_i {} vs E_M {e_min}", a.error),
+                    });
+                }
+            }
+
+            for (j, b) in states.iter().enumerate().skip(i + 1) {
+                if !self.servers[j].trusted {
+                    continue;
+                }
+                let Some(b) = *b else { continue };
+                let delta_j = self.servers[j].drift_bound;
+                let skew = (a.clock - b.clock).abs();
+                let (theorem, bound) = match envelope.kind {
+                    EnvelopeKind::Mm => (
+                        TheoremId::MmAsynchronism,
+                        thm3_asynchronism_bound(e_min, envelope.xi, envelope.tau, delta_i, delta_j),
+                    ),
+                    EnvelopeKind::Im => (
+                        TheoremId::ImAsynchronism,
+                        // The extra ξ absorbs the one-way skew of
+                        // non-simultaneous resets (cf. experiment E8).
+                        thm7_asynchronism_bound(envelope.xi, envelope.tau, delta_i, delta_j)
+                            + envelope.xi,
+                    ),
+                };
+                let bound = bound + tol;
+                if skew > bound {
+                    self.record(Violation {
+                        seed: self.seed,
+                        event,
+                        server: i,
+                        theorem,
+                        observed: skew.as_secs(),
+                        bound: bound.as_secs(),
+                        detail: format!("pair ({i}, {j})"),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Checks one synthesis decision of server `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_round(&mut self, server: usize, round: &RoundObservation) {
+        let view = self.servers[server];
+        let event = self.rounds_checked[server];
+        self.rounds_checked[server] += 1;
+        if !view.trusted {
+            return;
+        }
+        let tol = self.tol();
+        let Some(after) = round.error_after else {
+            return;
+        };
+        if self.config.check_adoption && !round.recovery && after > round.error_before + tol {
+            self.record(Violation {
+                seed: self.seed,
+                event,
+                server,
+                theorem: TheoremId::AdoptionGuard,
+                observed: after.as_secs(),
+                bound: round.error_before.as_secs(),
+                detail: format!("reset at clock {} increased E", round.clock),
+            });
+        }
+        if self.config.check_intersection && !round.input_widths.is_empty() {
+            let narrowest = round
+                .input_widths
+                .iter()
+                .copied()
+                .fold(round.input_widths[0], Duration::min);
+            let width = after + after;
+            if width > narrowest + tol {
+                self.record(Violation {
+                    seed: self.seed,
+                    event,
+                    server,
+                    theorem: TheoremId::IntersectionWidth,
+                    observed: width.as_secs(),
+                    bound: narrowest.as_secs(),
+                    detail: format!(
+                        "intersection of {} inputs wider than the narrowest",
+                        round.input_widths.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Consumes the oracle and returns its findings.
+    #[must_use]
+    pub fn finish(self) -> OracleReport {
+        OracleReport {
+            violations: self.violations,
+            total_violations: self.total_violations,
+            samples_checked: self.samples_checked,
+            rounds_checked: self.rounds_checked.iter().sum(),
+        }
+    }
+}
+
+/// The structured outcome of an oracle-gated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// The first [`MAX_STORED_VIOLATIONS`] violations, in event order.
+    pub violations: Vec<Violation>,
+    /// The total number of violations (may exceed `violations.len()`).
+    pub total_violations: usize,
+    /// Sampling instants checked.
+    pub samples_checked: usize,
+    /// Round records checked.
+    pub rounds_checked: usize,
+}
+
+impl OracleReport {
+    /// True when no predicate was ever violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// The first violation, if any (the natural minimal witness).
+    #[must_use]
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "oracle: {} samples, {} rounds checked, violations: {}",
+            self.samples_checked, self.rounds_checked, self.total_violations
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.total_violations > self.violations.len() {
+            writeln!(
+                f,
+                "  … and {} more",
+                self.total_violations - self.violations.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    fn views(n: usize) -> Vec<ServerView> {
+        vec![
+            ServerView {
+                drift_bound: DriftRate::new(1e-4),
+                trusted: true,
+            };
+            n
+        ]
+    }
+
+    fn state(clock: f64, error: f64) -> Option<SampleState> {
+        Some(SampleState {
+            clock: ts(clock),
+            error: dur(error),
+        })
+    }
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let mut o = Oracle::new(7, OracleConfig::safety(), views(2));
+        o.observe_sample(ts(10.0), &[state(10.001, 0.01), state(9.999, 0.01)]);
+        o.observe_sample(ts(20.0), &[state(20.001, 0.011), state(19.999, 0.011)]);
+        let report = o.finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.samples_checked, 2);
+    }
+
+    #[test]
+    fn incorrect_server_is_flagged_with_seed_and_event() {
+        let mut o = Oracle::new(42, OracleConfig::safety(), views(2));
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01), state(10.0, 0.01)]);
+        // Server 1 claims 5 ms of error while being 50 ms off.
+        o.observe_sample(ts(20.0), &[state(20.0, 0.011), state(20.05, 0.005)]);
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::Correctness);
+        assert_eq!(v.seed, 42);
+        assert_eq!(v.event, 1);
+        assert_eq!(v.server, 1);
+        assert!(v.observed > v.bound);
+    }
+
+    #[test]
+    fn untrusted_servers_are_exempt() {
+        let mut servers = views(2);
+        servers[1].trusted = false;
+        let mut o = Oracle::new(0, OracleConfig::safety(), servers);
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01), state(13.0, 0.001)]);
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn error_jump_beyond_drift_growth_is_flagged() {
+        let mut o = Oracle::new(3, OracleConfig::safety(), views(1));
+        o.observe_sample(ts(0.0), &[state(0.0, 0.010)]);
+        // δ = 1e-4 over 2 s allows ≈ 0.2 ms of growth; 5 ms is a breach
+        // (exactly what a weakened MM-2 adoption guard would produce).
+        o.observe_sample(ts(2.0), &[state(2.0, 0.015)]);
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::ErrorGrowth);
+    }
+
+    #[test]
+    fn error_growth_within_drift_passes() {
+        let mut o = Oracle::new(3, OracleConfig::safety(), views(1));
+        o.observe_sample(ts(0.0), &[state(0.0, 0.010)]);
+        o.observe_sample(ts(2.0), &[state(2.0, 0.010 + 1.9e-4)]);
+        // A reset that shrinks the error is always fine.
+        o.observe_sample(ts(4.0), &[state(4.0, 0.002)]);
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn inactive_gap_resets_growth_baseline() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_sample(ts(0.0), &[state(0.0, 0.010)]);
+        o.observe_sample(ts(2.0), &[None]);
+        // After an absence the baseline must not be the stale sample.
+        o.observe_sample(ts(4.0), &[state(4.0, 0.5)]);
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn disjoint_intervals_violate_consistency() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(2));
+        // Both "correct-looking" individually is impossible here, so turn
+        // correctness off to isolate the §5 predicate.
+        let mut cfg = OracleConfig::safety();
+        cfg.check_correctness = false;
+        let mut o2 = Oracle::new(0, cfg, views(2));
+        o2.observe_sample(ts(10.0), &[state(10.0, 0.01), state(10.5, 0.01)]);
+        let report = o2.finish();
+        assert_eq!(
+            report.first().expect("violation").theorem,
+            TheoremId::Consistency
+        );
+        // And the plain-safety oracle flags the same instant (as
+        // correctness), proving the checks overlap as intended.
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01), state(10.5, 0.01)]);
+        assert!(!o.finish().is_clean());
+    }
+
+    #[test]
+    fn adoption_that_increases_error_is_flagged() {
+        let mut o = Oracle::new(9, OracleConfig::safety(), views(1));
+        o.observe_round(
+            0,
+            &RoundObservation {
+                clock: ts(30.0),
+                error_before: dur(0.010),
+                error_after: Some(dur(0.025)),
+                input_widths: vec![],
+                recovery: false,
+            },
+        );
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::AdoptionGuard);
+        assert_eq!(v.seed, 9);
+    }
+
+    #[test]
+    fn recovery_adoptions_may_increase_error() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_round(
+            0,
+            &RoundObservation {
+                clock: ts(30.0),
+                error_before: dur(0.010),
+                error_after: Some(dur(0.025)),
+                input_widths: vec![],
+                recovery: true,
+            },
+        );
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn intersection_wider_than_narrowest_input_is_flagged() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_round(
+            0,
+            &RoundObservation {
+                clock: ts(30.0),
+                error_before: dur(0.050),
+                error_after: Some(dur(0.040)), // width 0.08 > narrowest 0.06
+                input_widths: vec![dur(0.10), dur(0.06)],
+                recovery: false,
+            },
+        );
+        let report = o.finish();
+        assert_eq!(
+            report.first().expect("violation").theorem,
+            TheoremId::IntersectionWidth
+        );
+    }
+
+    #[test]
+    fn sound_intersection_passes() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_round(
+            0,
+            &RoundObservation {
+                clock: ts(30.0),
+                error_before: dur(0.050),
+                error_after: Some(dur(0.020)),
+                input_widths: vec![dur(0.10), dur(0.06)],
+                recovery: false,
+            },
+        );
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn mm_envelope_flags_runaway_error_gap() {
+        let params = EnvelopeParams {
+            kind: EnvelopeKind::Mm,
+            xi: dur(0.01),
+            tau: dur(10.0),
+            warmup: ts(5.0),
+            slack: Duration::ZERO,
+        };
+        let mut o = Oracle::new(0, OracleConfig::safety().envelope(params), views(2));
+        // Before warmup nothing is checked.
+        o.observe_sample(ts(1.0), &[state(1.0, 0.5), state(1.0, 0.01)]);
+        // After warmup a 0.5 s error against a 10 ms best is far beyond
+        // ξ + δ(τ+2ξ) ≈ 11 ms.
+        o.observe_sample(ts(8.0), &[state(8.0, 0.5), state(8.0, 0.01)]);
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::ErrorEnvelope);
+        assert_eq!(v.event, 1);
+    }
+
+    #[test]
+    fn im_envelope_flags_excess_skew() {
+        let params = EnvelopeParams {
+            kind: EnvelopeKind::Im,
+            xi: dur(0.01),
+            tau: dur(10.0),
+            warmup: ts(0.0),
+            slack: Duration::ZERO,
+        };
+        let mut cfg = OracleConfig::safety().envelope(params);
+        cfg.check_correctness = false;
+        cfg.check_consistency = false;
+        let mut o = Oracle::new(0, cfg, views(2));
+        // Thm 7 bound ≈ 0.01 + 2e-4·10 + 0.01 = 0.022; skew of 0.3 breaks it.
+        o.observe_sample(ts(8.0), &[state(8.0, 0.5), state(8.3, 0.5)]);
+        let report = o.finish();
+        assert_eq!(
+            report.first().expect("violation").theorem,
+            TheoremId::ImAsynchronism
+        );
+    }
+
+    #[test]
+    fn violation_overflow_is_counted_not_stored() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        for k in 0..(MAX_STORED_VIOLATIONS + 10) {
+            o.observe_sample(ts(k as f64), &[state(k as f64 + 1.0, 0.001)]);
+        }
+        let report = o.finish();
+        assert_eq!(report.violations.len(), MAX_STORED_VIOLATIONS);
+        assert!(report.total_violations > MAX_STORED_VIOLATIONS);
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("more"), "{text}");
+    }
+
+    #[test]
+    fn theorem_ids_cite_the_paper() {
+        assert!(TheoremId::Correctness.paper_ref().contains("1"));
+        assert!(TheoremId::IntersectionWidth.paper_ref().contains("6"));
+        assert!(TheoremId::ImAsynchronism.paper_ref().contains("7"));
+        assert!(TheoremId::Consistency.paper_ref().contains("5"));
+    }
+}

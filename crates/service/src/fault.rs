@@ -34,6 +34,17 @@ pub enum ServerFaultKind {
         /// claim perfection, `1.0` = honest error, skewed clock only).
         error_shrink: f64,
     },
+    /// An injected *implementation bug*, not a Byzantine behaviour: the
+    /// server's rule MM-2 adoption guard is weakened so that it adopts a
+    /// consistent peer estimate whose adjusted error exceeds its own by
+    /// up to `slack`, writing the inflated error. The theorems still
+    /// apply to such a server — which is the point: the theorem oracle
+    /// must catch the broken guard (rules MM-2/IM-2 say a reset never
+    /// increases `E`).
+    WeakenAdoption {
+        /// How much worse than its own error an adopted error may be.
+        slack: Duration,
+    },
 }
 
 /// A server fault armed to trigger at a given real time.
@@ -93,10 +104,37 @@ impl ServerFault {
         }
     }
 
+    /// The server's MM-2 adoption guard is weakened by `slack` from
+    /// real time `at` (a bug-injection probe for the theorem oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack` is negative.
+    #[must_use]
+    pub fn weaken_adoption_from(at: Timestamp, slack: Duration) -> Self {
+        assert!(
+            !slack.is_negative(),
+            "adoption slack must be non-negative, got {slack}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::WeakenAdoption { slack },
+        }
+    }
+
     /// Whether the fault is active at real time `now`.
     #[must_use]
     pub fn active_at(&self, now: Timestamp) -> bool {
         now >= self.at
+    }
+
+    /// Whether this fault breaks the theorems' *assumptions* (crash,
+    /// omission, lying). [`ServerFaultKind::WeakenAdoption`] does not:
+    /// it is a bug in the synchronisation logic of an otherwise honest
+    /// server, exactly what an invariant checker exists to catch.
+    #[must_use]
+    pub fn is_byzantine(&self) -> bool {
+        !matches!(self.kind, ServerFaultKind::WeakenAdoption { .. })
     }
 }
 

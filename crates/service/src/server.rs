@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use tempo_clocks::{ClockDiscipline, DisciplineConfig, SimClock};
+use tempo_core::bounds::mm2_adjusted_error;
 use tempo_core::sync::baseline::baseline_round;
 use tempo_core::sync::im::{im_round, ImOutcome};
 use tempo_core::sync::mm::{mm_decide, MmOutcome};
@@ -127,6 +128,29 @@ impl ServerSample {
     }
 }
 
+/// One synthesis decision, recorded when
+/// [`ServerConfig::trace_rounds`] is on. The theorem oracle replays
+/// these against rules MM-2/IM-2 (a reset never increases `E`) and
+/// Theorem 6 (an intersection is never wider than its narrowest input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Served clock reading at the decision instant.
+    pub clock: Timestamp,
+    /// `E_i` immediately before the decision.
+    pub error_before: Duration,
+    /// The error written by the reset, or `None` when the round kept
+    /// the clock (MM `Keep`, empty intersection, degraded round).
+    pub error_after: Option<Duration>,
+    /// Full widths of the candidate intervals an interval-synthesising
+    /// round intersected: the server's own `2·E_i` first, then each
+    /// reply widened by its round-trip allowance. Empty for MM (which
+    /// adopts rather than intersects) and for baselines.
+    pub input_widths: Vec<Duration>,
+    /// True when the adoption was unconditional — §3 recovery, or the
+    /// Marzullo disjoint-fallback — and may legitimately increase `E`.
+    pub recovery: bool,
+}
+
 /// A time server (see module docs).
 #[derive(Debug)]
 pub struct TimeServer {
@@ -154,6 +178,9 @@ pub struct TimeServer {
     /// Slewing discipline, present in [`ApplyMode::Slew`]. The protocol
     /// then runs entirely on the *disciplined* (monotonic) clock.
     discipline: Option<ClockDiscipline>,
+    /// Synthesis decisions recorded for the oracle
+    /// (empty unless [`ServerConfig::trace_rounds`]).
+    round_trace: Vec<RoundRecord>,
 }
 
 impl TimeServer {
@@ -205,6 +232,7 @@ impl TimeServer {
             health,
             round_start_clock: start_reading,
             discipline,
+            round_trace: Vec::new(),
         }
     }
 
@@ -260,6 +288,18 @@ impl TimeServer {
     /// experiments).
     pub fn clock_mut(&mut self) -> &mut SimClock {
         &mut self.clock
+    }
+
+    /// Drains the recorded synthesis decisions (empty unless
+    /// [`ServerConfig::trace_rounds`] is on).
+    pub fn take_round_trace(&mut self) -> Vec<RoundRecord> {
+        std::mem::take(&mut self.round_trace)
+    }
+
+    fn trace_round(&mut self, record: RoundRecord) {
+        if self.config.trace_rounds {
+            self.round_trace.push(record);
+        }
     }
 
     /// The current health verdict on `peer` (always Healthy under
@@ -499,6 +539,14 @@ impl TimeServer {
             // the usual round-trip allowance on the inherited error.
             let new_error =
                 estimate.error() + reply.round_trip * self.config.drift_bound.inflation();
+            let error_before = self.state.estimate_at(clock_now).error();
+            self.trace_round(RoundRecord {
+                clock: clock_now,
+                error_before,
+                error_after: Some(new_error),
+                input_widths: Vec::new(),
+                recovery: true,
+            });
             self.apply_reset(
                 now,
                 Reset {
@@ -515,8 +563,47 @@ impl TimeServer {
             Strategy::Mm => {
                 let own = self.state.estimate_at(clock_now);
                 match mm_decide(&own, self.config.drift_bound, &reply) {
-                    MmOutcome::Reset(reset) => self.apply_reset(now, reset),
-                    MmOutcome::Keep => {}
+                    MmOutcome::Reset(reset) => {
+                        self.trace_round(RoundRecord {
+                            clock: clock_now,
+                            error_before: own.error(),
+                            error_after: Some(reset.new_error),
+                            input_widths: Vec::new(),
+                            recovery: false,
+                        });
+                        self.apply_reset(now, reset);
+                    }
+                    MmOutcome::Keep => {
+                        // Injected bug: a weakened MM-2 guard adopts
+                        // estimates the real rule rejects, writing an
+                        // error *larger* than its own — the defect the
+                        // theorem oracle exists to catch.
+                        if let Some(ServerFaultKind::WeakenAdoption { slack }) =
+                            self.fault_kind(now)
+                        {
+                            let adjusted = mm2_adjusted_error(
+                                reply.estimate.error(),
+                                reply.round_trip,
+                                self.config.drift_bound,
+                            );
+                            if adjusted <= own.error() + slack {
+                                self.trace_round(RoundRecord {
+                                    clock: clock_now,
+                                    error_before: own.error(),
+                                    error_after: Some(adjusted),
+                                    input_widths: Vec::new(),
+                                    recovery: false,
+                                });
+                                self.apply_reset(
+                                    now,
+                                    Reset {
+                                        new_clock: reply.estimate.time(),
+                                        new_error: adjusted,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     MmOutcome::Inconsistent => {
                         self.stats.inconsistencies += 1;
                         self.maybe_recover(Some(from), ctx);
@@ -601,7 +688,28 @@ impl TimeServer {
         match self.config.strategy {
             Strategy::Mm => unreachable!("MM does not use round windows"),
             Strategy::Im => match im_round(&own, self.config.drift_bound, &replies) {
-                ImOutcome::Reset(reset) => self.apply_reset(now, reset),
+                ImOutcome::Reset(reset) => {
+                    if self.config.trace_rounds {
+                        // Theorem 6 inputs: own interval plus each reply
+                        // widened by its round-trip allowance.
+                        let mut input_widths = vec![own.error() + own.error()];
+                        for r in &replies {
+                            input_widths.push(
+                                r.estimate.error()
+                                    + r.estimate.error()
+                                    + r.round_trip * self.config.drift_bound.inflation(),
+                            );
+                        }
+                        self.trace_round(RoundRecord {
+                            clock: clock_now,
+                            error_before: own.error(),
+                            error_after: Some(reset.new_error),
+                            input_widths,
+                            recovery: false,
+                        });
+                    }
+                    self.apply_reset(now, reset);
+                }
                 ImOutcome::Inconsistent => {
                     self.stats.inconsistencies += 1;
                     let peer = self.round_replies.first().map(|b| b.peer);
@@ -625,7 +733,23 @@ impl TimeServer {
                         // Guard: never adopt an interval disjoint from our
                         // own (we would be provably incorrect if we were
                         // previously correct).
-                        let clipped: TimeInterval = best.intersect(&own.interval()).unwrap_or(best);
+                        let (clipped, within_own): (TimeInterval, bool) =
+                            match best.intersect(&own.interval()) {
+                                Some(c) => (c, true),
+                                None => (best, false),
+                            };
+                        // With f > 0 the max-coverage region may exclude
+                        // some inputs, so Theorem 6 does not apply:
+                        // record no input widths. The disjoint fallback
+                        // is an unconditional adoption (it may raise E),
+                        // so it is flagged like a recovery.
+                        self.trace_round(RoundRecord {
+                            clock: clock_now,
+                            error_before: own.error(),
+                            error_after: Some(clipped.radius()),
+                            input_widths: Vec::new(),
+                            recovery: !within_own,
+                        });
                         self.apply_reset(
                             now,
                             Reset {

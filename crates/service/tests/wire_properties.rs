@@ -72,4 +72,49 @@ proptest! {
         let cut = cut_seed % bytes.len();
         prop_assert!(decode(&bytes[..cut]).is_err());
     }
+
+    /// A valid packet with trailing garbage is rejected, never panics —
+    /// the declared type fixes the length exactly.
+    #[test]
+    fn trailing_garbage_rejected(
+        msg in arb_message(),
+        tail in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut bytes = encode(&msg);
+        bytes.extend_from_slice(&tail);
+        prop_assert!(decode(&bytes).is_err());
+    }
+
+    /// Wild buffer lengths — far beyond any valid packet — error
+    /// cleanly. Catches any indexing that trusts `len` before checking.
+    #[test]
+    fn wild_lengths_never_panic(
+        len in 0usize..4096,
+        fill in any::<u8>(),
+        msg in arb_message(),
+    ) {
+        // A worst-case buffer: a *valid header prefix* followed by
+        // `fill` up to a wild length, so decode gets past the cheap
+        // checks before the length lies to it.
+        let valid = encode(&msg);
+        let mut bytes = vec![fill; len];
+        let header = valid.len().min(len).min(6);
+        bytes[..header].copy_from_slice(&valid[..header]);
+        if let Ok(decoded) = decode(&bytes) {
+            // Only reachable when the buffer happens to be exactly a
+            // valid packet again.
+            prop_assert_eq!(encode(&decoded), bytes);
+        }
+    }
+
+    /// Every corruption of the type byte errors or still round-trips;
+    /// no declared type may cause an out-of-bounds body read.
+    #[test]
+    fn arbitrary_type_byte_never_panics(msg in arb_message(), kind in any::<u8>()) {
+        let mut bytes = encode(&msg);
+        bytes[2] = kind;
+        if let Ok(decoded) = decode(&bytes) {
+            prop_assert_eq!(encode(&decoded), bytes);
+        }
+    }
 }

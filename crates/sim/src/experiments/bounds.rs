@@ -3,7 +3,8 @@
 
 use std::fmt;
 
-use tempo_core::{Duration, Timestamp};
+use tempo_core::bounds::{thm2_gap_bound, thm3_asynchronism_bound, thm7_asynchronism_bound};
+use tempo_core::{DriftRate, Duration, Timestamp};
 use tempo_net::DelayModel;
 use tempo_service::Strategy;
 
@@ -76,9 +77,10 @@ fn run_mm_config(n: usize, delta: f64, tau: f64, max_delay: f64, seed: u64) -> B
     let result = scenario.run();
 
     let xi = 2.0 * max_delay;
+    let d = DriftRate::new(delta);
     let observed_gap = result.max_error_gap_after(warmup).as_secs();
     // Theorem 2 bound with the proof's dropped 2δξ slack reinstated.
-    let gap_bound = xi + delta * (tau + 2.0 * xi) + 2.0 * delta * xi;
+    let gap_bound = thm2_gap_bound(Duration::from_secs(xi), Duration::from_secs(tau), d).as_secs();
 
     // Theorem 3 is per-instant (it references E_M(t)); check the worst
     // margin over the post-warm-up samples.
@@ -88,10 +90,14 @@ fn run_mm_config(n: usize, delta: f64, tau: f64, max_delay: f64, seed: u64) -> B
         let a = row.asynchronism().as_secs();
         if a >= observed_asynch {
             observed_asynch = a;
-            asynch_bound = 2.0 * row.min_error().as_secs()
-                + 2.0 * xi
-                + 2.0 * delta * (tau + 2.0 * xi)
-                + 4.0 * delta * xi;
+            asynch_bound = thm3_asynchronism_bound(
+                row.min_error(),
+                Duration::from_secs(xi),
+                Duration::from_secs(tau),
+                d,
+                d,
+            )
+            .as_secs();
         }
     }
 
@@ -229,8 +235,17 @@ fn run_im_config(
     let xi = 2.0 * max_delay;
     // Theorem 7 assumes simultaneous resets; in the protocol, resets are
     // up to (τ·(1+jitter) + window) apart, during which two clocks can
-    // separate at 2δ. Using the full period keeps the bound honest.
-    let bound = xi + 2.0 * delta * (tau * 1.1 + window) + xi;
+    // separate at 2δ, and the reset itself can land anywhere in an extra
+    // ξ of one-way skew. Using the full period keeps the bound honest.
+    let d = DriftRate::new(delta);
+    let bound = thm7_asynchronism_bound(
+        Duration::from_secs(xi),
+        Duration::from_secs(tau * 1.1 + window),
+        d,
+        d,
+    )
+    .as_secs()
+        + xi;
     ImAsynchRow {
         n,
         delta,

@@ -1,0 +1,495 @@
+//! E17 — the oracle-gated scenario fuzzer.
+//!
+//! Every experiment so far checks the theorems at hand-picked
+//! configurations. The fuzzer closes the gap: from a seed it generates a
+//! random deployment — topology size, drifts, initial offsets, delays,
+//! loss, duplication, partitions, liars, synchronisation algorithm —
+//! runs it with the theorem oracle armed (gated to the predicates the
+//! theorems actually guarantee in that deployment), and on a violation
+//! *shrinks* the scenario to a minimal reproducer: network chaos first,
+//! then faults, then the horizon, then servers, until nothing more can
+//! be removed without losing the violation.
+//!
+//! Generation and replay are fully determined by `(seed, horizon)`, so a
+//! failure report is reproducible from its numbers alone.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempo_core::{Duration, Timestamp};
+use tempo_net::{DelayModel, NodeId, Partition};
+use tempo_oracle::{EnvelopeKind, EnvelopeParams, OracleConfig, Violation};
+use tempo_service::{ServerFault, Strategy};
+
+use crate::scenario::{Scenario, ServerSpec};
+
+/// One generated server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzServer {
+    /// Actual constant drift (within `bound` — honest hardware).
+    pub drift: f64,
+    /// Claimed drift bound `δ_i`.
+    pub bound: f64,
+    /// Initial inherited error, seconds.
+    pub initial_error: f64,
+    /// Initial offset, seconds (within the initial error, so Theorem 1
+    /// holds at `t = 0`).
+    pub initial_offset: f64,
+    /// Whether this server lies to its peers (Marzullo cases only).
+    pub liar: bool,
+    /// Whether this server's MM-2 adoption guard is weakened (the
+    /// bug-injection probe; never generated, armed by tests/CLI).
+    pub weakened: bool,
+}
+
+/// One generated scenario, reproducible from its seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// The generation seed (also the scenario's master seed).
+    pub seed: u64,
+    /// The synchronisation algorithm under test.
+    pub strategy: Strategy,
+    /// The generated servers.
+    pub servers: Vec<FuzzServer>,
+    /// Maximum one-way delay, seconds.
+    pub max_delay: f64,
+    /// Message loss probability.
+    pub loss: f64,
+    /// Message duplication probability.
+    pub duplication: f64,
+    /// Whether a mid-run partition splits the service in two.
+    pub partition: bool,
+    /// Resync period `τ`, seconds.
+    pub resync: f64,
+    /// Run length, seconds.
+    pub horizon: f64,
+}
+
+impl FuzzCase {
+    /// Generates a case from a seed. The same `(seed, horizon)` always
+    /// yields the same case.
+    #[must_use]
+    pub fn from_seed(seed: u64, horizon: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = rng.random_range(3..=6usize);
+        let strategy = match rng.random_range(0..3u32) {
+            0 => Strategy::Mm,
+            1 => Strategy::Im,
+            _ => Strategy::MarzulloTolerant { max_faulty: 1 },
+        };
+        // A lying server is only generated where the algorithm claims to
+        // tolerate it: Marzullo with f = 1 needs n ≥ 4 so the honest
+        // majority still pins the max-coverage region.
+        let with_liar = matches!(strategy, Strategy::MarzulloTolerant { .. })
+            && n >= 4
+            && rng.random::<f64>() < 0.4;
+        let servers = (0..n)
+            .map(|i| {
+                // Log-uniform bound in [1e-5, 1e-3].
+                let bound = 10f64.powf(rng.random_range(-5.0..-3.0));
+                let drift = rng.random_range(-1.0..1.0) * bound;
+                let initial_error = rng.random_range(0.005..0.020);
+                let initial_offset = rng.random_range(-0.4..0.4) * initial_error;
+                FuzzServer {
+                    drift,
+                    bound,
+                    initial_error,
+                    initial_offset,
+                    liar: with_liar && i == n - 1,
+                    weakened: false,
+                }
+            })
+            .collect();
+        let max_delay = rng.random_range(0.001..0.008);
+        let loss = if rng.random::<bool>() {
+            0.0
+        } else {
+            rng.random_range(0.0..0.2)
+        };
+        let duplication = if rng.random::<f64>() < 0.2 {
+            rng.random_range(0.0..0.05)
+        } else {
+            0.0
+        };
+        let partition = rng.random::<f64>() < 0.25;
+        let resync = rng.random_range(5.0..12.0);
+        FuzzCase {
+            seed,
+            strategy,
+            servers,
+            max_delay,
+            loss,
+            duplication,
+            partition,
+            resync,
+            horizon,
+        }
+    }
+
+    /// Whether any server lies.
+    #[must_use]
+    pub fn has_liar(&self) -> bool {
+        self.servers.iter().any(|s| s.liar)
+    }
+
+    /// Whether the network misbehaves at all.
+    #[must_use]
+    pub fn has_chaos(&self) -> bool {
+        self.loss > 0.0 || self.duplication > 0.0 || self.partition
+    }
+
+    /// The round-trip bound `ξ` implied by the delay model.
+    #[must_use]
+    pub fn xi(&self) -> f64 {
+        2.0 * self.max_delay
+    }
+
+    /// The oracle gating this case is *sound* under:
+    ///
+    /// * error growth and the adoption guard always apply (with a liar
+    ///   under Marzullo, the disjoint-fallback adoption may raise `E` on
+    ///   an honest server, so growth is exempted there);
+    /// * correctness and consistency apply unless a liar can corrupt an
+    ///   honest server's estimate (Marzullo's max-coverage region is not
+    ///   guaranteed to contain real time when a liar is present);
+    /// * the Theorem 6 intersection check applies wherever IM rounds are
+    ///   traced;
+    /// * the steady-state envelope theorems (2/3 for MM, 7 for IM) apply
+    ///   only to clean deployments: no loss, duplication, partitions, or
+    ///   liars, and a warm-up of `3τ`.
+    #[must_use]
+    pub fn oracle_config(&self) -> OracleConfig {
+        let mut config = OracleConfig::safety();
+        if self.has_liar() {
+            config = config.without_trust_checks();
+            config.check_error_growth = false;
+        }
+        let envelope_kind = match self.strategy {
+            Strategy::Mm => Some(EnvelopeKind::Mm),
+            Strategy::Im => Some(EnvelopeKind::Im),
+            _ => None,
+        };
+        if let Some(kind) = envelope_kind {
+            if !self.has_chaos() && !self.has_liar() {
+                let xi = self.xi();
+                // Effective inter-reset spacing: period + 10 % jitter +
+                // the collection window (cf. experiment E8).
+                let tau_eff = self.resync * 1.1 + self.collect_window();
+                config = config.envelope(EnvelopeParams {
+                    kind,
+                    xi: Duration::from_secs(xi),
+                    tau: Duration::from_secs(tau_eff),
+                    warmup: Timestamp::from_secs(3.0 * self.resync),
+                    slack: Duration::from_secs(xi),
+                });
+            }
+        }
+        config
+    }
+
+    fn collect_window(&self) -> f64 {
+        (self.max_delay * 4.0).min(self.resync / 2.0)
+    }
+
+    /// The runnable scenario this case describes.
+    #[must_use]
+    pub fn scenario(&self) -> Scenario {
+        let n = self.servers.len();
+        let mut scenario = Scenario::new(self.strategy)
+            .delay(DelayModel::Uniform {
+                min: Duration::ZERO,
+                max: Duration::from_secs(self.max_delay),
+            })
+            .loss(self.loss)
+            .duplication(self.duplication)
+            .resync_period(Duration::from_secs(self.resync))
+            .collect_window(Duration::from_secs(self.collect_window()))
+            .duration(Duration::from_secs(self.horizon))
+            .sample_interval(Duration::from_secs(1.0))
+            .seed(self.seed)
+            .oracle(self.oracle_config());
+        if self.partition {
+            let half = n / 2;
+            scenario = scenario.partition(Partition {
+                from: Timestamp::from_secs(self.horizon * 0.3),
+                until: Timestamp::from_secs(self.horizon * 0.5),
+                groups: vec![
+                    (0..half).map(NodeId::new).collect(),
+                    (half..n).map(NodeId::new).collect(),
+                ],
+            });
+        }
+        for server in &self.servers {
+            let mut spec = ServerSpec::honest(server.drift, server.bound)
+                .initial_error(Duration::from_secs(server.initial_error))
+                .initial_offset(Duration::from_secs(server.initial_offset));
+            if server.liar {
+                spec = spec.server_fault(ServerFault::lie_from(
+                    Timestamp::from_secs(self.horizon * 0.2),
+                    Duration::from_secs(0.5),
+                    0.1,
+                ));
+            }
+            if server.weakened {
+                spec = spec.server_fault(ServerFault::weaken_adoption_from(
+                    Timestamp::ZERO,
+                    Duration::from_secs(0.050),
+                ));
+            }
+            scenario = scenario.server(spec);
+        }
+        scenario
+    }
+
+    /// Runs the case and returns the first violation, if any.
+    #[must_use]
+    pub fn check(&self) -> Option<Violation> {
+        let result = self.scenario().run();
+        let report = result.oracle.expect("fuzz cases always arm the oracle");
+        report.violations.into_iter().next()
+    }
+}
+
+impl fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} {} n={} delay≤{:.1}ms loss={:.2} dup={:.2} partition={} τ={:.1}s horizon={:.0}s",
+            self.seed,
+            self.strategy,
+            self.servers.len(),
+            self.max_delay * 1e3,
+            self.loss,
+            self.duplication,
+            self.partition,
+            self.resync,
+            self.horizon,
+        )?;
+        for (i, s) in self.servers.iter().enumerate() {
+            write!(
+                f,
+                "\n    server {i}: drift={:+.2e} bound={:.0e} ε₀={:.1}ms offset₀={:+.1}ms{}{}",
+                s.drift,
+                s.bound,
+                s.initial_error * 1e3,
+                s.initial_offset * 1e3,
+                if s.liar { " LIAR" } else { "" },
+                if s.weakened { " WEAKENED-GUARD" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Shrinks a failing case to a minimal reproducer: repeatedly tries the
+/// cheapest simplification that still violates, to a fixpoint. Order:
+/// drop network chaos, drop liars, halve the horizon, drop servers from
+/// the end.
+#[must_use]
+pub fn shrink(mut case: FuzzCase) -> FuzzCase {
+    'outer: loop {
+        let mut candidates: Vec<FuzzCase> = Vec::new();
+        if case.has_chaos() {
+            let mut calm = case.clone();
+            calm.loss = 0.0;
+            calm.duplication = 0.0;
+            calm.partition = false;
+            candidates.push(calm);
+        }
+        if case.has_liar() {
+            let mut honest = case.clone();
+            for s in &mut honest.servers {
+                s.liar = false;
+            }
+            candidates.push(honest);
+        }
+        if case.horizon > 4.0 * case.resync {
+            let mut shorter = case.clone();
+            shorter.horizon /= 2.0;
+            candidates.push(shorter);
+        }
+        if case.servers.len() > 2 {
+            for drop_idx in (0..case.servers.len()).rev() {
+                let mut fewer = case.clone();
+                fewer.servers.remove(drop_idx);
+                candidates.push(fewer);
+            }
+        }
+        for candidate in candidates {
+            if candidate.check().is_some() {
+                case = candidate;
+                continue 'outer;
+            }
+        }
+        return case;
+    }
+}
+
+/// One confirmed violation with its minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The seed that produced the original failing case.
+    pub seed: u64,
+    /// The shrunk case.
+    pub minimal: FuzzCase,
+    /// The first violation the minimal case produces.
+    pub violation: Violation,
+}
+
+/// Results of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct Fuzz {
+    /// How many seeds were generated and run.
+    pub cases_run: usize,
+    /// The failures, one per violating seed, each shrunk.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl Fuzz {
+    /// True when no generated case violated any gated predicate.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for Fuzz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E17 — oracle-gated fuzz: {} cases, {} violating",
+            self.cases_run,
+            self.failures.len()
+        )?;
+        if self.is_clean() {
+            writeln!(f, "ok: every gated theorem held on every generated case")?;
+        }
+        for failure in &self.failures {
+            writeln!(f, "FAIL seed {}:", failure.seed)?;
+            writeln!(f, "  {}", failure.violation)?;
+            writeln!(f, "  minimal reproducer: {}", failure.minimal)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the fuzzer over a seed range, shrinking every failure.
+#[must_use]
+pub fn fuzz(seeds: Range<u64>, horizon: f64) -> Fuzz {
+    let mut failures = Vec::new();
+    let mut cases_run = 0;
+    for seed in seeds {
+        cases_run += 1;
+        let case = FuzzCase::from_seed(seed, horizon);
+        if case.check().is_some() {
+            let minimal = shrink(case);
+            let violation = minimal.check().expect("shrinking preserves the violation");
+            failures.push(FuzzFailure {
+                seed,
+                minimal,
+                violation,
+            });
+        }
+    }
+    Fuzz {
+        cases_run,
+        failures,
+    }
+}
+
+/// The catalogue entry: a fixed smoke sweep (seeds 0..32, 60 s horizon).
+#[must_use]
+pub fn fuzz_smoke() -> Fuzz {
+    fuzz(0..32, 60.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_oracle::TheoremId;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(FuzzCase::from_seed(7, 60.0), FuzzCase::from_seed(7, 60.0));
+        assert_ne!(FuzzCase::from_seed(7, 60.0), FuzzCase::from_seed(8, 60.0));
+    }
+
+    #[test]
+    fn generated_cases_respect_their_own_constraints() {
+        for seed in 0..50 {
+            let case = FuzzCase::from_seed(seed, 60.0);
+            assert!((3..=6).contains(&case.servers.len()));
+            for s in &case.servers {
+                assert!(s.drift.abs() <= s.bound, "honest hardware");
+                assert!(s.initial_offset.abs() < s.initial_error, "correct at t = 0");
+                if s.liar {
+                    assert!(
+                        matches!(case.strategy, Strategy::MarzulloTolerant { .. }),
+                        "liars only where tolerated"
+                    );
+                    assert!(case.servers.len() >= 4);
+                }
+            }
+            assert!(case.collect_window() < case.resync);
+            // The scenario must build and validate.
+            let _ = case.scenario();
+        }
+    }
+
+    #[test]
+    fn small_fuzz_sweep_is_clean() {
+        let outcome = fuzz(0..8, 45.0);
+        assert_eq!(outcome.cases_run, 8);
+        assert!(outcome.is_clean(), "{outcome}");
+    }
+
+    #[test]
+    fn weakened_adoption_guard_is_caught_and_shrunk() {
+        // The acceptance probe: an MM deployment whose server 1 runs a
+        // weakened MM-2 guard, buried under network chaos and extra
+        // servers. The oracle must catch it and shrinking must strip
+        // the camouflage while keeping the bug.
+        let mut case = FuzzCase::from_seed(1234, 120.0);
+        case.strategy = Strategy::Mm;
+        for s in &mut case.servers {
+            s.liar = false;
+        }
+        while case.servers.len() < 5 {
+            case.servers.push(case.servers[0]);
+        }
+        case.loss = 0.1;
+        case.duplication = 0.02;
+        case.partition = true;
+        case.servers[1].weakened = true;
+
+        let violation = case.check().expect("the weakened guard must violate");
+        assert!(matches!(
+            violation.theorem,
+            TheoremId::AdoptionGuard | TheoremId::ErrorGrowth
+        ));
+
+        let minimal = shrink(case);
+        assert!(!minimal.has_chaos(), "chaos must shrink away");
+        assert!(
+            minimal.servers.len() <= 3,
+            "server count must shrink, got {}",
+            minimal.servers.len()
+        );
+        assert!(
+            minimal.servers.iter().any(|s| s.weakened),
+            "the buggy server must survive shrinking"
+        );
+        let v = minimal.check().expect("still violating");
+        assert_eq!(v.seed, minimal.seed, "reproducer carries its seed");
+    }
+
+    #[test]
+    fn fuzz_report_renders() {
+        let outcome = fuzz(0..2, 30.0);
+        let text = outcome.to_string();
+        assert!(text.contains("E17"), "{text}");
+        assert!(text.contains("2 cases"), "{text}");
+    }
+}

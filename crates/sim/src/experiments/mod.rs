@@ -13,6 +13,7 @@ pub mod churn;
 pub mod consonance;
 pub mod convergence;
 pub mod figures;
+pub mod fuzz;
 pub mod growth;
 pub mod loss;
 pub mod recovery;
@@ -28,6 +29,7 @@ pub use churn::{churn, churn_with, Churn};
 pub use consonance::{consonance, Consonance};
 pub use convergence::{convergence, Convergence};
 pub use figures::{figure1, figure2, figure3, figure4, Fig1, Fig2, Fig3, Fig4};
+pub use fuzz::{fuzz, fuzz_smoke, shrink, Fuzz, FuzzCase, FuzzFailure, FuzzServer};
 pub use growth::{ten_x, thm8_error_vs_n, TenX, Thm8};
 pub use loss::{loss_sweep, LossSweep};
 pub use recovery::{recovery, Recovery};

@@ -37,3 +37,6 @@ pub mod scenario;
 
 pub use metrics::{RunResult, SampleRow};
 pub use scenario::{Scenario, ServerSpec};
+pub use tempo_oracle::{
+    EnvelopeKind, EnvelopeParams, OracleConfig, OracleReport, TheoremId, Violation,
+};

@@ -145,6 +145,8 @@ pub struct RunResult {
     pub final_stats: Vec<ServerStats>,
     /// Network counters.
     pub net: NetStats,
+    /// Theorem-oracle findings, when the scenario armed one.
+    pub oracle: Option<tempo_oracle::OracleReport>,
 }
 
 impl RunResult {
@@ -384,6 +386,7 @@ mod tests {
             ],
             final_stats: vec![],
             net: NetStats::default(),
+            oracle: None,
         };
         assert!((result.max_asynchronism().as_secs() - 0.5).abs() < 1e-12);
         assert_eq!(
@@ -434,6 +437,7 @@ mod tests {
             ],
             final_stats: vec![],
             net: NetStats::default(),
+            oracle: None,
         };
         let a = result.asynchronism_summary(Timestamp::ZERO);
         assert!((a.max - 0.5).abs() < 1e-12);
@@ -452,6 +456,7 @@ mod tests {
             ],
             final_stats: vec![],
             net: NetStats::default(),
+            oracle: None,
         };
         assert_eq!(
             result.settles_most_precise(1),

@@ -8,6 +8,7 @@
 use tempo_clocks::{DriftModel, Fault, SimClock};
 use tempo_core::{DriftRate, Duration, Timestamp};
 use tempo_net::{DelayModel, NetConfig, Partition, Topology, World};
+use tempo_oracle::{Oracle, OracleConfig, RoundObservation, SampleState, ServerView};
 use tempo_service::{
     ApplyMode, HealthConfig, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig,
     ServerFault, Strategy, TimeServer,
@@ -155,6 +156,12 @@ pub struct Scenario {
     pub sample_interval: Duration,
     /// Master seed (drives clocks, network, and per-server RNGs).
     pub seed: u64,
+    /// When set, the run is checked online against the paper's theorems
+    /// (round tracing is switched on automatically) and the findings are
+    /// returned in [`RunResult::oracle`]. Servers with an armed clock or
+    /// process fault, or whose actual drift exceeds the claimed bound,
+    /// are observed but never checked.
+    pub oracle: Option<OracleConfig>,
 }
 
 impl Scenario {
@@ -186,6 +193,7 @@ impl Scenario {
             duration: Duration::from_secs(300.0),
             sample_interval: Duration::from_secs(1.0),
             seed: 0,
+            oracle: None,
         }
     }
 
@@ -324,6 +332,32 @@ impl Scenario {
         self
     }
 
+    /// Arms the theorem oracle.
+    #[must_use]
+    pub fn oracle(mut self, config: OracleConfig) -> Self {
+        self.oracle = Some(config);
+        self
+    }
+
+    /// How the oracle will view each server: its claimed bound, and
+    /// whether the theorems apply to it — no clock fault, no Byzantine
+    /// process fault, actual drift within the claim. A server with only
+    /// a [`ServerFaultKind::WeakenAdoption`](tempo_service::ServerFaultKind)
+    /// bug stays trusted: the theorems *should* hold for it, and the
+    /// oracle's job is to report that they don't.
+    #[must_use]
+    pub fn server_views(&self) -> Vec<ServerView> {
+        self.servers
+            .iter()
+            .map(|spec| ServerView {
+                drift_bound: spec.claimed_bound,
+                trusted: spec.fault.is_none()
+                    && !spec.server_fault.is_some_and(|f| f.is_byzantine())
+                    && spec.drift.max_drift() <= spec.claimed_bound.as_f64(),
+            })
+            .collect()
+    }
+
     /// The worst-case round-trip `ξ` implied by the delay model.
     #[must_use]
     pub fn xi(&self) -> Duration {
@@ -377,6 +411,7 @@ impl Scenario {
                     .retry(self.retry)
                     .health(self.health)
                     .quorum(self.quorum)
+                    .trace_rounds(self.oracle.is_some())
                     .join_after(spec.join_after);
                 if let Some(leave) = spec.leave_after {
                     config = config.leave_after(leave);
@@ -395,11 +430,49 @@ impl Scenario {
         net.partitions.extend(self.partitions.iter().cloned());
         let mut world = World::new(servers, topology, net, self.seed);
 
+        let mut oracle = self
+            .oracle
+            .clone()
+            .map(|config| Oracle::new(self.seed, config, self.server_views()));
+
         let mut samples = Vec::new();
         let end = Timestamp::ZERO + self.duration;
         world.run_sampled(end, self.sample_interval, |t, actors| {
-            let per_server = actors.iter_mut().map(|s| s.sample(t)).collect();
+            let per_server: Vec<_> = actors.iter_mut().map(|s| s.sample(t)).collect();
+            if let Some(oracle) = &mut oracle {
+                // Servers outside their join..leave span are not part of
+                // the service; the theorems say nothing about them.
+                let states: Vec<Option<SampleState>> = actors
+                    .iter()
+                    .zip(&per_server)
+                    .map(|(server, s)| {
+                        server.is_active().then_some(SampleState {
+                            clock: s.clock,
+                            error: s.error,
+                        })
+                    })
+                    .collect();
+                oracle.observe_sample(t, &states);
+            }
             samples.push(SampleRow { t, per_server });
+        });
+
+        let report = oracle.map(|mut oracle| {
+            for (i, server) in world.actors_mut().iter_mut().enumerate() {
+                for record in server.take_round_trace() {
+                    oracle.observe_round(
+                        i,
+                        &RoundObservation {
+                            clock: record.clock,
+                            error_before: record.error_before,
+                            error_after: record.error_after,
+                            input_widths: record.input_widths,
+                            recovery: record.recovery,
+                        },
+                    );
+                }
+            }
+            oracle.finish()
         });
 
         let final_stats = world.actors().iter().map(|s| s.stats()).collect();
@@ -407,6 +480,7 @@ impl Scenario {
             samples,
             final_stats,
             net: world.stats(),
+            oracle: report,
         }
     }
 }
@@ -414,6 +488,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tempo_oracle::TheoremId;
 
     #[test]
     fn default_scenario_runs_and_samples() {
@@ -495,6 +570,68 @@ mod tests {
         // crash means silent, not wrong).
         let violations = result.violations_per_server();
         assert_eq!(&violations[..3], &[0, 0, 0], "honest servers violated");
+    }
+
+    #[test]
+    fn oracle_gated_clean_run_is_clean() {
+        let result = Scenario::new(Strategy::Im)
+            .servers(4, &ServerSpec::honest(1e-5, 1e-4))
+            .duration(Duration::from_secs(120.0))
+            .oracle(OracleConfig::safety())
+            .seed(3)
+            .run();
+        let report = result.oracle.expect("oracle was armed");
+        assert!(report.is_clean(), "{report}");
+        assert!(report.samples_checked > 0);
+        assert!(report.rounds_checked > 0, "IM rounds must be traced");
+    }
+
+    #[test]
+    fn oracle_flags_an_incorrect_trusted_server() {
+        // Server 2 is honest by every static criterion (no fault, drift
+        // within the claim) but starts a full second off under a 10 ms
+        // error claim — Theorem 1 is violated from the first sample, and
+        // the report must attribute it with the scenario seed attached.
+        let result = Scenario::new(Strategy::Mm)
+            .servers(2, &ServerSpec::honest(1e-5, 1e-4))
+            .server(ServerSpec::honest(1e-5, 1e-4).initial_offset(Duration::from_secs(1.0)))
+            .duration(Duration::from_secs(30.0))
+            .oracle(OracleConfig::safety())
+            .seed(8)
+            .run();
+        let report = result.oracle.expect("oracle was armed");
+        assert!(!report.is_clean(), "an incorrect server must surface");
+        let v = report.first().expect("violation");
+        assert_eq!(v.seed, 8);
+        assert_eq!(v.server, 2);
+        assert_eq!(v.theorem, TheoremId::Correctness);
+    }
+
+    #[test]
+    fn oracle_off_means_no_report_and_no_tracing() {
+        let result = Scenario::new(Strategy::Im)
+            .servers(3, &ServerSpec::honest(1e-5, 1e-4))
+            .duration(Duration::from_secs(30.0))
+            .run();
+        assert!(result.oracle.is_none());
+    }
+
+    #[test]
+    fn server_views_reflect_trust() {
+        let scenario = Scenario::new(Strategy::Mm)
+            .server(ServerSpec::honest(1e-5, 1e-4))
+            .server(ServerSpec::new(
+                DriftModel::Constant(5e-3),
+                DriftRate::new(1e-4),
+            ))
+            .server(
+                ServerSpec::honest(1e-5, 1e-4)
+                    .server_fault(ServerFault::crash_at(Timestamp::from_secs(1.0))),
+            );
+        let views = scenario.server_views();
+        assert!(views[0].trusted);
+        assert!(!views[1].trusted, "drift beyond the claim");
+        assert!(!views[2].trusted, "armed process fault");
     }
 
     #[test]

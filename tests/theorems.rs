@@ -161,3 +161,12 @@ fn a4_screening_ablation() {
     let a = ex::screening_ablation();
     assert!(a.reproduces_shape(), "{a}");
 }
+
+#[test]
+fn e17_fuzz_smoke_is_clean() {
+    // A short oracle-gated sweep: every generated deployment must
+    // satisfy every theorem its configuration is entitled to.
+    let f = ex::fuzz(0..16, 45.0);
+    assert_eq!(f.cases_run, 16);
+    assert!(f.is_clean(), "{f}");
+}
