@@ -1,0 +1,95 @@
+//! Telemetry bus overhead.
+//!
+//! The same 120 s five-server IM service is simulated three ways: bus
+//! disabled (the zero-cost path — every `emit_with` is one branch), a
+//! bounded debug ring only, and the full sink set a scenario wires
+//! (ring + metrics + online theorem oracle + JSONL export into a null
+//! writer). The documented overhead ratio in EXPERIMENTS.md comes
+//! from this benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+use tempo_clocks::{DriftModel, SimClock};
+use tempo_core::{DriftRate, Duration, Timestamp};
+use tempo_net::{DelayModel, NetConfig, Topology, World};
+use tempo_oracle::{Oracle, OracleConfig, ServerView};
+use tempo_service::{ServerConfig, Strategy, TimeServer};
+use tempo_sim::{JsonlSink, MetricsSink, OracleSink};
+use tempo_telemetry::Bus;
+
+const N: usize = 5;
+
+fn servers() -> Vec<TimeServer> {
+    (0..N)
+        .map(|i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let clock = SimClock::builder()
+                .drift(DriftModel::Constant(sign * 5e-5))
+                .seed(i as u64)
+                .build();
+            TimeServer::new(
+                clock,
+                ServerConfig::new(Strategy::Im, DriftRate::new(1e-4))
+                    .resync_period(Duration::from_secs(10.0))
+                    .collect_window(Duration::from_secs(0.5)),
+            )
+        })
+        .collect()
+}
+
+fn run(bus: &Bus) -> usize {
+    let mut actors = servers();
+    for server in &mut actors {
+        server.attach_bus(bus.clone());
+    }
+    let mut world = World::new_with_bus(
+        actors,
+        Topology::full_mesh(N),
+        NetConfig::with_delay(DelayModel::Constant(Duration::from_millis(5.0))),
+        3,
+        bus.clone(),
+    );
+    world.run_until(Timestamp::from_secs(120.0));
+    world.stats().sent
+}
+
+fn all_sinks_bus() -> Bus {
+    let bus = Bus::with_ring(4096);
+    bus.subscribe(Rc::new(RefCell::new(MetricsSink::new())));
+    let views = (0..N)
+        .map(|_| ServerView {
+            drift_bound: DriftRate::new(1e-4),
+            trusted: true,
+        })
+        .collect();
+    bus.subscribe(Rc::new(RefCell::new(OracleSink::new(Oracle::new(
+        3,
+        OracleConfig::safety(),
+        views,
+    )))));
+    bus.subscribe(Rc::new(RefCell::new(JsonlSink::new(Box::new(
+        std::io::sink(),
+    )))));
+    bus
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead_120s_sim");
+    group.sample_size(20);
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(run(&Bus::disabled())));
+    });
+    group.bench_function("ring_only", |b| {
+        b.iter(|| black_box(run(&Bus::with_ring(4096))));
+    });
+    group.bench_function("all_sinks", |b| {
+        b.iter(|| black_box(run(&all_sinks_bus())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

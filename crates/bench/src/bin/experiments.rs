@@ -6,10 +6,16 @@
 //! experiments fig3 thm8                      # run selected experiments
 //! experiments fuzz --seeds 0..64 \
 //!             --horizon-secs 60              # oracle-gated fuzz sweep
+//! experiments --telemetry-out runs.jsonl …   # export every run's telemetry
+//! experiments validate-telemetry runs.jsonl  # schema-check an export
 //! ```
 //!
 //! `fuzz` exits non-zero when any generated scenario violates a gated
-//! theorem, so CI can run it as a smoke gate.
+//! theorem, so CI can run it as a smoke gate. `--telemetry-out`
+//! truncates the file, then every scenario the selected experiments
+//! run appends its framed JSONL stream (schema in EXPERIMENTS.md);
+//! `validate-telemetry` checks such a file line by line and exits
+//! non-zero on the first schema violation.
 
 use std::ops::Range;
 use std::process::ExitCode;
@@ -71,9 +77,52 @@ fn run_fuzz(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_validate(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: experiments validate-telemetry FILE");
+        return ExitCode::FAILURE;
+    };
+    match std::fs::read_to_string(path) {
+        Err(e) => {
+            eprintln!("validate-telemetry: cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(text) => match tempo_telemetry::json::validate_stream(&text) {
+            Ok(lines) => {
+                println!("{path}: {lines} lines, schema OK");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("{path}: {message}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = catalog::all();
+
+    if args.first().is_some_and(|a| a == "validate-telemetry") {
+        return run_validate(&args[1..]);
+    }
+
+    // A global flag: every scenario any experiment runs appends its
+    // telemetry stream to this file (truncated once, here).
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry-out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--telemetry-out needs a value");
+            return ExitCode::FAILURE;
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        if let Err(e) = std::fs::File::create(&path) {
+            eprintln!("cannot create telemetry export {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        tempo_sim::set_default_telemetry_out(Some(std::path::PathBuf::from(path)));
+    }
 
     if args.iter().any(|a| a == "--list" || a == "-l") {
         println!("available experiments:");

@@ -14,6 +14,7 @@
 //!   --screening        enable §5 rate screening
 //!   --chart            print ASCII charts
 //!   --csv              print the per-sample series as CSV
+//!   --telemetry-out F  export the telemetry stream as JSONL to F
 //! ```
 
 use std::process::ExitCode;
@@ -37,7 +38,7 @@ fn main() -> ExitCode {
             eprintln!("usage: simulate [--servers N] [--strategy mm|im|marzullo|max|median|mean]");
             eprintln!("                [--tau S] [--bound D] [--spread F] [--delay-max S]");
             eprintln!("                [--loss P] [--duration S] [--seed N]");
-            eprintln!("                [--screening] [--chart] [--csv]");
+            eprintln!("                [--screening] [--chart] [--csv] [--telemetry-out FILE]");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -65,6 +66,9 @@ fn main() -> ExitCode {
             sample_noise: Duration::from_secs(2.0 * opts.delay_max),
         });
     }
+    if let Some(path) = &opts.telemetry_out {
+        scenario = scenario.telemetry_out(path);
+    }
     for i in 0..opts.servers {
         let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
         let frac = opts.spread * (1.0 - i as f64 / (2.0 * opts.servers as f64));
@@ -90,6 +94,17 @@ fn main() -> ExitCode {
         result.correctness_violations()
     );
     println!("  worst asynchronism:     {}", result.max_asynchronism());
+    println!(
+        "  xi witness (worst rtt): {} of {} claimed",
+        result.xi_witness,
+        Duration::from_secs(2.0 * opts.delay_max)
+    );
+    if result.dropped_events > 0 {
+        println!(
+            "  telemetry ring evicted {} events (sinks saw all)",
+            result.dropped_events
+        );
+    }
     let last = result.last();
     println!(
         "  final errors: min {}, mean {}, max {}",

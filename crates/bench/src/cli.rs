@@ -31,6 +31,8 @@ pub struct Options {
     pub chart: bool,
     /// Print CSV series.
     pub csv: bool,
+    /// Export the run's telemetry stream as JSONL to this path.
+    pub telemetry_out: Option<String>,
 }
 
 impl Default for Options {
@@ -48,6 +50,7 @@ impl Default for Options {
             screening: false,
             chart: false,
             csv: false,
+            telemetry_out: None,
         }
     }
 }
@@ -107,6 +110,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "--screening" => opts.screening = true,
             "--chart" => opts.chart = true,
             "--csv" => opts.csv = true,
+            "--telemetry-out" => opts.telemetry_out = Some(value("--telemetry-out")?),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -175,6 +179,8 @@ mod tests {
             "--screening",
             "--chart",
             "--csv",
+            "--telemetry-out",
+            "/tmp/run.jsonl",
         ]))
         .unwrap();
         assert_eq!(opts.servers, 8);
@@ -187,6 +193,13 @@ mod tests {
         assert_eq!(opts.duration, 1200.0);
         assert_eq!(opts.seed, 7);
         assert!(opts.screening && opts.chart && opts.csv);
+        assert_eq!(opts.telemetry_out.as_deref(), Some("/tmp/run.jsonl"));
+    }
+
+    #[test]
+    fn telemetry_out_needs_a_value() {
+        let err = parse(&args(&["--telemetry-out"])).unwrap_err();
+        assert!(err.contains("needs a value"));
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! * [`World`] — the event loop driving a set of [`Actor`]s, with
 //!   stable, reproducible event ordering for any fixed seed.
 //!
+//! Besides the private bounded [`Trace`], a world built with
+//! [`World::new_with_bus`] emits every send, delivery, drop,
+//! duplication, and timer firing as a typed
+//! [`tempo_telemetry::TelemetryEvent`], so external sinks (metrics,
+//! oracle, JSONL export) observe the network without bespoke hooks.
+//!
 //! ```
 //! use tempo_core::{Duration, Timestamp};
 //! use tempo_net::{Actor, Context, DelayModel, NetConfig, NodeId, Topology, World};

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use tempo_core::{Duration, Timestamp};
+use tempo_telemetry::{Bus, DropCause, EventKind as TelemetryKind, TelemetryEvent};
 
 use crate::delay::DelayModel;
 use crate::node::NodeId;
@@ -368,6 +369,9 @@ pub struct World<A: Actor> {
     node_rngs: Vec<StdRng>,
     stats: NetStats,
     trace: Option<Trace>,
+    /// Telemetry fan-out; the disabled default costs one branch per
+    /// would-be emission.
+    bus: Bus,
     /// Latest delivery time scheduled per directed link (FIFO mode).
     link_horizon: std::collections::HashMap<(NodeId, NodeId), Timestamp>,
     /// Largest one-way delay actually scheduled so far (FIFO queueing
@@ -384,6 +388,25 @@ impl<A: Actor> World<A> {
     /// Panics if the number of actors differs from the topology size.
     #[must_use]
     pub fn new(actors: Vec<A>, topology: Topology, config: NetConfig, seed: u64) -> Self {
+        Self::new_with_bus(actors, topology, config, seed, Bus::disabled())
+    }
+
+    /// Like [`World::new`], but wires a telemetry [`Bus`] in *before*
+    /// construction — necessary because every actor's `on_start` runs
+    /// inside the constructor, and its sends should already be
+    /// observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of actors differs from the topology size.
+    #[must_use]
+    pub fn new_with_bus(
+        actors: Vec<A>,
+        topology: Topology,
+        config: NetConfig,
+        seed: u64,
+        bus: Bus,
+    ) -> Self {
         assert_eq!(
             actors.len(),
             topology.len(),
@@ -405,6 +428,7 @@ impl<A: Actor> World<A> {
             node_rngs,
             stats: NetStats::default(),
             trace: None,
+            bus,
             link_horizon: std::collections::HashMap::new(),
             max_observed_delay: Duration::ZERO,
         };
@@ -496,6 +520,12 @@ impl<A: Actor> World<A> {
                     from,
                     to,
                 });
+                self.bus
+                    .emit_with(TelemetryKind::MsgRecv, || TelemetryEvent::MsgRecv {
+                        at: self.now,
+                        from: from.index(),
+                        to: to.index(),
+                    });
                 self.dispatch_message(to, from, msg);
             }
             EventKind::Timer { node, tag } => {
@@ -505,6 +535,12 @@ impl<A: Actor> World<A> {
                     node,
                     tag,
                 });
+                self.bus
+                    .emit_with(TelemetryKind::TimerFired, || TelemetryEvent::TimerFired {
+                        at: self.now,
+                        node: node.index(),
+                        tag,
+                    });
                 self.dispatch_timer(node, tag);
             }
         }
@@ -630,6 +666,12 @@ impl<A: Actor> World<A> {
                         from,
                         to,
                     });
+                    self.bus
+                        .emit_with(TelemetryKind::MsgSend, || TelemetryEvent::MsgSend {
+                            at: self.now,
+                            from: from.index(),
+                            to: to.index(),
+                        });
                     if self
                         .config
                         .partitions
@@ -642,6 +684,13 @@ impl<A: Actor> World<A> {
                             from,
                             to,
                         });
+                        self.bus
+                            .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
+                                at: self.now,
+                                from: from.index(),
+                                to: to.index(),
+                                cause: DropCause::Partition,
+                            });
                         continue;
                     }
                     let loss = self.config.loss_for(from, to);
@@ -652,6 +701,13 @@ impl<A: Actor> World<A> {
                             from,
                             to,
                         });
+                        self.bus
+                            .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
+                                at: self.now,
+                                from: from.index(),
+                                to: to.index(),
+                                cause: DropCause::Loss,
+                            });
                         continue;
                     }
                     if self.config.duplication > 0.0
@@ -662,6 +718,13 @@ impl<A: Actor> World<A> {
                             at: self.now,
                             from,
                             to,
+                        });
+                        self.bus.emit_with(TelemetryKind::MsgDuplicate, || {
+                            TelemetryEvent::MsgDuplicate {
+                                at: self.now,
+                                from: from.index(),
+                                to: to.index(),
+                            }
                         });
                         self.schedule_delivery(from, to, msg.clone());
                     }
@@ -763,6 +826,85 @@ mod tests {
         world.run_until(ts(1.0));
         assert_eq!(world.max_observed_delay(), dur(0.01));
         assert!(world.max_observed_delay() * 2.0 <= world.config.max_round_trip());
+    }
+
+    #[test]
+    fn bus_observes_sends_deliveries_and_timers_from_start() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tempo_telemetry::Observer;
+
+        #[derive(Default)]
+        struct Tap {
+            kinds: Vec<TelemetryKind>,
+        }
+        impl Observer for Tap {
+            fn observe(&mut self, event: &TelemetryEvent) {
+                self.kinds.push(event.kind());
+            }
+        }
+
+        let mut actors = recorders(2);
+        actors[0].start_broadcast = Some(1);
+        actors[1].echo = true;
+        let bus = Bus::new();
+        let tap = Rc::new(RefCell::new(Tap::default()));
+        bus.subscribe(tap.clone());
+        let mut world = World::new_with_bus(
+            actors,
+            Topology::full_mesh(2),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.05))),
+            1,
+            bus,
+        );
+        world.run_until(ts(1.0));
+        let kinds = &tap.borrow().kinds;
+        let count = |k: TelemetryKind| kinds.iter().filter(|&&x| x == k).count();
+        // The on_start broadcast happens inside the constructor and must
+        // still be observable — that is why the bus is wired in early.
+        assert_eq!(kinds.first(), Some(&TelemetryKind::MsgSend));
+        assert_eq!(count(TelemetryKind::MsgSend), world.stats().sent);
+        assert_eq!(count(TelemetryKind::MsgRecv), world.stats().delivered);
+        assert_eq!(count(TelemetryKind::MsgDrop), 0);
+    }
+
+    #[test]
+    fn bus_observes_partition_drops() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tempo_telemetry::Observer;
+
+        #[derive(Default)]
+        struct Drops(Vec<(usize, usize, DropCause)>);
+        impl Observer for Drops {
+            fn enabled(&self, kind: TelemetryKind) -> bool {
+                kind == TelemetryKind::MsgDrop
+            }
+            fn observe(&mut self, event: &TelemetryEvent) {
+                if let TelemetryEvent::MsgDrop {
+                    from, to, cause, ..
+                } = event
+                {
+                    self.0.push((*from, *to, *cause));
+                }
+            }
+        }
+
+        let mut actors = recorders(2);
+        actors[0].start_broadcast = Some(1);
+        let mut config = NetConfig::with_delay(DelayModel::Constant(dur(0.05)));
+        config.partitions = vec![Partition {
+            from: ts(0.0),
+            until: ts(10.0),
+            groups: vec![vec![NodeId::new(0)], vec![NodeId::new(1)]],
+        }];
+        let bus = Bus::new();
+        let drops = Rc::new(RefCell::new(Drops::default()));
+        bus.subscribe(drops.clone());
+        let mut world = World::new_with_bus(actors, Topology::full_mesh(2), config, 1, bus);
+        world.run_until(ts(1.0));
+        assert_eq!(world.stats().partitioned, 1);
+        assert_eq!(drops.borrow().0, vec![(0, 1, DropCause::Partition)]);
     }
 
     #[test]

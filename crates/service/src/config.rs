@@ -199,10 +199,6 @@ pub struct ServerConfig {
     pub quorum: usize,
     /// An injected server-process fault, if any (simulation only).
     pub fault: Option<ServerFault>,
-    /// When set, every synthesis decision is recorded as a
-    /// [`RoundRecord`](crate::RoundRecord) for external invariant
-    /// checking (the theorem oracle). Off by default — tracing allocates.
-    pub trace_rounds: bool,
 }
 
 impl ServerConfig {
@@ -232,7 +228,6 @@ impl ServerConfig {
             health: HealthConfig::default(),
             quorum: 0,
             fault: None,
-            trace_rounds: false,
         }
     }
 
@@ -324,13 +319,6 @@ impl ServerConfig {
     #[must_use]
     pub fn fault(mut self, fault: ServerFault) -> Self {
         self.fault = Some(fault);
-        self
-    }
-
-    /// Enables recording of synthesis decisions for the theorem oracle.
-    #[must_use]
-    pub fn trace_rounds(mut self, on: bool) -> Self {
-        self.trace_rounds = on;
         self
     }
 

@@ -71,4 +71,4 @@ pub use health::{HealthConfig, HealthTracker, PeerState};
 pub use message::Message;
 pub use node::ServiceNode;
 pub use rate::RateMonitor;
-pub use server::{RoundRecord, ServerSample, ServerStats, TimeServer};
+pub use server::{ServerSample, ServerStats, TimeServer};

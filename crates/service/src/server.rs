@@ -20,6 +20,7 @@ use tempo_core::sync::{Reset, TimedReply};
 use tempo_core::{marzullo, ErrorState, TimeEstimate, TimeInterval};
 use tempo_core::{Duration, Timestamp};
 use tempo_net::{Actor, Context, NodeId};
+use tempo_telemetry::{Bus, EventKind as TelemetryKind, HealthState, RejectCause, TelemetryEvent};
 
 use crate::config::{
     ApplyMode, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig, Strategy,
@@ -128,27 +129,13 @@ impl ServerSample {
     }
 }
 
-/// One synthesis decision, recorded when
-/// [`ServerConfig::trace_rounds`] is on. The theorem oracle replays
-/// these against rules MM-2/IM-2 (a reset never increases `E`) and
-/// Theorem 6 (an intersection is never wider than its narrowest input).
-#[derive(Debug, Clone, PartialEq)]
-pub struct RoundRecord {
-    /// Served clock reading at the decision instant.
-    pub clock: Timestamp,
-    /// `E_i` immediately before the decision.
-    pub error_before: Duration,
-    /// The error written by the reset, or `None` when the round kept
-    /// the clock (MM `Keep`, empty intersection, degraded round).
-    pub error_after: Option<Duration>,
-    /// Full widths of the candidate intervals an interval-synthesising
-    /// round intersected: the server's own `2·E_i` first, then each
-    /// reply widened by its round-trip allowance. Empty for MM (which
-    /// adopts rather than intersects) and for baselines.
-    pub input_widths: Vec<Duration>,
-    /// True when the adoption was unconditional — §3 recovery, or the
-    /// Marzullo disjoint-fallback — and may legitimately increase `E`.
-    pub recovery: bool,
+/// Maps the health tracker's verdict to its telemetry mirror.
+fn health_state(state: PeerState) -> HealthState {
+    match state {
+        PeerState::Healthy => HealthState::Healthy,
+        PeerState::Suspect => HealthState::Suspect,
+        PeerState::Dead => HealthState::Dead,
+    }
 }
 
 /// A time server (see module docs).
@@ -178,9 +165,18 @@ pub struct TimeServer {
     /// Slewing discipline, present in [`ApplyMode::Slew`]. The protocol
     /// then runs entirely on the *disciplined* (monotonic) clock.
     discipline: Option<ClockDiscipline>,
-    /// Synthesis decisions recorded for the oracle
-    /// (empty unless [`ServerConfig::trace_rounds`]).
-    round_trace: Vec<RoundRecord>,
+    /// Telemetry fan-out (disabled by default; see
+    /// [`TimeServer::attach_bus`]). Every synthesis decision, health
+    /// transition, and clock correction is emitted here — the oracle
+    /// and metrics layers consume these events instead of bespoke
+    /// per-server buffers.
+    bus: Bus,
+    /// Our own actor index, learned in `on_start` (events need it in
+    /// paths that have no [`Context`], e.g. `apply_reset`).
+    me: usize,
+    /// Whether the previous windowed round was quorum-starved, for
+    /// degraded-mode enter/exit transition events.
+    degraded: bool,
 }
 
 impl TimeServer {
@@ -232,8 +228,17 @@ impl TimeServer {
             health,
             round_start_clock: start_reading,
             discipline,
-            round_trace: Vec::new(),
+            bus: Bus::disabled(),
+            me: 0,
+            degraded: false,
         }
+    }
+
+    /// Wires the server onto a telemetry [`Bus`]. Call before the
+    /// world starts (the bus should see the join). With no bus (or a
+    /// [`Bus::disabled`] one) every emission is a single branch.
+    pub fn attach_bus(&mut self, bus: Bus) {
+        self.bus = bus;
     }
 
     /// The clock reading the server *serves*: the raw hardware reading
@@ -290,18 +295,6 @@ impl TimeServer {
         &mut self.clock
     }
 
-    /// Drains the recorded synthesis decisions (empty unless
-    /// [`ServerConfig::trace_rounds`] is on).
-    pub fn take_round_trace(&mut self) -> Vec<RoundRecord> {
-        std::mem::take(&mut self.round_trace)
-    }
-
-    fn trace_round(&mut self, record: RoundRecord) {
-        if self.config.trace_rounds {
-            self.round_trace.push(record);
-        }
-    }
-
     /// The current health verdict on `peer` (always Healthy under
     /// [`RetryPolicy::Off`] — without timeouts there is no signal).
     #[must_use]
@@ -330,9 +323,18 @@ impl TimeServer {
     fn apply_reset(&mut self, now: Timestamp, reset: Reset) {
         match &mut self.discipline {
             None => {
+                let before = self.clock.read(now);
                 let _ = self.clock.set(now, reset.new_clock);
                 let actual = self.clock.read(now);
                 self.state.reset(actual, reset.new_error);
+                self.bus
+                    .emit_with(TelemetryKind::ClockStep, || TelemetryEvent::ClockStep {
+                        at: now,
+                        server: self.me,
+                        from: before,
+                        to: actual,
+                        error: reset.new_error,
+                    });
             }
             Some(_) => {
                 // Slew mode: queue the correction on the discipline and
@@ -345,6 +347,14 @@ impl TimeServer {
                 let _ = d.correct(raw, reset.new_clock - current);
                 let pending = d.pending().abs();
                 self.state.reset(current, reset.new_error + pending);
+                self.bus
+                    .emit_with(TelemetryKind::ClockSlew, || TelemetryEvent::ClockSlew {
+                        at: now,
+                        server: self.me,
+                        from: current,
+                        to: reset.new_clock,
+                        error: reset.new_error + pending,
+                    });
             }
         }
         self.stats.resets += 1;
@@ -356,6 +366,15 @@ impl TimeServer {
     /// lock-step.
     fn join(&mut self, ctx: &mut Context<'_, Message>) {
         self.active = true;
+        let now = ctx.now();
+        if self.bus.enabled(TelemetryKind::Join) {
+            let clock = self.reading(now);
+            self.bus.emit(TelemetryEvent::Join {
+                at: now,
+                server: self.me,
+                clock,
+            });
+        }
         let fraction = ctx.rng().random_range(0.05..1.0);
         ctx.set_timer(self.config.resync_period * fraction, TIMER_RESYNC);
     }
@@ -373,12 +392,23 @@ impl TimeServer {
 
         let now = ctx.now();
         self.round_start_clock = self.reading(now);
-        for peer in ctx.neighbors().to_vec() {
-            // Dead peers are skipped except on probe rounds, so a
-            // crashed neighbour costs nothing until it comes back.
-            if self.config.retry.is_enabled() && !self.health.should_poll(peer, round) {
-                continue;
-            }
+        // Dead peers are skipped except on probe rounds, so a crashed
+        // neighbour costs nothing until it comes back.
+        let polled: Vec<NodeId> = ctx
+            .neighbors()
+            .to_vec()
+            .into_iter()
+            .filter(|&peer| !self.config.retry.is_enabled() || self.health.should_poll(peer, round))
+            .collect();
+        self.bus
+            .emit_with(TelemetryKind::RoundBegin, || TelemetryEvent::RoundBegin {
+                at: now,
+                server: self.me,
+                round,
+                clock: self.round_start_clock,
+                polled: polled.len(),
+            });
+        for peer in polled {
             self.send_request(peer, 0, false, ctx);
         }
         if self.config.strategy.uses_round_window() {
@@ -466,6 +496,15 @@ impl TimeServer {
         }
         self.pending.remove(&request_id);
         self.stats.timeouts += 1;
+        let now = ctx.now();
+        self.bus
+            .emit_with(TelemetryKind::Timeout, || TelemetryEvent::Timeout {
+                at: now,
+                server: self.me,
+                peer: pending.peer.index(),
+                round: pending.round,
+                attempt: pending.attempt,
+            });
         if pending.recovery {
             // A lost recovery request just clears the latch so a future
             // inconsistency can try another third server.
@@ -480,9 +519,32 @@ impl TimeServer {
             || clock_now - self.round_start_clock < self.config.collect_window;
         if pending.attempt < max_retries && round_current && window_open {
             self.stats.retries += 1;
+            self.bus
+                .emit_with(TelemetryKind::Retry, || TelemetryEvent::Retry {
+                    at: now,
+                    server: self.me,
+                    peer: pending.peer.index(),
+                    round: pending.round,
+                    attempt: pending.attempt + 1,
+                });
             self.send_request(pending.peer, pending.attempt + 1, false, ctx);
-        } else if self.health.record_timeout(pending.peer) {
-            self.stats.peers_suspected += 1;
+        } else {
+            let before = self.health.state(pending.peer);
+            if self.health.record_timeout(pending.peer) {
+                self.stats.peers_suspected += 1;
+            }
+            let after = self.health.state(pending.peer);
+            if before != after {
+                self.bus.emit_with(TelemetryKind::HealthChanged, || {
+                    TelemetryEvent::HealthChanged {
+                        at: now,
+                        server: self.me,
+                        peer: pending.peer.index(),
+                        from: health_state(before),
+                        to: health_state(after),
+                    }
+                });
+            }
         }
     }
 
@@ -509,8 +571,24 @@ impl TimeServer {
         }
         self.pending.remove(&request_id);
         self.stats.replies += 1;
-        if self.config.retry.is_enabled() && self.health.record_reply(from) {
-            self.stats.peers_reinstated += 1;
+        if self.config.retry.is_enabled() {
+            let before = self.health.state(from);
+            if self.health.record_reply(from) {
+                self.stats.peers_reinstated += 1;
+            }
+            let after = self.health.state(from);
+            if before != after {
+                let at = ctx.now();
+                self.bus.emit_with(TelemetryKind::HealthChanged, || {
+                    TelemetryEvent::HealthChanged {
+                        at,
+                        server: self.me,
+                        peer: from.index(),
+                        from: health_state(before),
+                        to: health_state(after),
+                    }
+                });
+            }
         }
         let now = ctx.now();
         let clock_now = self.reading(now);
@@ -540,13 +618,17 @@ impl TimeServer {
             let new_error =
                 estimate.error() + reply.round_trip * self.config.drift_bound.inflation();
             let error_before = self.state.estimate_at(clock_now).error();
-            self.trace_round(RoundRecord {
-                clock: clock_now,
-                error_before,
-                error_after: Some(new_error),
-                input_widths: Vec::new(),
-                recovery: true,
-            });
+            self.bus
+                .emit_with(TelemetryKind::RoundAdopt, || TelemetryEvent::RoundAdopt {
+                    at: now,
+                    server: self.me,
+                    round: pending.round,
+                    clock: clock_now,
+                    error_before,
+                    error_after: new_error,
+                    input_widths: Vec::new(),
+                    recovery: true,
+                });
             self.apply_reset(
                 now,
                 Reset {
@@ -564,12 +646,17 @@ impl TimeServer {
                 let own = self.state.estimate_at(clock_now);
                 match mm_decide(&own, self.config.drift_bound, &reply) {
                     MmOutcome::Reset(reset) => {
-                        self.trace_round(RoundRecord {
-                            clock: clock_now,
-                            error_before: own.error(),
-                            error_after: Some(reset.new_error),
-                            input_widths: Vec::new(),
-                            recovery: false,
+                        self.bus.emit_with(TelemetryKind::RoundAdopt, || {
+                            TelemetryEvent::RoundAdopt {
+                                at: now,
+                                server: self.me,
+                                round: pending.round,
+                                clock: clock_now,
+                                error_before: own.error(),
+                                error_after: reset.new_error,
+                                input_widths: Vec::new(),
+                                recovery: false,
+                            }
                         });
                         self.apply_reset(now, reset);
                     }
@@ -587,12 +674,17 @@ impl TimeServer {
                                 self.config.drift_bound,
                             );
                             if adjusted <= own.error() + slack {
-                                self.trace_round(RoundRecord {
-                                    clock: clock_now,
-                                    error_before: own.error(),
-                                    error_after: Some(adjusted),
-                                    input_widths: Vec::new(),
-                                    recovery: false,
+                                self.bus.emit_with(TelemetryKind::RoundAdopt, || {
+                                    TelemetryEvent::RoundAdopt {
+                                        at: now,
+                                        server: self.me,
+                                        round: pending.round,
+                                        clock: clock_now,
+                                        error_before: own.error(),
+                                        error_after: adjusted,
+                                        input_widths: Vec::new(),
+                                        recovery: false,
+                                    }
                                 });
                                 self.apply_reset(
                                     now,
@@ -606,6 +698,14 @@ impl TimeServer {
                     }
                     MmOutcome::Inconsistent => {
                         self.stats.inconsistencies += 1;
+                        self.bus.emit_with(TelemetryKind::RoundReject, || {
+                            TelemetryEvent::RoundReject {
+                                at: now,
+                                server: self.me,
+                                round: pending.round,
+                                cause: RejectCause::Inconsistent,
+                            }
+                        });
                         self.maybe_recover(Some(from), ctx);
                     }
                 }
@@ -638,6 +738,13 @@ impl TimeServer {
             return;
         }
         let peer = candidates[ctx.rng().random_range(0..candidates.len())];
+        let at = ctx.now();
+        self.bus.emit_with(TelemetryKind::RecoveryStarted, || {
+            TelemetryEvent::RecoveryStarted {
+                at,
+                server: self.me,
+            }
+        });
         self.send_request(peer, 0, true, ctx);
         self.recovering = true;
         self.stats.recoveries_started += 1;
@@ -655,9 +762,39 @@ impl TimeServer {
         // (if configured) looks for help.
         if self.config.quorum > 0 && self.round_replies.len() < self.config.quorum {
             self.stats.degraded_rounds += 1;
+            let replies = self.round_replies.len();
+            self.bus
+                .emit_with(TelemetryKind::RoundReject, || TelemetryEvent::RoundReject {
+                    at: now,
+                    server: self.me,
+                    round: self.current_round,
+                    cause: RejectCause::Starved,
+                });
+            if !self.degraded {
+                self.degraded = true;
+                self.bus.emit_with(TelemetryKind::DegradedEnter, || {
+                    TelemetryEvent::DegradedEnter {
+                        at: now,
+                        server: self.me,
+                        round: self.current_round,
+                        replies,
+                        quorum: self.config.quorum,
+                    }
+                });
+            }
             self.round_replies.clear();
             self.maybe_recover(None, ctx);
             return;
+        }
+        if self.degraded {
+            self.degraded = false;
+            self.bus.emit_with(TelemetryKind::DegradedExit, || {
+                TelemetryEvent::DegradedExit {
+                    at: now,
+                    server: self.me,
+                    round: self.current_round,
+                }
+            });
         }
         let own = self.state.estimate_at(clock_now);
         // A buffered reply has aged while waiting for the round to
@@ -689,9 +826,11 @@ impl TimeServer {
             Strategy::Mm => unreachable!("MM does not use round windows"),
             Strategy::Im => match im_round(&own, self.config.drift_bound, &replies) {
                 ImOutcome::Reset(reset) => {
-                    if self.config.trace_rounds {
-                        // Theorem 6 inputs: own interval plus each reply
-                        // widened by its round-trip allowance.
+                    // The Theorem 6 inputs (own interval plus each reply
+                    // widened by its round-trip allowance) are only
+                    // computed inside the lazy closure, so rounds cost
+                    // nothing extra when no observer wants adoptions.
+                    self.bus.emit_with(TelemetryKind::RoundAdopt, || {
                         let mut input_widths = vec![own.error() + own.error()];
                         for r in &replies {
                             input_widths.push(
@@ -700,18 +839,29 @@ impl TimeServer {
                                     + r.round_trip * self.config.drift_bound.inflation(),
                             );
                         }
-                        self.trace_round(RoundRecord {
+                        TelemetryEvent::RoundAdopt {
+                            at: now,
+                            server: self.me,
+                            round: self.current_round,
                             clock: clock_now,
                             error_before: own.error(),
-                            error_after: Some(reset.new_error),
+                            error_after: reset.new_error,
                             input_widths,
                             recovery: false,
-                        });
-                    }
+                        }
+                    });
                     self.apply_reset(now, reset);
                 }
                 ImOutcome::Inconsistent => {
                     self.stats.inconsistencies += 1;
+                    self.bus.emit_with(TelemetryKind::RoundReject, || {
+                        TelemetryEvent::RoundReject {
+                            at: now,
+                            server: self.me,
+                            round: self.current_round,
+                            cause: RejectCause::Inconsistent,
+                        }
+                    });
                     let peer = self.round_replies.first().map(|b| b.peer);
                     self.maybe_recover(peer, ctx);
                 }
@@ -743,12 +893,17 @@ impl TimeServer {
                         // record no input widths. The disjoint fallback
                         // is an unconditional adoption (it may raise E),
                         // so it is flagged like a recovery.
-                        self.trace_round(RoundRecord {
-                            clock: clock_now,
-                            error_before: own.error(),
-                            error_after: Some(clipped.radius()),
-                            input_widths: Vec::new(),
-                            recovery: !within_own,
+                        self.bus.emit_with(TelemetryKind::RoundAdopt, || {
+                            TelemetryEvent::RoundAdopt {
+                                at: now,
+                                server: self.me,
+                                round: self.current_round,
+                                clock: clock_now,
+                                error_before: own.error(),
+                                error_after: clipped.radius(),
+                                input_widths: Vec::new(),
+                                recovery: !within_own,
+                            }
                         });
                         self.apply_reset(
                             now,
@@ -758,7 +913,17 @@ impl TimeServer {
                             },
                         );
                     }
-                    None => self.stats.inconsistencies += 1,
+                    None => {
+                        self.stats.inconsistencies += 1;
+                        self.bus.emit_with(TelemetryKind::RoundReject, || {
+                            TelemetryEvent::RoundReject {
+                                at: now,
+                                server: self.me,
+                                round: self.current_round,
+                                cause: RejectCause::Inconsistent,
+                            }
+                        });
+                    }
                 }
             }
             Strategy::Baseline(kind) => {
@@ -798,6 +963,7 @@ impl Actor for TimeServer {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
         self.started = true;
+        self.me = ctx.me().index();
         // Make sure the clock has seen time zero.
         let _ = self.clock.read(ctx.now());
         if self.config.join_after == Duration::ZERO {
@@ -885,6 +1051,13 @@ impl Actor for TimeServer {
                 self.pending.clear();
                 self.round_replies.clear();
                 self.recovering = false;
+                self.degraded = false;
+                let at = ctx.now();
+                self.bus
+                    .emit_with(TelemetryKind::Leave, || TelemetryEvent::Leave {
+                        at,
+                        server: self.me,
+                    });
             }
             other => debug_assert!(false, "unknown timer tag {other}"),
         }

@@ -22,6 +22,9 @@ pub struct BoundRow {
     pub tau: f64,
     /// Round-trip bound `ξ` (seconds).
     pub xi: f64,
+    /// Empirical round-trip witness: twice the worst one-way delay
+    /// the network delivered. `ξ` is honest iff `xi_witness ≤ xi`.
+    pub xi_witness: f64,
     /// Largest observed `E_i − E_M` after warm-up.
     pub observed_gap: f64,
     /// Theorem 2's bound `ξ + δ(τ + 2ξ)` (plus the `2δξ` slack the
@@ -37,11 +40,13 @@ pub struct BoundRow {
 }
 
 impl BoundRow {
-    /// Whether both observed quantities respect their bounds.
+    /// Whether both observed quantities respect their bounds and the
+    /// claimed `ξ` really covered every round trip.
     #[must_use]
     pub fn holds(&self) -> bool {
         self.observed_gap <= self.gap_bound
             && self.observed_asynch <= self.asynch_bound
+            && self.xi_witness <= self.xi
             && self.violations == 0
     }
 }
@@ -106,6 +111,7 @@ fn run_mm_config(n: usize, delta: f64, tau: f64, max_delay: f64, seed: u64) -> B
         delta,
         tau,
         xi,
+        xi_witness: result.xi_witness.as_secs(),
         observed_gap,
         gap_bound,
         observed_asynch,
@@ -142,6 +148,7 @@ impl fmt::Display for MmBounds {
             "delta",
             "tau",
             "xi",
+            "xi wit",
             "gap",
             "gap bound",
             "asynch",
@@ -155,6 +162,7 @@ impl fmt::Display for MmBounds {
                 format!("{:.0e}", r.delta),
                 format!("{:.0}s", r.tau),
                 secs(r.xi),
+                secs(r.xi_witness),
                 secs(r.observed_gap),
                 secs(r.gap_bound),
                 secs(r.observed_asynch),
@@ -181,6 +189,9 @@ pub struct ImAsynchRow {
     pub min_delay: f64,
     /// Round-trip bound `ξ`.
     pub xi: f64,
+    /// Empirical round-trip witness: twice the worst one-way delay
+    /// the network delivered.
+    pub xi_witness: f64,
     /// Largest observed asynchronism after warm-up.
     pub observed: f64,
     /// Theorem 7's bound `ξ + 2δτ` plus the round-window allowance
@@ -192,10 +203,11 @@ pub struct ImAsynchRow {
 }
 
 impl ImAsynchRow {
-    /// Whether the observation respects the bound.
+    /// Whether the observation respects the bound and the claimed `ξ`
+    /// really covered every round trip.
     #[must_use]
     pub fn holds(&self) -> bool {
-        self.observed <= self.bound && self.violations == 0
+        self.observed <= self.bound && self.xi_witness <= self.xi && self.violations == 0
     }
 }
 
@@ -252,6 +264,7 @@ fn run_im_config(
         tau,
         min_delay,
         xi,
+        xi_witness: result.xi_witness.as_secs(),
         observed: result.max_asynchronism_after(warmup).as_secs(),
         bound,
         violations: result.correctness_violations(),
@@ -289,7 +302,7 @@ impl fmt::Display for ImBounds {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Theorem 7 — IM asynchronism vs bound")?;
         let mut table = Table::new(vec![
-            "n", "delta", "tau", "min d", "xi", "observed", "bound", "viol", "holds",
+            "n", "delta", "tau", "min d", "xi", "xi wit", "observed", "bound", "viol", "holds",
         ]);
         for r in &self.rows {
             table.row(vec![
@@ -298,6 +311,7 @@ impl fmt::Display for ImBounds {
                 format!("{:.0}s", r.tau),
                 secs(r.min_delay),
                 secs(r.xi),
+                secs(r.xi_witness),
                 secs(r.observed),
                 secs(r.bound),
                 r.violations.to_string(),
@@ -328,6 +342,12 @@ mod tests {
             row.observed_asynch,
             row.asynch_bound
         );
+        assert!(
+            row.xi_witness > 0.0 && row.xi_witness <= row.xi,
+            "witness {} outside (0, {}]",
+            row.xi_witness,
+            row.xi
+        );
         assert!(row.holds());
     }
 
@@ -341,12 +361,22 @@ mod tests {
             row.observed,
             row.bound
         );
+        assert!(
+            row.xi_witness > 0.0 && row.xi_witness <= row.xi,
+            "witness {} outside (0, {}]",
+            row.xi_witness,
+            row.xi
+        );
     }
 
     #[test]
     fn nonzero_min_delay_still_correct() {
         let row = run_im_config(4, 1e-4, 10.0, 0.003, 0.005, 97);
         assert_eq!(row.violations, 0);
+        assert!(
+            row.xi_witness >= 2.0 * row.min_delay,
+            "witness must see the delay floor"
+        );
         assert!(row.holds());
     }
 

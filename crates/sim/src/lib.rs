@@ -11,6 +11,8 @@
 //!   asynchronism, error growth, consistency groups,
 //! * [`experiments`] — E1–E12 and A1–A3, one function per paper
 //!   artifact (see DESIGN.md for the index),
+//! * [`sinks`] — the telemetry-bus observers a run wires up: metrics
+//!   collection, online theorem checking, and JSONL export,
 //! * [`report`] — plain-text tables for the experiment reports.
 //!
 //! ```
@@ -34,9 +36,12 @@ pub mod metrics;
 pub mod plot;
 pub mod report;
 pub mod scenario;
+pub mod sinks;
 
 pub use metrics::{RunResult, SampleRow};
 pub use scenario::{Scenario, ServerSpec};
+pub use sinks::{set_default_telemetry_out, JsonlSink, MetricsSink, OracleSink};
 pub use tempo_oracle::{
     EnvelopeKind, EnvelopeParams, OracleConfig, OracleReport, TheoremId, Violation,
 };
+pub use tempo_telemetry::{Bus, EventKind, Observer, TelemetryEvent};

@@ -147,6 +147,13 @@ pub struct RunResult {
     pub net: NetStats,
     /// Theorem-oracle findings, when the scenario armed one.
     pub oracle: Option<tempo_oracle::OracleReport>,
+    /// Events the bus's bounded debug ring had to evict (sinks see
+    /// everything regardless; this only measures ring overflow).
+    pub dropped_events: u64,
+    /// The empirical round-trip witness: twice the worst one-way
+    /// delay the network actually delivered. The paper's `ξ` is
+    /// honest iff this never exceeds it.
+    pub xi_witness: Duration,
 }
 
 impl RunResult {
@@ -387,6 +394,8 @@ mod tests {
             final_stats: vec![],
             net: NetStats::default(),
             oracle: None,
+            dropped_events: 0,
+            xi_witness: Duration::ZERO,
         };
         assert!((result.max_asynchronism().as_secs() - 0.5).abs() < 1e-12);
         assert_eq!(
@@ -438,6 +447,8 @@ mod tests {
             final_stats: vec![],
             net: NetStats::default(),
             oracle: None,
+            dropped_events: 0,
+            xi_witness: Duration::ZERO,
         };
         let a = result.asynchronism_summary(Timestamp::ZERO);
         assert!((a.max - 0.5).abs() < 1e-12);
@@ -457,6 +468,8 @@ mod tests {
             final_stats: vec![],
             net: NetStats::default(),
             oracle: None,
+            dropped_events: 0,
+            xi_witness: Duration::ZERO,
         };
         assert_eq!(
             result.settles_most_precise(1),

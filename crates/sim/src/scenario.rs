@@ -5,16 +5,28 @@
 //! measurement schedule — and [`Scenario::run`] executes it
 //! deterministically, returning a [`crate::metrics::RunResult`].
 
+use std::cell::RefCell;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
+
 use tempo_clocks::{DriftModel, Fault, SimClock};
 use tempo_core::{DriftRate, Duration, Timestamp};
 use tempo_net::{DelayModel, NetConfig, Partition, Topology, World};
-use tempo_oracle::{Oracle, OracleConfig, RoundObservation, SampleState, ServerView};
+use tempo_oracle::{Oracle, OracleConfig, ServerView};
 use tempo_service::{
     ApplyMode, HealthConfig, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig,
     ServerFault, Strategy, TimeServer,
 };
+use tempo_telemetry::{Bus, SampleSnapshot, TelemetryEvent};
 
-use crate::metrics::{RunResult, SampleRow};
+use crate::metrics::RunResult;
+use crate::sinks::{JsonlSink, MetricsSink, OracleSink};
+
+/// How many recent events the run's bus ring retains for post-mortem
+/// inspection; overflow is counted in
+/// [`RunResult::dropped_events`].
+const RING_CAPACITY: usize = 4096;
 
 /// One server's hardware and claims.
 #[derive(Debug, Clone)]
@@ -157,11 +169,17 @@ pub struct Scenario {
     /// Master seed (drives clocks, network, and per-server RNGs).
     pub seed: u64,
     /// When set, the run is checked online against the paper's theorems
-    /// (round tracing is switched on automatically) and the findings are
-    /// returned in [`RunResult::oracle`]. Servers with an armed clock or
-    /// process fault, or whose actual drift exceeds the claimed bound,
-    /// are observed but never checked.
+    /// (an [`OracleSink`] is subscribed to the telemetry bus) and the
+    /// findings are returned in [`RunResult::oracle`]. Servers with an
+    /// armed clock or process fault, or whose actual drift exceeds the
+    /// claimed bound, are observed but never checked.
     pub oracle: Option<OracleConfig>,
+    /// When set, every telemetry event is exported to this path as
+    /// JSONL (schema in EXPERIMENTS.md), truncating any existing
+    /// file. When `None`, the process-wide default registered with
+    /// [`crate::sinks::set_default_telemetry_out`] is used instead,
+    /// in append mode.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl Scenario {
@@ -194,6 +212,7 @@ impl Scenario {
             sample_interval: Duration::from_secs(1.0),
             seed: 0,
             oracle: None,
+            telemetry_out: None,
         }
     }
 
@@ -339,6 +358,13 @@ impl Scenario {
         self
     }
 
+    /// Exports the run's telemetry stream to `path` as JSONL.
+    #[must_use]
+    pub fn telemetry_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.telemetry_out = Some(path.into());
+        self
+    }
+
     /// How the oracle will view each server: its claimed bound, and
     /// whether the theorems apply to it — no clock fault, no Byzantine
     /// process fault, actual drift within the claim. A server with only
@@ -364,13 +390,43 @@ impl Scenario {
         self.delay.max_delay() * 2.0
     }
 
+    // Opens the JSONL export sink, if any is configured: the
+    // scenario's own path truncates, the process-wide default
+    // appends (the experiments CLI truncates it once at startup and
+    // then concatenates every run).
+    fn jsonl_sink(&self) -> Option<Rc<RefCell<JsonlSink>>> {
+        let (path, append) = match &self.telemetry_out {
+            Some(path) => (path.clone(), false),
+            None => (crate::sinks::default_telemetry_out()?, true),
+        };
+        let file = if append {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+        } else {
+            std::fs::File::create(&path)
+        }
+        .unwrap_or_else(|e| panic!("cannot open telemetry export {}: {e}", path.display()));
+        Some(Rc::new(RefCell::new(JsonlSink::new(Box::new(
+            BufWriter::new(file),
+        )))))
+    }
+
     /// Builds the world and runs it, sampling on the configured
     /// schedule.
     ///
+    /// This is a pure wiring layer over the telemetry bus: it
+    /// subscribes a [`MetricsSink`] (always), an [`OracleSink`] (when
+    /// an oracle is armed), and a [`JsonlSink`] (when an export path
+    /// is configured), and everything in the returned [`RunResult`]
+    /// is reconstructed from the event stream those sinks saw.
+    ///
     /// # Panics
     ///
-    /// Panics if the scenario has no servers or the explicit topology
-    /// size does not match.
+    /// Panics if the scenario has no servers, the explicit topology
+    /// size does not match, or the telemetry export file cannot be
+    /// written.
     #[must_use]
     pub fn run(&self) -> RunResult {
         assert!(
@@ -384,7 +440,31 @@ impl Scenario {
             .unwrap_or_else(|| Topology::full_mesh(n));
         assert_eq!(topology.len(), n, "topology size must match server count");
 
-        let servers: Vec<TimeServer> = self
+        let bus = Bus::with_ring(RING_CAPACITY);
+        let metrics = Rc::new(RefCell::new(MetricsSink::new()));
+        bus.subscribe(Rc::clone(&metrics));
+        let oracle_sink = self.oracle.clone().map(|config| {
+            let sink = Rc::new(RefCell::new(OracleSink::new(Oracle::new(
+                self.seed,
+                config,
+                self.server_views(),
+            ))));
+            bus.subscribe(Rc::clone(&sink));
+            sink
+        });
+        let jsonl = self.jsonl_sink();
+        if let Some(sink) = &jsonl {
+            sink.borrow_mut().run_start(
+                self.seed,
+                n,
+                &self.strategy.to_string(),
+                self.xi(),
+                self.resync_period,
+            );
+            bus.subscribe(Rc::clone(sink));
+        }
+
+        let mut servers: Vec<TimeServer> = self
             .servers
             .iter()
             .enumerate()
@@ -411,7 +491,6 @@ impl Scenario {
                     .retry(self.retry)
                     .health(self.health)
                     .quorum(self.quorum)
-                    .trace_rounds(self.oracle.is_some())
                     .join_after(spec.join_after);
                 if let Some(leave) = spec.leave_after {
                     config = config.leave_after(leave);
@@ -422,65 +501,54 @@ impl Scenario {
                 TimeServer::new(builder.build(), config)
             })
             .collect();
+        for server in &mut servers {
+            server.attach_bus(bus.clone());
+        }
 
         let mut net = NetConfig::with_delay(self.delay.clone()).loss(self.loss);
         if self.duplication > 0.0 {
             net = net.duplication(self.duplication);
         }
         net.partitions.extend(self.partitions.iter().cloned());
-        let mut world = World::new(servers, topology, net, self.seed);
+        let mut world = World::new_with_bus(servers, topology, net, self.seed, bus.clone());
 
-        let mut oracle = self
-            .oracle
-            .clone()
-            .map(|config| Oracle::new(self.seed, config, self.server_views()));
-
-        let mut samples = Vec::new();
         let end = Timestamp::ZERO + self.duration;
         world.run_sampled(end, self.sample_interval, |t, actors| {
-            let per_server: Vec<_> = actors.iter_mut().map(|s| s.sample(t)).collect();
-            if let Some(oracle) = &mut oracle {
-                // Servers outside their join..leave span are not part of
-                // the service; the theorems say nothing about them.
-                let states: Vec<Option<SampleState>> = actors
-                    .iter()
-                    .zip(&per_server)
-                    .map(|(server, s)| {
-                        server.is_active().then_some(SampleState {
-                            clock: s.clock,
-                            error: s.error,
-                        })
-                    })
-                    .collect();
-                oracle.observe_sample(t, &states);
-            }
-            samples.push(SampleRow { t, per_server });
-        });
-
-        let report = oracle.map(|mut oracle| {
-            for (i, server) in world.actors_mut().iter_mut().enumerate() {
-                for record in server.take_round_trace() {
-                    oracle.observe_round(
-                        i,
-                        &RoundObservation {
-                            clock: record.clock,
-                            error_before: record.error_before,
-                            error_after: record.error_after,
-                            input_widths: record.input_widths,
-                            recovery: record.recovery,
-                        },
-                    );
-                }
-            }
-            oracle.finish()
+            // Sampling is the measurement schedule, not observation:
+            // it must happen (clock reads advance slews) whether or
+            // not anything listens, so the event is built eagerly.
+            let servers: Vec<SampleSnapshot> = actors
+                .iter_mut()
+                .map(|s| {
+                    let sample = s.sample(t);
+                    SampleSnapshot {
+                        clock: sample.clock,
+                        error: sample.error,
+                        true_offset: sample.true_offset,
+                        correct: sample.correct,
+                        active: s.is_active(),
+                    }
+                })
+                .collect();
+            bus.emit(TelemetryEvent::Sample { at: t, servers });
         });
 
         let final_stats = world.actors().iter().map(|s| s.stats()).collect();
+        let xi_witness = world.max_observed_delay() * 2.0;
+        let dropped_events = bus.dropped_events();
+        if let Some(sink) = &jsonl {
+            sink.borrow_mut()
+                .finish(dropped_events, xi_witness, &world.stats());
+        }
+        let report = oracle_sink.and_then(|sink| sink.borrow_mut().finish());
+        let samples = metrics.borrow_mut().take_rows();
         RunResult {
             samples,
             final_stats,
             net: world.stats(),
             oracle: report,
+            dropped_events,
+            xi_witness,
         }
     }
 }

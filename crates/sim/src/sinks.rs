@@ -1,0 +1,409 @@
+//! Telemetry sinks: how bus events become metrics rows, oracle
+//! verdicts, and JSONL export lines.
+//!
+//! [`crate::Scenario::run`] is a pure wiring layer: it subscribes one
+//! [`MetricsSink`] (always), one [`OracleSink`] (when an oracle is
+//! armed), and one [`JsonlSink`] (when an export path is configured)
+//! to a shared [`tempo_telemetry::Bus`], then lets the world run.
+//! Everything the run reports afterwards is reconstructed from the
+//! event stream — there is no side channel.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use tempo_core::Duration;
+use tempo_net::NetStats;
+use tempo_oracle::{Oracle, OracleReport, RoundObservation, SampleState};
+use tempo_service::ServerSample;
+use tempo_telemetry::json::{event_line, JsonObject};
+use tempo_telemetry::{EventKind, Observer, TelemetryEvent};
+
+use crate::metrics::SampleRow;
+
+/// Collects [`TelemetryEvent::Sample`] events into the
+/// [`SampleRow`]s that [`crate::RunResult`] is built from.
+///
+/// Every server appears in every row, active or not — departed
+/// servers free-run and stay auditable (see E13).
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    rows: Vec<SampleRow>,
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Drains the collected rows.
+    pub fn take_rows(&mut self) -> Vec<SampleRow> {
+        std::mem::take(&mut self.rows)
+    }
+}
+
+impl Observer for MetricsSink {
+    fn enabled(&self, kind: EventKind) -> bool {
+        kind == EventKind::Sample
+    }
+
+    fn observe(&mut self, event: &TelemetryEvent) {
+        if let TelemetryEvent::Sample { at, servers } = event {
+            self.rows.push(SampleRow {
+                t: *at,
+                per_server: servers
+                    .iter()
+                    .map(|s| ServerSample {
+                        clock: s.clock,
+                        error: s.error,
+                        true_offset: s.true_offset,
+                        correct: s.correct,
+                    })
+                    .collect(),
+            });
+        }
+    }
+}
+
+/// Feeds the theorem oracle from the event stream: sample snapshots
+/// become [`SampleState`]s (inactive servers are `None` — the
+/// theorems say nothing about a server outside the service) and
+/// round adoptions become [`RoundObservation`]s, checked online.
+#[derive(Debug)]
+pub struct OracleSink {
+    // `Oracle::finish` consumes the oracle, so it lives in an Option
+    // that `finish` takes.
+    oracle: Option<Oracle>,
+}
+
+impl OracleSink {
+    /// Wraps an armed oracle.
+    #[must_use]
+    pub fn new(oracle: Oracle) -> Self {
+        OracleSink {
+            oracle: Some(oracle),
+        }
+    }
+
+    /// Closes the oracle and returns its report. `None` if already
+    /// finished.
+    pub fn finish(&mut self) -> Option<OracleReport> {
+        self.oracle.take().map(Oracle::finish)
+    }
+}
+
+impl Observer for OracleSink {
+    fn enabled(&self, kind: EventKind) -> bool {
+        matches!(kind, EventKind::Sample | EventKind::RoundAdopt)
+    }
+
+    fn observe(&mut self, event: &TelemetryEvent) {
+        let Some(oracle) = self.oracle.as_mut() else {
+            return;
+        };
+        match event {
+            TelemetryEvent::Sample { at, servers } => {
+                let states: Vec<Option<SampleState>> = servers
+                    .iter()
+                    .map(|s| {
+                        s.active.then_some(SampleState {
+                            clock: s.clock,
+                            error: s.error,
+                        })
+                    })
+                    .collect();
+                oracle.observe_sample(*at, &states);
+            }
+            TelemetryEvent::RoundAdopt {
+                server,
+                clock,
+                error_before,
+                error_after,
+                input_widths,
+                recovery,
+                ..
+            } => {
+                oracle.observe_round(
+                    *server,
+                    &RoundObservation {
+                        clock: *clock,
+                        error_before: *error_before,
+                        error_after: Some(*error_after),
+                        input_widths: input_widths.clone(),
+                        recovery: *recovery,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Streams every event to a writer as one JSON object per line, in
+/// the schema documented in EXPERIMENTS.md and enforced by
+/// [`tempo_telemetry::json::validate_stream`].
+///
+/// The stream is framed by a `run_start` header and a `summary`
+/// footer, written by [`JsonlSink::run_start`] and
+/// [`JsonlSink::finish`] around the run.
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+    events: u64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps a writer. Buffer it yourself if the destination is slow.
+    #[must_use]
+    pub fn new(out: Box<dyn Write>) -> Self {
+        JsonlSink { out, events: 0 }
+    }
+
+    /// Number of event lines written so far (header and footer are
+    /// framing, not events, and are excluded).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn write_line(&mut self, line: &str) {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .expect("telemetry export failed");
+    }
+
+    /// Writes the `run_start` header line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the underlying writer fails.
+    pub fn run_start(
+        &mut self,
+        seed: u64,
+        servers: usize,
+        strategy: &str,
+        xi: Duration,
+        tau: Duration,
+    ) {
+        let mut o = JsonObject::typed("run_start");
+        o.int("seed", seed)
+            .int("servers", servers as u64)
+            .str("strategy", strategy)
+            .num("xi", xi.as_secs())
+            .num("tau", tau.as_secs());
+        let line = o.finish();
+        self.write_line(&line);
+    }
+
+    /// Writes the `summary` footer line and flushes. `xi_witness` is
+    /// the empirical round-trip witness — twice the worst one-way
+    /// delay the network delivered — directly comparable to the
+    /// configured `ξ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the underlying writer fails.
+    pub fn finish(&mut self, dropped: u64, xi_witness: Duration, net: &NetStats) {
+        let mut o = JsonObject::typed("summary");
+        o.int("events", self.events)
+            .int("dropped", dropped)
+            .num("xi_witness", xi_witness.as_secs())
+            .int("sent", net.sent as u64)
+            .int("delivered", net.delivered as u64)
+            .int("lost", net.lost as u64)
+            .int("duplicated", net.duplicated as u64)
+            .int("partitioned", net.partitioned as u64)
+            .int("timers", net.timers_fired as u64);
+        let line = o.finish();
+        self.write_line(&line);
+        self.out.flush().expect("telemetry export failed");
+    }
+}
+
+impl Observer for JsonlSink {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.events += 1;
+        let line = event_line(event);
+        self.write_line(&line);
+    }
+}
+
+/// Process-wide default telemetry export path, consulted by
+/// [`crate::Scenario::run`] when the scenario itself sets none. The
+/// experiments CLI sets this once from `--telemetry-out` so every
+/// scenario an experiment builds internally appends its stream to
+/// the same file.
+static DEFAULT_TELEMETRY_OUT: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets (or clears) the process-wide default telemetry export path.
+/// Runs append to the file; truncate it first if you want a fresh
+/// capture.
+///
+/// # Panics
+///
+/// Panics if the path registry mutex is poisoned.
+pub fn set_default_telemetry_out(path: Option<PathBuf>) {
+    *DEFAULT_TELEMETRY_OUT
+        .lock()
+        .expect("telemetry path registry poisoned") = path;
+}
+
+/// The current process-wide default telemetry export path.
+///
+/// # Panics
+///
+/// Panics if the path registry mutex is poisoned.
+#[must_use]
+pub fn default_telemetry_out() -> Option<PathBuf> {
+    DEFAULT_TELEMETRY_OUT
+        .lock()
+        .expect("telemetry path registry poisoned")
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_core::Timestamp;
+    use tempo_telemetry::SampleSnapshot;
+
+    fn sample_event() -> TelemetryEvent {
+        TelemetryEvent::Sample {
+            at: Timestamp::from_secs(1.0),
+            servers: vec![
+                SampleSnapshot {
+                    clock: Timestamp::from_secs(1.001),
+                    error: Duration::from_millis(5.0),
+                    true_offset: Duration::from_millis(1.0),
+                    correct: true,
+                    active: true,
+                },
+                SampleSnapshot {
+                    clock: Timestamp::from_secs(0.8),
+                    error: Duration::from_millis(9.0),
+                    true_offset: Duration::from_millis(-200.0),
+                    correct: false,
+                    active: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_sink_keeps_every_server_active_or_not() {
+        let mut sink = MetricsSink::new();
+        sink.observe(&sample_event());
+        let rows = sink.take_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].per_server.len(), 2);
+        assert!(!rows[0].per_server[1].correct, "inactive server kept");
+        assert!(sink.take_rows().is_empty(), "drained");
+    }
+
+    #[test]
+    fn metrics_sink_only_wants_samples() {
+        let sink = MetricsSink::new();
+        assert!(sink.enabled(EventKind::Sample));
+        assert!(!sink.enabled(EventKind::MsgSend));
+        assert!(!sink.enabled(EventKind::RoundAdopt));
+    }
+
+    #[test]
+    fn jsonl_sink_frames_and_counts() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A tiny shared buffer standing in for the output file.
+        #[derive(Clone)]
+        struct Buf(Rc<RefCell<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf(Rc::new(RefCell::new(Vec::new())));
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.run_start(
+            7,
+            3,
+            "IM",
+            Duration::from_millis(20.0),
+            Duration::from_secs(10.0),
+        );
+        sink.observe(&sample_event());
+        assert_eq!(sink.events(), 1);
+        sink.finish(0, Duration::from_millis(8.0), &NetStats::default());
+
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let n = tempo_telemetry::json::validate_stream(&text).expect("stream validates");
+        assert_eq!(n, 3);
+        assert!(text.contains("\"xi_witness\":0.008"));
+        // The inactive server exports as null.
+        assert!(text.contains("null"));
+    }
+
+    #[test]
+    fn oracle_sink_screens_inactive_servers_and_reports_once() {
+        use tempo_core::DriftRate;
+        use tempo_oracle::{OracleConfig, ServerView};
+
+        let views = vec![
+            ServerView {
+                drift_bound: DriftRate::new(1e-4),
+                trusted: true,
+            },
+            ServerView {
+                drift_bound: DriftRate::new(1e-4),
+                trusted: true,
+            },
+        ];
+        let mut sink = OracleSink::new(Oracle::new(3, OracleConfig::safety(), views));
+        assert!(sink.enabled(EventKind::Sample));
+        assert!(sink.enabled(EventKind::RoundAdopt));
+        assert!(!sink.enabled(EventKind::MsgSend));
+
+        // The second server is inactive *and* wildly wrong — screening
+        // it out is what keeps the report clean.
+        sink.observe(&sample_event());
+        sink.observe(&TelemetryEvent::RoundAdopt {
+            at: Timestamp::from_secs(1.5),
+            server: 0,
+            round: 1,
+            clock: Timestamp::from_secs(1.5),
+            error_before: Duration::from_millis(12.0),
+            error_after: Duration::from_millis(6.0),
+            input_widths: vec![Duration::from_millis(24.0), Duration::from_millis(12.0)],
+            recovery: false,
+        });
+        let report = sink.finish().expect("first finish yields a report");
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.samples_checked, 1);
+        assert_eq!(report.rounds_checked, 1);
+        assert!(sink.finish().is_none(), "oracle is consumed");
+    }
+
+    #[test]
+    fn default_path_round_trips() {
+        // Other tests never touch the registry, so this is safe even
+        // under the parallel test runner.
+        set_default_telemetry_out(Some(PathBuf::from("/tmp/t.jsonl")));
+        assert_eq!(default_telemetry_out(), Some(PathBuf::from("/tmp/t.jsonl")));
+        set_default_telemetry_out(None);
+        assert_eq!(default_telemetry_out(), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Telemetry-bus integration: the health lifecycle of a partitioned
+//! peer, observed purely through [`TelemetryEvent::HealthChanged`]
+//! events.
+//!
+//! A two-server service is split by a scheduled partition long enough
+//! for each side to walk its peer Healthy → Suspect → Dead, then the
+//! partition heals and a probe round reinstates the peer. The bus
+//! must report exactly that sequence — and a clean network must
+//! produce no health events at all.
+//!
+//! The assertions are structural (transition order, not instants):
+//! round start phases draw on seeded RNGs, so times shift with the
+//! RNG stream, but the lifecycle itself is forced by the schedule —
+//! the partition spans dozens of resync rounds while `dead_after`
+//! needs only six, and probes retry every four rounds after the heal.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tempo_clocks::{DriftModel, SimClock};
+use tempo_core::{DriftRate, Duration, Timestamp};
+use tempo_net::{DelayModel, NetConfig, NodeId, Partition, Topology, World};
+use tempo_service::{HealthConfig, RetryPolicy, ServerConfig, Strategy, TimeServer};
+use tempo_telemetry::{Bus, EventKind, HealthState, Observer, TelemetryEvent};
+
+/// Records every health transition the bus reports.
+#[derive(Debug, Default)]
+struct HealthRecorder {
+    transitions: Vec<(usize, usize, HealthState, HealthState)>,
+}
+
+impl Observer for HealthRecorder {
+    fn enabled(&self, kind: EventKind) -> bool {
+        kind == EventKind::HealthChanged
+    }
+
+    fn observe(&mut self, event: &TelemetryEvent) {
+        if let TelemetryEvent::HealthChanged {
+            server,
+            peer,
+            from,
+            to,
+            ..
+        } = event
+        {
+            self.transitions.push((*server, *peer, *from, *to));
+        }
+    }
+}
+
+fn server(seed: u64) -> TimeServer {
+    let clock = SimClock::builder()
+        .drift(DriftModel::Constant(1e-5))
+        .seed(seed)
+        .build();
+    TimeServer::new(
+        clock,
+        ServerConfig::new(Strategy::Mm, DriftRate::new(1e-4))
+            .resync_period(Duration::from_secs(5.0))
+            .collect_window(Duration::from_secs(0.5))
+            .jitter(0.0)
+            .retry(RetryPolicy::Backoff {
+                timeout: Duration::from_millis(200.0),
+                max_retries: 0,
+                multiplier: 2.0,
+                jitter: 0.0,
+            })
+            .health(HealthConfig {
+                suspect_after: 2,
+                dead_after: 6,
+                probe_every: 4,
+            }),
+    )
+}
+
+fn run_pair(partitioned: bool) -> Vec<(usize, usize, HealthState, HealthState)> {
+    let bus = Bus::new();
+    let recorder = Rc::new(RefCell::new(HealthRecorder::default()));
+    bus.subscribe(Rc::clone(&recorder));
+
+    let mut servers = vec![server(1), server(2)];
+    for s in &mut servers {
+        s.attach_bus(bus.clone());
+    }
+    let mut net = NetConfig::with_delay(DelayModel::Constant(Duration::from_millis(5.0)));
+    if partitioned {
+        net.partitions.push(Partition {
+            from: Timestamp::from_secs(30.0),
+            until: Timestamp::from_secs(150.0),
+            groups: vec![vec![NodeId::new(0)], vec![NodeId::new(1)]],
+        });
+    }
+    let mut world = World::new_with_bus(servers, Topology::full_mesh(2), net, 42, bus.clone());
+    world.run_until(Timestamp::from_secs(300.0));
+
+    let recorder = recorder.borrow();
+    recorder.transitions.clone()
+}
+
+#[test]
+fn partitioned_peer_walks_the_full_health_lifecycle() {
+    let transitions = run_pair(true);
+    // Each server watches exactly one peer, so each side's sequence
+    // must be exactly: demoted to Suspect, demoted to Dead, and — once
+    // the partition heals and a probe round reaches it — reinstated.
+    for me in 0..2usize {
+        let peer = 1 - me;
+        let mine: Vec<_> = transitions
+            .iter()
+            .filter(|(server, _, _, _)| *server == me)
+            .collect();
+        assert_eq!(
+            mine,
+            vec![
+                &(me, peer, HealthState::Healthy, HealthState::Suspect),
+                &(me, peer, HealthState::Suspect, HealthState::Dead),
+                &(me, peer, HealthState::Dead, HealthState::Healthy),
+            ],
+            "server {me} health sequence: {transitions:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_network_emits_no_health_events() {
+    let transitions = run_pair(false);
+    assert!(
+        transitions.is_empty(),
+        "no peer should change health on a clean network: {transitions:?}"
+    );
+}

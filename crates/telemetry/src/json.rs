@@ -1,0 +1,979 @@
+//! JSONL export: serialization of [`TelemetryEvent`]s to one-object-
+//! per-line JSON, plus a minimal parser and schema validator so CI can
+//! check an exported stream without external dependencies.
+//!
+//! The schema is stable and documented in EXPERIMENTS.md. Every line
+//! is a flat JSON object whose `"type"` field names the record; field
+//! order is fixed and numbers use Rust's shortest-roundtrip `f64`
+//! formatting, so a fixed seed yields a byte-identical stream.
+
+use std::fmt::Write as _;
+
+use crate::{SampleSnapshot, TelemetryEvent};
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for one flat JSON object with a fixed field
+/// order. Keys are written verbatim (callers use plain ASCII keys).
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an object whose first field is `"type": <tag>`.
+    #[must_use]
+    pub fn typed(tag: &str) -> Self {
+        let mut obj = JsonObject {
+            buf: String::with_capacity(96),
+            first: true,
+        };
+        obj.buf.push('{');
+        obj.str("type", tag);
+        obj
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        push_json_str(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a finite floating-point field (shortest-roundtrip form).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (arrays, nested
+    /// objects, `null`).
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn secs_array(widths: &[tempo_core::Duration]) -> String {
+    let mut out = String::from("[");
+    for (i, w) in widths.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", w.as_secs());
+    }
+    out.push(']');
+    out
+}
+
+// Inactive servers export as `null`: their free-running clocks are
+// visible in-process, but the JSONL schema only carries service
+// members.
+fn snapshot_json(snap: &SampleSnapshot) -> String {
+    if !snap.active {
+        return String::from("null");
+    }
+    let mut obj = JsonObject {
+        buf: String::with_capacity(64),
+        first: true,
+    };
+    obj.buf.push('{');
+    obj.num("clock", snap.clock.as_secs())
+        .num("error", snap.error.as_secs())
+        .num("offset", snap.true_offset.as_secs())
+        .bool("correct", snap.correct);
+    obj.finish()
+}
+
+/// Serializes one event to its JSONL line (no trailing newline).
+#[must_use]
+pub fn event_line(event: &TelemetryEvent) -> String {
+    let mut o = JsonObject::typed(event.kind().name());
+    match event {
+        TelemetryEvent::MsgSend { at, from, to }
+        | TelemetryEvent::MsgRecv { at, from, to }
+        | TelemetryEvent::MsgDuplicate { at, from, to } => {
+            o.num("t", at.as_secs())
+                .int("from", *from as u64)
+                .int("to", *to as u64);
+        }
+        TelemetryEvent::MsgDrop {
+            at,
+            from,
+            to,
+            cause,
+        } => {
+            o.num("t", at.as_secs())
+                .int("from", *from as u64)
+                .int("to", *to as u64)
+                .str("cause", cause.label());
+        }
+        TelemetryEvent::TimerFired { at, node, tag } => {
+            o.num("t", at.as_secs())
+                .int("node", *node as u64)
+                .int("tag", *tag);
+        }
+        TelemetryEvent::Join { at, server, clock } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .num("clock", clock.as_secs());
+        }
+        TelemetryEvent::Leave { at, server } | TelemetryEvent::RecoveryStarted { at, server } => {
+            o.num("t", at.as_secs()).int("server", *server as u64);
+        }
+        TelemetryEvent::RoundBegin {
+            at,
+            server,
+            round,
+            clock,
+            polled,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("round", *round)
+                .num("clock", clock.as_secs())
+                .int("polled", *polled as u64);
+        }
+        TelemetryEvent::RoundAdopt {
+            at,
+            server,
+            round,
+            clock,
+            error_before,
+            error_after,
+            input_widths,
+            recovery,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("round", *round)
+                .num("clock", clock.as_secs())
+                .num("e_before", error_before.as_secs())
+                .num("e_after", error_after.as_secs())
+                .raw("inputs", &secs_array(input_widths))
+                .bool("recovery", *recovery);
+        }
+        TelemetryEvent::RoundReject {
+            at,
+            server,
+            round,
+            cause,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("round", *round)
+                .str("cause", cause.label());
+        }
+        TelemetryEvent::ClockStep {
+            at,
+            server,
+            from,
+            to,
+            error,
+        }
+        | TelemetryEvent::ClockSlew {
+            at,
+            server,
+            from,
+            to,
+            error,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .num("from", from.as_secs())
+                .num("to", to.as_secs())
+                .num("error", error.as_secs());
+        }
+        TelemetryEvent::Timeout {
+            at,
+            server,
+            peer,
+            round,
+            attempt,
+        }
+        | TelemetryEvent::Retry {
+            at,
+            server,
+            peer,
+            round,
+            attempt,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("peer", *peer as u64)
+                .int("round", *round)
+                .int("attempt", u64::from(*attempt));
+        }
+        TelemetryEvent::HealthChanged {
+            at,
+            server,
+            peer,
+            from,
+            to,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("peer", *peer as u64)
+                .str("from", from.label())
+                .str("to", to.label());
+        }
+        TelemetryEvent::DegradedEnter {
+            at,
+            server,
+            round,
+            replies,
+            quorum,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("round", *round)
+                .int("replies", *replies as u64)
+                .int("quorum", *quorum as u64);
+        }
+        TelemetryEvent::DegradedExit { at, server, round } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("round", *round);
+        }
+        TelemetryEvent::Sample { at, servers } => {
+            let mut arr = String::from("[");
+            for (i, snap) in servers.iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                arr.push_str(&snapshot_json(snap));
+            }
+            arr.push(']');
+            o.num("t", at.as_secs()).raw("servers", &arr);
+        }
+    }
+    o.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (for schema validation — no external JSON crate available)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a field of an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(_) => self.parse_number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf8 in number"))?;
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("bad number '{text}'")))?;
+        if !value.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        Ok(Json::Num(value))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf8 in string"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (rejects trailing garbage).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing garbage"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------------
+
+/// Expected type of a schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Num,
+    Int,
+    Str,
+    Bool,
+    NumArr,
+    SampleArr,
+}
+
+fn check_field(value: &Json, expected: Field) -> bool {
+    match (expected, value) {
+        (Field::Num, Json::Num(_)) => true,
+        (Field::Int, Json::Num(n)) => n.fract() == 0.0 && *n >= 0.0,
+        (Field::Str, Json::Str(_)) => true,
+        (Field::Bool, Json::Bool(_)) => true,
+        (Field::NumArr, Json::Arr(items)) => items.iter().all(|i| matches!(i, Json::Num(_))),
+        (Field::SampleArr, Json::Arr(items)) => items.iter().all(|item| match item {
+            Json::Null => true,
+            Json::Obj(_) => {
+                const SNAP: [(&str, Field); 4] = [
+                    ("clock", Field::Num),
+                    ("error", Field::Num),
+                    ("offset", Field::Num),
+                    ("correct", Field::Bool),
+                ];
+                fields_match(item, &SNAP)
+            }
+            _ => false,
+        }),
+        _ => false,
+    }
+}
+
+/// Exact match: every listed field present with the right type, and no
+/// unlisted field (besides `"type"`).
+fn fields_match(obj: &Json, schema: &[(&str, Field)]) -> bool {
+    let Json::Obj(fields) = obj else {
+        return false;
+    };
+    for (key, expected) in schema {
+        match obj.get(key) {
+            Some(value) if check_field(value, *expected) => {}
+            _ => return false,
+        }
+    }
+    fields
+        .iter()
+        .all(|(k, _)| k == "type" || schema.iter().any(|(key, _)| key == k))
+}
+
+/// Required fields (beyond `"type"`) for each record type.
+fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
+    Some(match tag {
+        "run_start" => &[
+            ("seed", Field::Int),
+            ("servers", Field::Int),
+            ("strategy", Field::Str),
+            ("xi", Field::Num),
+            ("tau", Field::Num),
+        ],
+        "send" | "recv" | "dup" => &[("t", Field::Num), ("from", Field::Int), ("to", Field::Int)],
+        "drop" => &[
+            ("t", Field::Num),
+            ("from", Field::Int),
+            ("to", Field::Int),
+            ("cause", Field::Str),
+        ],
+        "timer" => &[("t", Field::Num), ("node", Field::Int), ("tag", Field::Int)],
+        "join" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("clock", Field::Num),
+        ],
+        "leave" | "recovery" => &[("t", Field::Num), ("server", Field::Int)],
+        "round_begin" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("round", Field::Int),
+            ("clock", Field::Num),
+            ("polled", Field::Int),
+        ],
+        "adopt" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("round", Field::Int),
+            ("clock", Field::Num),
+            ("e_before", Field::Num),
+            ("e_after", Field::Num),
+            ("inputs", Field::NumArr),
+            ("recovery", Field::Bool),
+        ],
+        "reject" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("round", Field::Int),
+            ("cause", Field::Str),
+        ],
+        "step" | "slew" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("from", Field::Num),
+            ("to", Field::Num),
+            ("error", Field::Num),
+        ],
+        "timeout" | "retry" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("peer", Field::Int),
+            ("round", Field::Int),
+            ("attempt", Field::Int),
+        ],
+        "health" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("peer", Field::Int),
+            ("from", Field::Str),
+            ("to", Field::Str),
+        ],
+        "degraded_enter" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("round", Field::Int),
+            ("replies", Field::Int),
+            ("quorum", Field::Int),
+        ],
+        "degraded_exit" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("round", Field::Int),
+        ],
+        "sample" => &[("t", Field::Num), ("servers", Field::SampleArr)],
+        "summary" => &[
+            ("events", Field::Int),
+            ("dropped", Field::Int),
+            ("xi_witness", Field::Num),
+            ("sent", Field::Int),
+            ("delivered", Field::Int),
+            ("lost", Field::Int),
+            ("duplicated", Field::Int),
+            ("partitioned", Field::Int),
+            ("timers", Field::Int),
+        ],
+        _ => return None,
+    })
+}
+
+const ENUM_FIELDS: [(&str, &str, &[&str]); 4] = [
+    ("drop", "cause", &["loss", "partition"]),
+    ("reject", "cause", &["inconsistent", "starved"]),
+    ("health", "from", &["healthy", "suspect", "dead"]),
+    ("health", "to", &["healthy", "suspect", "dead"]),
+];
+
+/// Validates one JSONL line against the documented schema: it must
+/// parse, carry a known `"type"`, have exactly the documented fields
+/// with the documented types, and use only documented enum labels.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let value = parse(line)?;
+    let Some(Json::Str(tag)) = value.get("type") else {
+        return Err("missing string field \"type\"".into());
+    };
+    let schema = schema_for(tag).ok_or_else(|| format!("unknown record type \"{tag}\""))?;
+    if !fields_match(&value, schema) {
+        return Err(format!("record \"{tag}\" does not match its schema"));
+    }
+    for (record, field, allowed) in ENUM_FIELDS {
+        if record == tag {
+            if let Some(Json::Str(label)) = value.get(field) {
+                if !allowed.contains(&label.as_str()) {
+                    return Err(format!("\"{tag}\".{field} has unknown label \"{label}\""));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL stream: every non-empty line must satisfy
+/// [`validate_line`], the first line must be `run_start`, and the last
+/// must be `summary`. Returns the number of lines checked.
+pub fn validate_stream(text: &str) -> Result<usize, String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    if lines.is_empty() {
+        return Err("empty stream".into());
+    }
+    let mut tags = Vec::with_capacity(lines.len());
+    for (lineno, line) in &lines {
+        validate_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let Json::Obj(fields) = parse(line)? else {
+            unreachable!("validate_line accepts objects only");
+        };
+        if let Some((_, Json::Str(tag))) = fields.iter().find(|(k, _)| k == "type") {
+            tags.push(tag.clone());
+        }
+    }
+    if tags.first().map(String::as_str) != Some("run_start") {
+        return Err("stream must start with a run_start record".into());
+    }
+    if tags.last().map(String::as_str) != Some("summary") {
+        return Err("stream must end with a summary record".into());
+    }
+    Ok(lines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DropCause, HealthState, RejectCause};
+    use tempo_core::{Duration, Timestamp};
+
+    fn every_event() -> Vec<TelemetryEvent> {
+        let at = Timestamp::from_secs(12.5);
+        let clock = Timestamp::from_secs(12.503);
+        let err = Duration::from_millis(4.0);
+        vec![
+            TelemetryEvent::MsgSend { at, from: 0, to: 1 },
+            TelemetryEvent::MsgRecv { at, from: 1, to: 0 },
+            TelemetryEvent::MsgDrop {
+                at,
+                from: 0,
+                to: 2,
+                cause: DropCause::Loss,
+            },
+            TelemetryEvent::MsgDrop {
+                at,
+                from: 0,
+                to: 2,
+                cause: DropCause::Partition,
+            },
+            TelemetryEvent::MsgDuplicate { at, from: 2, to: 0 },
+            TelemetryEvent::TimerFired {
+                at,
+                node: 1,
+                tag: 42,
+            },
+            TelemetryEvent::Join {
+                at,
+                server: 0,
+                clock,
+            },
+            TelemetryEvent::Leave { at, server: 3 },
+            TelemetryEvent::RoundBegin {
+                at,
+                server: 0,
+                round: 7,
+                clock,
+                polled: 4,
+            },
+            TelemetryEvent::RoundAdopt {
+                at,
+                server: 0,
+                round: 7,
+                clock,
+                error_before: err,
+                error_after: Duration::from_millis(2.0),
+                input_widths: vec![Duration::from_millis(8.0), Duration::from_millis(5.5)],
+                recovery: false,
+            },
+            TelemetryEvent::RoundReject {
+                at,
+                server: 1,
+                round: 7,
+                cause: RejectCause::Inconsistent,
+            },
+            TelemetryEvent::RoundReject {
+                at,
+                server: 1,
+                round: 8,
+                cause: RejectCause::Starved,
+            },
+            TelemetryEvent::ClockStep {
+                at,
+                server: 0,
+                from: clock,
+                to: Timestamp::from_secs(12.501),
+                error: err,
+            },
+            TelemetryEvent::ClockSlew {
+                at,
+                server: 0,
+                from: clock,
+                to: Timestamp::from_secs(12.501),
+                error: err,
+            },
+            TelemetryEvent::Timeout {
+                at,
+                server: 0,
+                peer: 2,
+                round: 7,
+                attempt: 0,
+            },
+            TelemetryEvent::Retry {
+                at,
+                server: 0,
+                peer: 2,
+                round: 7,
+                attempt: 1,
+            },
+            TelemetryEvent::HealthChanged {
+                at,
+                server: 0,
+                peer: 2,
+                from: HealthState::Healthy,
+                to: HealthState::Suspect,
+            },
+            TelemetryEvent::DegradedEnter {
+                at,
+                server: 0,
+                round: 9,
+                replies: 1,
+                quorum: 2,
+            },
+            TelemetryEvent::DegradedExit {
+                at,
+                server: 0,
+                round: 10,
+            },
+            TelemetryEvent::RecoveryStarted { at, server: 0 },
+            TelemetryEvent::Sample {
+                at,
+                servers: vec![
+                    crate::SampleSnapshot {
+                        clock,
+                        error: err,
+                        true_offset: Duration::from_millis(-1.5),
+                        correct: true,
+                        active: true,
+                    },
+                    crate::SampleSnapshot {
+                        clock,
+                        error: err,
+                        true_offset: Duration::ZERO,
+                        correct: true,
+                        active: false,
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_line_validates() {
+        for event in every_event() {
+            let line = event_line(&event);
+            validate_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn event_lines_round_trip_through_the_parser() {
+        for event in every_event() {
+            let line = event_line(&event);
+            let parsed = parse(&line).expect("parses");
+            assert_eq!(
+                parsed.get("type"),
+                Some(&Json::Str(event.kind().name().into())),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let json = r#"{"a": "q\"\\\nA", "b": [1, -2.5e3, true, null], "c": {"d": []}}"#;
+        let parsed = parse(json).expect("parses");
+        assert_eq!(parsed.get("a"), Some(&Json::Str("q\"\\\nA".into())));
+        let Some(Json::Arr(items)) = parsed.get("b") else {
+            panic!("b should be an array");
+        };
+        assert_eq!(items[1], Json::Num(-2500.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1e999").is_err(), "non-finite numbers rejected");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_shapes() {
+        assert!(validate_line("[1,2]").is_err(), "not an object");
+        assert!(validate_line("{\"t\":1}").is_err(), "no type");
+        assert!(
+            validate_line("{\"type\":\"teleport\"}").is_err(),
+            "unknown type"
+        );
+        assert!(
+            validate_line("{\"type\":\"send\",\"t\":0.5,\"from\":0}").is_err(),
+            "missing field"
+        );
+        assert!(
+            validate_line("{\"type\":\"send\",\"t\":0.5,\"from\":0,\"to\":1,\"x\":2}").is_err(),
+            "extra field"
+        );
+        assert!(
+            validate_line("{\"type\":\"send\",\"t\":0.5,\"from\":0.5,\"to\":1}").is_err(),
+            "non-integer id"
+        );
+        assert!(
+            validate_line(
+                "{\"type\":\"drop\",\"t\":0.5,\"from\":0,\"to\":1,\"cause\":\"gremlin\"}"
+            )
+            .is_err(),
+            "unknown enum label"
+        );
+    }
+
+    #[test]
+    fn stream_validation_enforces_framing() {
+        let start = "{\"type\":\"run_start\",\"seed\":7,\"servers\":3,\"strategy\":\"im\",\"xi\":0.02,\"tau\":10}";
+        let mid = event_line(&TelemetryEvent::MsgSend {
+            at: Timestamp::from_secs(1.0),
+            from: 0,
+            to: 1,
+        });
+        let end = "{\"type\":\"summary\",\"events\":1,\"dropped\":0,\"xi_witness\":0.009,\"sent\":1,\"delivered\":1,\"lost\":0,\"duplicated\":0,\"partitioned\":0,\"timers\":2}";
+        let good = format!("{start}\n{mid}\n{end}\n");
+        assert_eq!(validate_stream(&good), Ok(3));
+        assert!(validate_stream(&format!("{mid}\n{end}\n")).is_err());
+        assert!(validate_stream(&format!("{start}\n{mid}\n")).is_err());
+        assert!(validate_stream("").is_err());
+    }
+
+    #[test]
+    fn number_formatting_is_shortest_roundtrip() {
+        let line = event_line(&TelemetryEvent::MsgSend {
+            at: Timestamp::from_secs(0.1),
+            from: 0,
+            to: 1,
+        });
+        assert!(line.contains("\"t\":0.1"), "{line}");
+    }
+}

@@ -1,0 +1,868 @@
+//! # tempo-telemetry
+//!
+//! One typed event stream for the whole tempo reproduction.
+//!
+//! The paper's experience sections (§3–§4 of Marzullo & Owicki 1983)
+//! are *observations* of a live service: how fast error grows between
+//! resynchronizations, what a recovering server adopted, which peers
+//! stopped answering. This crate gives every layer a single way to
+//! report such facts:
+//!
+//! * [`TelemetryEvent`] — a typed enum covering clock resets
+//!   (step/slew), message send/recv/drop/duplicate, round
+//!   begin/adopt/reject (with the MM-2/IM-2 inputs), timeout/retry,
+//!   peer-health transitions, degraded-mode enter/exit, recovery,
+//!   join/leave, and periodic sample snapshots,
+//! * [`Observer`] — a sink with a cheap [`Observer::enabled`] gate so
+//!   producers can skip building events nobody wants,
+//! * [`Bus`] — a fan-out dispatcher with a lazy
+//!   [`Bus::emit_with`] API, an aggregate kind mask, and an optional
+//!   bounded ring buffer (with an explicit dropped-event counter)
+//!   holding the most recent events for post-mortems.
+//!
+//! A disabled bus ([`Bus::disabled`]) is a single `Option` check per
+//! emission and never builds the event, so instrumented code costs
+//! near zero when nobody is listening.
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use tempo_core::Timestamp;
+//! use tempo_telemetry::{Bus, EventKind, Observer, TelemetryEvent};
+//!
+//! #[derive(Default)]
+//! struct Counter(usize);
+//! impl Observer for Counter {
+//!     fn enabled(&self, kind: EventKind) -> bool {
+//!         kind == EventKind::MsgSend
+//!     }
+//!     fn observe(&mut self, _event: &TelemetryEvent) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let bus = Bus::new();
+//! let counter = Rc::new(RefCell::new(Counter::default()));
+//! bus.subscribe(counter.clone());
+//! bus.emit_with(EventKind::MsgSend, || TelemetryEvent::MsgSend {
+//!     at: Timestamp::from_secs(1.0),
+//!     from: 0,
+//!     to: 1,
+//! });
+//! // MsgRecv is gated off by `enabled`, so the closure never runs.
+//! bus.emit_with(EventKind::MsgRecv, || unreachable!());
+//! assert_eq!(counter.borrow().0, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use tempo_core::{Duration, Timestamp};
+
+/// Discriminant-only mirror of [`TelemetryEvent`], used for the cheap
+/// `enabled` gate and the bus's aggregate bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A message was handed to the network.
+    MsgSend = 0,
+    /// A message was delivered to its destination.
+    MsgRecv = 1,
+    /// A message was dropped in flight (loss or partition).
+    MsgDrop = 2,
+    /// A message was duplicated by the network.
+    MsgDuplicate = 3,
+    /// A node's timer fired.
+    TimerFired = 4,
+    /// A server joined the service.
+    Join = 5,
+    /// A server left the service.
+    Leave = 6,
+    /// A resynchronization round started polling peers.
+    RoundBegin = 7,
+    /// A round produced a new estimate that the server adopted.
+    RoundAdopt = 8,
+    /// A round ended without adopting (inconsistency or starvation).
+    RoundReject = 9,
+    /// The clock was stepped to a new value.
+    ClockStep = 10,
+    /// The clock was slewed toward a new value.
+    ClockSlew = 11,
+    /// A pending request exceeded its deadline.
+    Timeout = 12,
+    /// A timed-out request was retried.
+    Retry = 13,
+    /// A peer's health classification changed.
+    HealthChanged = 14,
+    /// The server entered degraded (quorum-starved) mode.
+    DegradedEnter = 15,
+    /// The server recovered from degraded mode.
+    DegradedExit = 16,
+    /// The §3 third-server recovery protocol was triggered.
+    RecoveryStarted = 17,
+    /// A periodic snapshot of every server's estimate.
+    Sample = 18,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 19] = [
+        EventKind::MsgSend,
+        EventKind::MsgRecv,
+        EventKind::MsgDrop,
+        EventKind::MsgDuplicate,
+        EventKind::TimerFired,
+        EventKind::Join,
+        EventKind::Leave,
+        EventKind::RoundBegin,
+        EventKind::RoundAdopt,
+        EventKind::RoundReject,
+        EventKind::ClockStep,
+        EventKind::ClockSlew,
+        EventKind::Timeout,
+        EventKind::Retry,
+        EventKind::HealthChanged,
+        EventKind::DegradedEnter,
+        EventKind::DegradedExit,
+        EventKind::RecoveryStarted,
+        EventKind::Sample,
+    ];
+
+    /// This kind's position in the bus bitmask.
+    #[must_use]
+    pub fn bit(self) -> u64 {
+        1 << (self as u8)
+    }
+
+    /// The stable tag used as the `"type"` field of the JSONL export.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::MsgSend => "send",
+            EventKind::MsgRecv => "recv",
+            EventKind::MsgDrop => "drop",
+            EventKind::MsgDuplicate => "dup",
+            EventKind::TimerFired => "timer",
+            EventKind::Join => "join",
+            EventKind::Leave => "leave",
+            EventKind::RoundBegin => "round_begin",
+            EventKind::RoundAdopt => "adopt",
+            EventKind::RoundReject => "reject",
+            EventKind::ClockStep => "step",
+            EventKind::ClockSlew => "slew",
+            EventKind::Timeout => "timeout",
+            EventKind::Retry => "retry",
+            EventKind::HealthChanged => "health",
+            EventKind::DegradedEnter => "degraded_enter",
+            EventKind::DegradedExit => "degraded_exit",
+            EventKind::RecoveryStarted => "recovery",
+            EventKind::Sample => "sample",
+        }
+    }
+}
+
+/// Why the network dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Random loss on the link.
+    Loss,
+    /// An active partition blocked the link.
+    Partition,
+}
+
+impl DropCause {
+    /// Stable JSONL tag.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::Loss => "loss",
+            DropCause::Partition => "partition",
+        }
+    }
+}
+
+/// Why a resynchronization round did not adopt a new estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The synchronization algorithm detected inconsistent estimates.
+    Inconsistent,
+    /// Too few replies arrived to satisfy the quorum.
+    Starved,
+}
+
+impl RejectCause {
+    /// Stable JSONL tag.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCause::Inconsistent => "inconsistent",
+            RejectCause::Starved => "starved",
+        }
+    }
+}
+
+/// A peer-health classification, mirroring the service's tracker
+/// states without depending on the service crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// The peer answers within the deadline.
+    Healthy,
+    /// The peer missed enough consecutive deadlines to be suspect.
+    Suspect,
+    /// The peer is presumed dead and only probed occasionally.
+    Dead,
+}
+
+impl HealthState {
+    /// Stable JSONL tag.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Dead => "dead",
+        }
+    }
+}
+
+/// One server's state at a sampling instant, as carried by
+/// [`TelemetryEvent::Sample`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSnapshot {
+    /// The server's clock reading `C_i(t)`.
+    pub clock: Timestamp,
+    /// The server's error bound `E_i(t)`.
+    pub error: Duration,
+    /// Signed offset from real time (ground truth, sim only).
+    pub true_offset: Duration,
+    /// Whether real time lies inside `[C_i - E_i, C_i + E_i]`.
+    pub correct: bool,
+    /// Whether the server is currently part of the service (between
+    /// its join and leave). Inactive servers are still snapshotted —
+    /// their free-running clocks remain observable — but exports may
+    /// elide them and checkers must not hold the theorems against
+    /// them.
+    pub active: bool,
+}
+
+/// A typed telemetry event. `at` is always real (simulated-world)
+/// time; clock readings are the emitting server's logical time.
+///
+/// Node and server identifiers are plain actor indexes so the crate
+/// stays dependency-free below `tempo-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A message was handed to the network.
+    MsgSend {
+        /// Real time of the send.
+        at: Timestamp,
+        /// Sending node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+    /// A message was delivered.
+    MsgRecv {
+        /// Real time of the delivery.
+        at: Timestamp,
+        /// Sending node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+    /// A message was dropped in flight.
+    MsgDrop {
+        /// Real time of the (attempted) send.
+        at: Timestamp,
+        /// Sending node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+        /// Whether loss or a partition killed it.
+        cause: DropCause,
+    },
+    /// The network duplicated a message.
+    MsgDuplicate {
+        /// Real time of the send.
+        at: Timestamp,
+        /// Sending node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+    /// A node's timer fired.
+    TimerFired {
+        /// Real time the timer fired.
+        at: Timestamp,
+        /// Node whose timer fired.
+        node: usize,
+        /// The timer tag the node set.
+        tag: u64,
+    },
+    /// A server joined the service.
+    Join {
+        /// Real time of the join.
+        at: Timestamp,
+        /// Joining server index.
+        server: usize,
+        /// Its clock reading at the join.
+        clock: Timestamp,
+    },
+    /// A server left the service.
+    Leave {
+        /// Real time of the leave.
+        at: Timestamp,
+        /// Leaving server index.
+        server: usize,
+    },
+    /// A resynchronization round started polling peers.
+    RoundBegin {
+        /// Real time the round began.
+        at: Timestamp,
+        /// Polling server index.
+        server: usize,
+        /// Monotonic round number on that server.
+        round: u64,
+        /// The server's clock when the round began.
+        clock: Timestamp,
+        /// How many peers it polled this round.
+        polled: usize,
+    },
+    /// A round adopted a new estimate (rule MM-2 / IM-2, the
+    /// fault-tolerant intersection, or a recovery adoption).
+    RoundAdopt {
+        /// Real time of the adoption.
+        at: Timestamp,
+        /// Adopting server index.
+        server: usize,
+        /// Monotonic round number on that server.
+        round: u64,
+        /// The server's clock just before applying the reset.
+        clock: Timestamp,
+        /// Error bound before the round.
+        error_before: Duration,
+        /// Error bound adopted by the round.
+        error_after: Duration,
+        /// Full widths (2·error) of every input interval the decision
+        /// saw, own estimate first. Empty when no observer wants
+        /// adoption events (the widths are built lazily).
+        input_widths: Vec<Duration>,
+        /// True when the adoption came from the §3 recovery protocol
+        /// (exempt from the "result no wider than an input" check).
+        recovery: bool,
+    },
+    /// A round finished without adopting.
+    RoundReject {
+        /// Real time of the rejection.
+        at: Timestamp,
+        /// Rejecting server index.
+        server: usize,
+        /// Monotonic round number on that server.
+        round: u64,
+        /// Why nothing was adopted.
+        cause: RejectCause,
+    },
+    /// The clock was stepped to a new value.
+    ClockStep {
+        /// Real time of the step.
+        at: Timestamp,
+        /// Stepping server index.
+        server: usize,
+        /// Clock reading before the step.
+        from: Timestamp,
+        /// Clock reading after the step.
+        to: Timestamp,
+        /// Error bound after the step.
+        error: Duration,
+    },
+    /// The clock was slewed (amortized) toward a new value.
+    ClockSlew {
+        /// Real time the slew started.
+        at: Timestamp,
+        /// Slewing server index.
+        server: usize,
+        /// Clock reading when the slew started.
+        from: Timestamp,
+        /// The target the slew converges to.
+        to: Timestamp,
+        /// Error bound covering the pending correction.
+        error: Duration,
+    },
+    /// A pending request exceeded its deadline.
+    Timeout {
+        /// Real time of the timeout.
+        at: Timestamp,
+        /// Waiting server index.
+        server: usize,
+        /// The peer that failed to answer.
+        peer: usize,
+        /// The round the request belonged to.
+        round: u64,
+        /// Which attempt timed out (0 = first send).
+        attempt: u32,
+    },
+    /// A timed-out request was retried with backoff.
+    Retry {
+        /// Real time of the retry.
+        at: Timestamp,
+        /// Retrying server index.
+        server: usize,
+        /// The peer being asked again.
+        peer: usize,
+        /// The round the request belongs to.
+        round: u64,
+        /// The new attempt number.
+        attempt: u32,
+    },
+    /// A peer's health classification changed.
+    HealthChanged {
+        /// Real time of the transition.
+        at: Timestamp,
+        /// The observing server.
+        server: usize,
+        /// The peer whose classification changed.
+        peer: usize,
+        /// Previous classification.
+        from: HealthState,
+        /// New classification.
+        to: HealthState,
+    },
+    /// The server entered degraded (quorum-starved) mode.
+    DegradedEnter {
+        /// Real time the starved round closed.
+        at: Timestamp,
+        /// The starved server.
+        server: usize,
+        /// The round that starved.
+        round: u64,
+        /// How many usable replies arrived.
+        replies: usize,
+        /// The configured quorum.
+        quorum: usize,
+    },
+    /// The server left degraded mode (a round met quorum again).
+    DegradedExit {
+        /// Real time of the recovering round.
+        at: Timestamp,
+        /// The recovering server.
+        server: usize,
+        /// The round that met quorum.
+        round: u64,
+    },
+    /// The §3 third-server recovery protocol started.
+    RecoveryStarted {
+        /// Real time recovery was triggered.
+        at: Timestamp,
+        /// The recovering server.
+        server: usize,
+    },
+    /// A periodic snapshot of every server's estimate, indexed by
+    /// server. Every server appears, active or not; see
+    /// [`SampleSnapshot::active`].
+    Sample {
+        /// Real time of the snapshot.
+        at: Timestamp,
+        /// Per-server state, indexed by server.
+        servers: Vec<SampleSnapshot>,
+    },
+}
+
+impl TelemetryEvent {
+    /// The kind discriminant of this event.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TelemetryEvent::MsgSend { .. } => EventKind::MsgSend,
+            TelemetryEvent::MsgRecv { .. } => EventKind::MsgRecv,
+            TelemetryEvent::MsgDrop { .. } => EventKind::MsgDrop,
+            TelemetryEvent::MsgDuplicate { .. } => EventKind::MsgDuplicate,
+            TelemetryEvent::TimerFired { .. } => EventKind::TimerFired,
+            TelemetryEvent::Join { .. } => EventKind::Join,
+            TelemetryEvent::Leave { .. } => EventKind::Leave,
+            TelemetryEvent::RoundBegin { .. } => EventKind::RoundBegin,
+            TelemetryEvent::RoundAdopt { .. } => EventKind::RoundAdopt,
+            TelemetryEvent::RoundReject { .. } => EventKind::RoundReject,
+            TelemetryEvent::ClockStep { .. } => EventKind::ClockStep,
+            TelemetryEvent::ClockSlew { .. } => EventKind::ClockSlew,
+            TelemetryEvent::Timeout { .. } => EventKind::Timeout,
+            TelemetryEvent::Retry { .. } => EventKind::Retry,
+            TelemetryEvent::HealthChanged { .. } => EventKind::HealthChanged,
+            TelemetryEvent::DegradedEnter { .. } => EventKind::DegradedEnter,
+            TelemetryEvent::DegradedExit { .. } => EventKind::DegradedExit,
+            TelemetryEvent::RecoveryStarted { .. } => EventKind::RecoveryStarted,
+            TelemetryEvent::Sample { .. } => EventKind::Sample,
+        }
+    }
+
+    /// Real time the event happened.
+    #[must_use]
+    pub fn at(&self) -> Timestamp {
+        match self {
+            TelemetryEvent::MsgSend { at, .. }
+            | TelemetryEvent::MsgRecv { at, .. }
+            | TelemetryEvent::MsgDrop { at, .. }
+            | TelemetryEvent::MsgDuplicate { at, .. }
+            | TelemetryEvent::TimerFired { at, .. }
+            | TelemetryEvent::Join { at, .. }
+            | TelemetryEvent::Leave { at, .. }
+            | TelemetryEvent::RoundBegin { at, .. }
+            | TelemetryEvent::RoundAdopt { at, .. }
+            | TelemetryEvent::RoundReject { at, .. }
+            | TelemetryEvent::ClockStep { at, .. }
+            | TelemetryEvent::ClockSlew { at, .. }
+            | TelemetryEvent::Timeout { at, .. }
+            | TelemetryEvent::Retry { at, .. }
+            | TelemetryEvent::HealthChanged { at, .. }
+            | TelemetryEvent::DegradedEnter { at, .. }
+            | TelemetryEvent::DegradedExit { at, .. }
+            | TelemetryEvent::RecoveryStarted { at, .. }
+            | TelemetryEvent::Sample { at, .. } => *at,
+        }
+    }
+}
+
+/// A telemetry sink. Implementations are subscribed to a [`Bus`] and
+/// receive every event whose kind they declare interest in.
+pub trait Observer {
+    /// Whether this observer wants events of `kind`. Queried once per
+    /// subscription (for the bus mask) and once per delivery; must be
+    /// cheap and stable for the observer's lifetime.
+    fn enabled(&self, kind: EventKind) -> bool {
+        let _ = kind;
+        true
+    }
+
+    /// Receives one event. Events arrive in emission order, which the
+    /// deterministic simulator makes reproducible for a fixed seed.
+    fn observe(&mut self, event: &TelemetryEvent);
+}
+
+/// Bounded buffer of the most recent events, for post-mortems.
+struct Ring {
+    buf: VecDeque<TelemetryEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: TelemetryEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+struct Inner {
+    observers: Vec<Rc<RefCell<dyn Observer>>>,
+    ring: Option<Ring>,
+}
+
+struct Shared {
+    /// OR of every subscriber's enabled kinds (all ones when a ring is
+    /// attached). Checked before the event is even built.
+    mask: Cell<u64>,
+    inner: RefCell<Inner>,
+}
+
+/// A fan-out dispatcher for [`TelemetryEvent`]s.
+///
+/// Cloning a `Bus` is cheap and every clone feeds the same
+/// subscribers, so one bus can be handed to the network, every server,
+/// and the scenario loop. The default bus is *disabled*: emissions are
+/// a single branch and the event is never constructed.
+#[derive(Clone, Default)]
+pub struct Bus {
+    shared: Option<Rc<Shared>>,
+}
+
+impl Bus {
+    /// An enabled bus with no subscribers and no ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Bus {
+            shared: Some(Rc::new(Shared {
+                mask: Cell::new(0),
+                inner: RefCell::new(Inner {
+                    observers: Vec::new(),
+                    ring: None,
+                }),
+            })),
+        }
+    }
+
+    /// The no-op bus: emissions cost one branch and build nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Bus { shared: None }
+    }
+
+    /// An enabled bus that additionally keeps the most recent
+    /// `capacity` events in a bounded ring; older events are evicted
+    /// and counted in [`Bus::dropped_events`].
+    #[must_use]
+    pub fn with_ring(capacity: usize) -> Self {
+        let bus = Bus::new();
+        if let Some(shared) = &bus.shared {
+            shared.inner.borrow_mut().ring = Some(Ring {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            });
+            shared.mask.set(u64::MAX);
+        }
+        bus
+    }
+
+    /// Whether this bus dispatches at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Whether any subscriber (or the ring) wants events of `kind`.
+    /// Producers may use this to skip expensive bookkeeping that only
+    /// feeds a given event kind.
+    #[must_use]
+    pub fn enabled(&self, kind: EventKind) -> bool {
+        match &self.shared {
+            Some(shared) => shared.mask.get() & kind.bit() != 0,
+            None => false,
+        }
+    }
+
+    /// Subscribes an observer. The caller keeps its own `Rc` handle to
+    /// harvest results after the run. No-op on a disabled bus.
+    pub fn subscribe<O: Observer + 'static>(&self, observer: Rc<RefCell<O>>) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let mut bits = 0u64;
+        for kind in EventKind::ALL {
+            if observer.borrow().enabled(kind) {
+                bits |= kind.bit();
+            }
+        }
+        shared.mask.set(shared.mask.get() | bits);
+        shared.inner.borrow_mut().observers.push(observer);
+    }
+
+    /// Emits an event, building it lazily: `build` only runs when some
+    /// subscriber (or the ring) wants events of `kind`.
+    pub fn emit_with(&self, kind: EventKind, build: impl FnOnce() -> TelemetryEvent) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if shared.mask.get() & kind.bit() == 0 {
+            return;
+        }
+        let event = build();
+        debug_assert_eq!(event.kind(), kind);
+        let mut inner = shared.inner.borrow_mut();
+        let Inner { observers, ring } = &mut *inner;
+        for observer in observers.iter() {
+            let mut observer = observer.borrow_mut();
+            if observer.enabled(kind) {
+                observer.observe(&event);
+            }
+        }
+        if let Some(ring) = ring {
+            ring.push(event);
+        }
+    }
+
+    /// Emits an already-built event. Prefer [`Bus::emit_with`] on hot
+    /// paths so disabled kinds cost nothing.
+    pub fn emit(&self, event: TelemetryEvent) {
+        let kind = event.kind();
+        self.emit_with(kind, || event);
+    }
+
+    /// How many events the bounded ring has evicted (or refused, for a
+    /// zero-capacity ring). Zero when no ring is attached.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        match &self.shared {
+            Some(shared) => shared
+                .inner
+                .borrow()
+                .ring
+                .as_ref()
+                .map_or(0, |ring| ring.dropped),
+            None => 0,
+        }
+    }
+
+    /// A copy of the ring's current contents, oldest first. Empty when
+    /// no ring is attached.
+    #[must_use]
+    pub fn recent_events(&self) -> Vec<TelemetryEvent> {
+        match &self.shared {
+            Some(shared) => shared
+                .inner
+                .borrow()
+                .ring
+                .as_ref()
+                .map_or_else(Vec::new, |ring| ring.buf.iter().cloned().collect()),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many observers are subscribed.
+    #[must_use]
+    pub fn observer_count(&self) -> usize {
+        match &self.shared {
+            Some(shared) => shared.inner.borrow().observers.len(),
+            None => 0,
+        }
+    }
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.shared {
+            None => f.write_str("Bus(disabled)"),
+            Some(shared) => {
+                let inner = shared.inner.borrow();
+                f.debug_struct("Bus")
+                    .field("mask", &format_args!("{:#x}", shared.mask.get()))
+                    .field("observers", &inner.observers.len())
+                    .field("ring", &inner.ring.as_ref().map(|r| r.buf.len()))
+                    .field("dropped", &inner.ring.as_ref().map_or(0, |r| r.dropped))
+                    .finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        kinds: Vec<EventKind>,
+        only: Option<EventKind>,
+    }
+
+    impl Observer for Recorder {
+        fn enabled(&self, kind: EventKind) -> bool {
+            self.only.is_none_or(|k| k == kind)
+        }
+        fn observe(&mut self, event: &TelemetryEvent) {
+            self.kinds.push(event.kind());
+        }
+    }
+
+    fn send_at(secs: f64) -> TelemetryEvent {
+        TelemetryEvent::MsgSend {
+            at: Timestamp::from_secs(secs),
+            from: 0,
+            to: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_bus_never_builds() {
+        let bus = Bus::disabled();
+        assert!(!bus.is_enabled());
+        bus.emit_with(EventKind::MsgSend, || unreachable!());
+        assert_eq!(bus.dropped_events(), 0);
+        assert!(bus.recent_events().is_empty());
+    }
+
+    #[test]
+    fn unwanted_kinds_never_build() {
+        let bus = Bus::new();
+        let rec = Rc::new(RefCell::new(Recorder {
+            only: Some(EventKind::Join),
+            ..Recorder::default()
+        }));
+        bus.subscribe(rec.clone());
+        assert!(bus.enabled(EventKind::Join));
+        assert!(!bus.enabled(EventKind::MsgSend));
+        bus.emit_with(EventKind::MsgSend, || unreachable!());
+        bus.emit(TelemetryEvent::Join {
+            at: Timestamp::from_secs(1.0),
+            server: 2,
+            clock: Timestamp::from_secs(1.5),
+        });
+        assert_eq!(rec.borrow().kinds, vec![EventKind::Join]);
+    }
+
+    #[test]
+    fn fan_out_reaches_every_interested_observer() {
+        let bus = Bus::new();
+        let all = Rc::new(RefCell::new(Recorder::default()));
+        let joins = Rc::new(RefCell::new(Recorder {
+            only: Some(EventKind::Join),
+            ..Recorder::default()
+        }));
+        bus.subscribe(all.clone());
+        bus.subscribe(joins.clone());
+        assert_eq!(bus.observer_count(), 2);
+        bus.emit(send_at(0.5));
+        assert_eq!(all.borrow().kinds, vec![EventKind::MsgSend]);
+        assert!(joins.borrow().kinds.is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let bus = Bus::with_ring(2);
+        for i in 0..5 {
+            bus.emit(send_at(f64::from(i)));
+        }
+        assert_eq!(bus.dropped_events(), 3);
+        let recent = bus.recent_events();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].at(), Timestamp::from_secs(3.0));
+        assert_eq!(recent[1].at(), Timestamp::from_secs(4.0));
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let bus = Bus::with_ring(0);
+        bus.emit(send_at(1.0));
+        assert_eq!(bus.dropped_events(), 1);
+        assert!(bus.recent_events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_subscribers() {
+        let bus = Bus::new();
+        let clone = bus.clone();
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        bus.subscribe(rec.clone());
+        clone.emit(send_at(2.0));
+        assert_eq!(rec.borrow().kinds, vec![EventKind::MsgSend]);
+    }
+
+    #[test]
+    fn every_kind_is_distinct_in_the_mask() {
+        let mut seen = 0u64;
+        for kind in EventKind::ALL {
+            assert_eq!(seen & kind.bit(), 0, "{kind:?} reuses a bit");
+            seen |= kind.bit();
+        }
+        assert_eq!(seen.count_ones() as usize, EventKind::ALL.len());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Bus::disabled()), "Bus(disabled)");
+        assert!(format!("{:?}", Bus::with_ring(8)).contains("ring"));
+    }
+}

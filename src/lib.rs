@@ -15,7 +15,9 @@
 //! * [`net`] ([`tempo_net`]) — the deterministic discrete-event network,
 //! * [`service`] ([`tempo_service`]) — the time-server/client protocol,
 //! * [`sim`] ([`tempo_sim`]) — scenarios, metrics, and the experiment
-//!   library regenerating every figure of the paper.
+//!   library regenerating every figure of the paper,
+//! * [`telemetry`] ([`tempo_telemetry`]) — the typed event bus every
+//!   layer publishes on, with a JSONL codec and schema validator.
 //!
 //! ## Quickstart
 //!
@@ -41,3 +43,4 @@ pub use tempo_core as core;
 pub use tempo_net as net;
 pub use tempo_service as service;
 pub use tempo_sim as sim;
+pub use tempo_telemetry as telemetry;
