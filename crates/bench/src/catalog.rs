@@ -135,6 +135,11 @@ pub fn all() -> Vec<Experiment> {
             artifact: "E17 — oracle-gated scenario fuzzer (Theorems 1–7 online)",
             run: || Box::new(ex::fuzz_smoke()),
         },
+        Experiment {
+            name: "restart",
+            artifact: "E18 — crash–restart lifecycle: durable vs amnesia, restart storms",
+            run: || Box::new(ex::restart()),
+        },
     ]
 }
 
@@ -145,11 +150,11 @@ mod tests {
     #[test]
     fn catalogue_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 20);
+        assert_eq!(experiments.len(), 21);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "names must be unique");
+        assert_eq!(names.len(), 21, "names must be unique");
     }
 
     #[test]

@@ -15,13 +15,18 @@
 //! | [`TheoremId::IntersectionWidth`] | Theorem 6 — IM output ≤ narrowest input |
 //! | [`TheoremId::ImAsynchronism`] | Theorem 7 — IM pairwise clock skew bound |
 //! | [`TheoremId::Consistency`] | §5 — correct servers form one consistency group |
+//! | [`TheoremId::Rehydration`] | Rule MM-1 across downtime — a rehydrated interval is derived correctly and still contains real time |
+//! | [`TheoremId::Lifecycle`] | §5 rejoin — no service while down, bootstrap completes in bounded rounds |
 //!
 //! (Theorem 8 — the *expected* IM width need not grow with the number of
 //! servers — is a distributional claim; experiment E9 covers it offline.)
 //!
 //! The oracle is pure: it never touches the network or the servers. The
-//! simulation feeds it per-sample snapshots ([`Oracle::observe_sample`])
-//! and per-reset round records ([`Oracle::observe_round`]); it returns a
+//! simulation feeds it per-sample snapshots ([`Oracle::observe_sample`]),
+//! per-reset round records ([`Oracle::observe_round`]), and crash–restart
+//! lifecycle transitions ([`Oracle::observe_crash`],
+//! [`Oracle::observe_restart`], [`Oracle::observe_rehydration`],
+//! [`Oracle::observe_bootstrap_complete`]); it returns a
 //! structured [`OracleReport`] whose [`Violation`]s carry everything
 //! needed to reproduce: the scenario seed, the event index, the server,
 //! the predicate, and the observed-vs-bound pair.
@@ -65,6 +70,15 @@ pub enum TheoremId {
     /// §5: correct servers are pairwise consistent (their intervals
     /// intersect), i.e. they form a single consistency group.
     Consistency,
+    /// Rule MM-1 held across downtime: a durably restarted server's
+    /// rehydrated interval must be exactly `ε + (C − r)·δ` from the
+    /// persisted reset pair, and must still contain real time (the
+    /// hardware clock kept its drift bound while the server was down).
+    Rehydration,
+    /// §5 rejoin discipline: a crashed or booting server serves nothing,
+    /// and a bootstrap reaches a quorum within a bounded number of
+    /// rounds whenever one is reachable.
+    Lifecycle,
 }
 
 impl TheoremId {
@@ -80,6 +94,8 @@ impl TheoremId {
             TheoremId::IntersectionWidth => "Theorem 6",
             TheoremId::ImAsynchronism => "Theorem 7",
             TheoremId::Consistency => "Section 5 (consistency groups)",
+            TheoremId::Rehydration => "Rule MM-1 across downtime",
+            TheoremId::Lifecycle => "Section 5 (rejoin/bootstrap)",
         }
     }
 }
@@ -172,6 +188,14 @@ pub struct OracleConfig {
     pub check_intersection: bool,
     /// §5 pairwise consistency of trusted servers.
     pub check_consistency: bool,
+    /// Crash–restart lifecycle discipline: rehydration correctness,
+    /// silence while down, and the bootstrap round bound.
+    pub check_lifecycle: bool,
+    /// A booting server must reach a quorum within this many rounds
+    /// (only checked when `check_lifecycle` is on; scenarios that
+    /// legitimately starve the quorum — partitions, storms of crashed
+    /// peers — should raise it or disable the family).
+    pub max_bootstrap_rounds: u32,
     /// Steady-state envelope theorems (2/3 or 7), when applicable.
     pub envelope: Option<EnvelopeParams>,
     /// Numeric tolerance added to every bound (floating-point headroom).
@@ -190,6 +214,8 @@ impl OracleConfig {
             check_adoption: true,
             check_intersection: true,
             check_consistency: true,
+            check_lifecycle: true,
+            max_bootstrap_rounds: 8,
             envelope: None,
             tolerance: Duration::from_secs(1e-9),
         }
@@ -251,6 +277,20 @@ pub struct RoundObservation {
     pub recovery: bool,
 }
 
+/// What a durably restarted server claims to have rehydrated from
+/// stable storage (mirrors the `StateRehydrated` telemetry event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RehydrationObservation {
+    /// The clock reading at the rehydration instant.
+    pub clock: Timestamp,
+    /// The error the server re-derived for that reading.
+    pub error: Duration,
+    /// The persisted reset point `r` it derived from.
+    pub reset_clock: Timestamp,
+    /// The persisted inherited error `ε` it derived from.
+    pub persisted_error: Duration,
+}
+
 /// Keep at most this many violations verbatim; the total is still counted.
 const MAX_STORED_VIOLATIONS: usize = 64;
 
@@ -264,10 +304,14 @@ pub struct Oracle {
     servers: Vec<ServerView>,
     /// Last (real, error) per server, for the growth check.
     prev: Vec<Option<(Timestamp, Duration)>>,
+    /// True from a crash until the matching bootstrap completes; a down
+    /// server must present no samples.
+    down: Vec<bool>,
     violations: Vec<Violation>,
     total_violations: usize,
     samples_checked: usize,
     rounds_checked: Vec<usize>,
+    lifecycle_checked: usize,
 }
 
 impl Oracle {
@@ -281,10 +325,12 @@ impl Oracle {
             config,
             servers,
             prev: vec![None; n],
+            down: vec![false; n],
             violations: Vec::new(),
             total_violations: 0,
             samples_checked: 0,
             rounds_checked: vec![0; n],
+            lifecycle_checked: 0,
         }
     }
 
@@ -325,6 +371,19 @@ impl Oracle {
             };
             if !view.trusted {
                 continue;
+            }
+            if self.config.check_lifecycle && self.down[i] {
+                // The sample exists at all — a crashed/booting server
+                // must stay silent until its bootstrap completes.
+                self.record(Violation {
+                    seed: self.seed,
+                    event,
+                    server: i,
+                    theorem: TheoremId::Lifecycle,
+                    observed: 1.0,
+                    bound: 0.0,
+                    detail: format!("server {i} served a sample while down"),
+                });
             }
             if self.config.check_correctness {
                 let offset = (s.clock - real).abs();
@@ -536,6 +595,117 @@ impl Oracle {
         }
     }
 
+    /// Records that `server` crashed: from here until its bootstrap
+    /// completes it must present no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_crash(&mut self, server: usize) {
+        self.lifecycle_checked += 1;
+        self.down[server] = true;
+        // The growth baseline dies with the process; the hardware clock
+        // keeps running, so the next observed error may be much larger.
+        self.prev[server] = None;
+    }
+
+    /// Records that `server` restarted. The server stays *down* for
+    /// checking purposes until [`observe_bootstrap_complete`] — a
+    /// durable restart promotes immediately (it completes a zero-round
+    /// bootstrap), an amnesia restart only after a §5 quorum read.
+    ///
+    /// [`observe_bootstrap_complete`]: Oracle::observe_bootstrap_complete
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_restart(&mut self, server: usize, _amnesia: bool) {
+        self.lifecycle_checked += 1;
+        self.down[server] = true;
+    }
+
+    /// Checks a durable restart's rehydrated state: the re-derived error
+    /// must be exactly rule MM-1 applied to the persisted `(r, ε)` pair,
+    /// and the rehydrated interval must still contain real time `real`
+    /// (the hardware clock honoured its drift bound while the server was
+    /// down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_rehydration(
+        &mut self,
+        server: usize,
+        real: Timestamp,
+        obs: &RehydrationObservation,
+    ) {
+        self.lifecycle_checked += 1;
+        let view = self.servers[server];
+        if !view.trusted || !self.config.check_lifecycle {
+            return;
+        }
+        let event = self.samples_checked;
+        let tol = self.tol();
+        let since_reset = (obs.clock - obs.reset_clock).max(Duration::ZERO);
+        let expected = obs.persisted_error + since_reset * view.drift_bound;
+        let derivation_gap = (obs.error - expected).abs();
+        if derivation_gap > tol {
+            self.record(Violation {
+                seed: self.seed,
+                event,
+                server,
+                theorem: TheoremId::Rehydration,
+                observed: obs.error.as_secs(),
+                bound: expected.as_secs(),
+                detail: format!(
+                    "rehydrated E differs from ε + (C − r)·δ with ε {} r {}",
+                    obs.persisted_error, obs.reset_clock
+                ),
+            });
+        }
+        let offset = (obs.clock - real).abs();
+        if offset > obs.error + tol {
+            self.record(Violation {
+                seed: self.seed,
+                event,
+                server,
+                theorem: TheoremId::Rehydration,
+                observed: offset.as_secs(),
+                bound: obs.error.as_secs(),
+                detail: format!(
+                    "rehydrated interval excludes real time (clock {} at real {real})",
+                    obs.clock
+                ),
+            });
+        }
+    }
+
+    /// Records that `server` finished bootstrapping in `rounds` quorum
+    /// rounds (zero for a durable restart) and may serve again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_bootstrap_complete(&mut self, server: usize, rounds: u32) {
+        self.lifecycle_checked += 1;
+        let trusted = self.servers[server].trusted;
+        self.down[server] = false;
+        if !trusted || !self.config.check_lifecycle {
+            return;
+        }
+        if rounds > self.config.max_bootstrap_rounds {
+            self.record(Violation {
+                seed: self.seed,
+                event: self.samples_checked,
+                server,
+                theorem: TheoremId::Lifecycle,
+                observed: f64::from(rounds),
+                bound: f64::from(self.config.max_bootstrap_rounds),
+                detail: format!("bootstrap took {rounds} rounds"),
+            });
+        }
+    }
+
     /// Consumes the oracle and returns its findings.
     #[must_use]
     pub fn finish(self) -> OracleReport {
@@ -544,6 +714,7 @@ impl Oracle {
             total_violations: self.total_violations,
             samples_checked: self.samples_checked,
             rounds_checked: self.rounds_checked.iter().sum(),
+            lifecycle_checked: self.lifecycle_checked,
         }
     }
 }
@@ -559,6 +730,8 @@ pub struct OracleReport {
     pub samples_checked: usize,
     /// Round records checked.
     pub rounds_checked: usize,
+    /// Crash–restart lifecycle events observed.
+    pub lifecycle_checked: usize,
 }
 
 impl OracleReport {
@@ -579,8 +752,11 @@ impl fmt::Display for OracleReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "oracle: {} samples, {} rounds checked, violations: {}",
-            self.samples_checked, self.rounds_checked, self.total_violations
+            "oracle: {} samples, {} rounds, {} lifecycle events checked, violations: {}",
+            self.samples_checked,
+            self.rounds_checked,
+            self.lifecycle_checked,
+            self.total_violations
         )?;
         for v in &self.violations {
             writeln!(f, "  {v}")?;
@@ -845,5 +1021,152 @@ mod tests {
         assert!(TheoremId::IntersectionWidth.paper_ref().contains("6"));
         assert!(TheoremId::ImAsynchronism.paper_ref().contains("7"));
         assert!(TheoremId::Consistency.paper_ref().contains("5"));
+        assert!(TheoremId::Rehydration.paper_ref().contains("MM-1"));
+        assert!(TheoremId::Lifecycle.paper_ref().contains("5"));
+    }
+
+    #[test]
+    fn sample_served_while_down_is_flagged() {
+        let mut o = Oracle::new(11, OracleConfig::safety(), views(2));
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01), state(10.0, 0.01)]);
+        o.observe_crash(1);
+        // Silence is what the lifecycle demands …
+        o.observe_sample(ts(20.0), &[state(20.0, 0.011), None]);
+        // … so a present sample is a breach even if numerically correct.
+        o.observe_sample(ts(30.0), &[state(30.0, 0.012), state(30.0, 0.01)]);
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::Lifecycle);
+        assert_eq!(v.server, 1);
+        assert_eq!(v.event, 2);
+        assert_eq!(report.total_violations, 1);
+    }
+
+    #[test]
+    fn full_lifecycle_with_silence_is_clean() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(2));
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01), state(10.0, 0.01)]);
+        o.observe_crash(1);
+        o.observe_sample(ts(20.0), &[state(20.0, 0.011), None]);
+        o.observe_restart(1, true);
+        o.observe_sample(ts(25.0), &[state(25.0, 0.0112), None]);
+        o.observe_bootstrap_complete(1, 2);
+        o.observe_sample(ts(30.0), &[state(30.0, 0.0114), state(30.0, 0.02)]);
+        let report = o.finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.lifecycle_checked, 3);
+    }
+
+    #[test]
+    fn bootstrap_beyond_round_bound_is_flagged() {
+        let mut o = Oracle::new(5, OracleConfig::safety(), views(1));
+        o.observe_crash(0);
+        o.observe_restart(0, true);
+        o.observe_bootstrap_complete(0, 9);
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::Lifecycle);
+        assert!(v.observed > v.bound);
+    }
+
+    #[test]
+    fn faithful_rehydration_passes() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_crash(0);
+        o.observe_restart(0, false);
+        // δ = 1e-4, 100 s since the persisted reset → E = 1 ms + 10 ms.
+        o.observe_rehydration(
+            0,
+            ts(200.0),
+            &RehydrationObservation {
+                clock: ts(200.002),
+                error: dur(0.011),
+                reset_clock: ts(100.002),
+                persisted_error: dur(0.001),
+            },
+        );
+        o.observe_bootstrap_complete(0, 0);
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn understated_rehydrated_error_is_flagged() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_crash(0);
+        o.observe_restart(0, false);
+        // Claims the persisted error verbatim, ignoring 100 s of drift.
+        o.observe_rehydration(
+            0,
+            ts(200.0),
+            &RehydrationObservation {
+                clock: ts(200.0),
+                error: dur(0.001),
+                reset_clock: ts(100.0),
+                persisted_error: dur(0.001),
+            },
+        );
+        let report = o.finish();
+        assert_eq!(
+            report.first().expect("violation").theorem,
+            TheoremId::Rehydration
+        );
+    }
+
+    #[test]
+    fn rehydrated_interval_excluding_real_time_is_flagged() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_crash(0);
+        o.observe_restart(0, false);
+        // Correctly derived, but the clock is 1 s off with 11 ms of error:
+        // the downtime drift bound cannot have held.
+        o.observe_rehydration(
+            0,
+            ts(200.0),
+            &RehydrationObservation {
+                clock: ts(201.0),
+                error: dur(0.011),
+                reset_clock: ts(101.0),
+                persisted_error: dur(0.001),
+            },
+        );
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::Rehydration);
+        assert!(v.detail.contains("excludes real time"), "{}", v.detail);
+    }
+
+    #[test]
+    fn untrusted_servers_skip_lifecycle_checks() {
+        let mut servers = views(1);
+        servers[0].trusted = false;
+        let mut o = Oracle::new(0, OracleConfig::safety(), servers);
+        o.observe_crash(0);
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01)]);
+        o.observe_restart(0, true);
+        o.observe_bootstrap_complete(0, 99);
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn lifecycle_checks_can_be_disabled() {
+        let mut cfg = OracleConfig::safety();
+        cfg.check_lifecycle = false;
+        let mut o = Oracle::new(0, cfg, views(1));
+        o.observe_crash(0);
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01)]);
+        o.observe_bootstrap_complete(0, 99);
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn crash_resets_the_growth_baseline() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_sample(ts(0.0), &[state(0.0, 0.001)]);
+        o.observe_crash(0);
+        o.observe_bootstrap_complete(0, 0);
+        // The error grew across downtime far beyond per-sample drift;
+        // that is legitimate — the baseline died with the process.
+        o.observe_sample(ts(100.0), &[state(100.0, 0.5)]);
+        assert!(o.finish().is_clean());
     }
 }

@@ -333,6 +333,12 @@ impl Actor for TimeClient {
                     }
                 }
             }
+            Message::Uninitialized { request_id } => {
+                // A booting server explicitly declined: it cannot serve
+                // the time yet. Forget the solicitation — the reply
+                // count simply stays lower this round.
+                self.send_times.remove(&request_id);
+            }
         }
     }
 

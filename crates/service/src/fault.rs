@@ -2,21 +2,48 @@
 //!
 //! The clock layer can already stop, race, step, or refuse resets
 //! (`tempo_clocks::Fault`); a [`ServerFault`] makes the *server process*
-//! itself misbehave, orthogonally to its clock: it may crash and go
-//! silent, omit replies probabilistically, or lie in its answers — the
+//! itself misbehave, orthogonally to its clock: it may crash (terminally
+//! or with a scheduled restart — possibly a repeating restart storm),
+//! omit replies probabilistically, or lie in its answers — the
 //! Byzantine-adjacent behaviours the paper's §5 screening and the
 //! Marzullo-tolerant intersection are meant to survive. The fault arms
 //! at a chosen real time; the server behaves perfectly before it.
 
+use std::fmt;
+
 use tempo_core::{Duration, Timestamp};
+
+/// A crash's restart schedule: how long the server stays down, whether
+/// it comes back with its stable storage intact, and whether the
+/// crash repeats (a restart storm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartSchedule {
+    /// Downtime: the server restarts this long after it crashed.
+    pub after: Duration,
+    /// When set, the crash repeats: after each restart the server runs
+    /// for this long and then crashes again — a restart storm.
+    pub every: Option<Duration>,
+    /// Whether the restart loses stable storage: an amnesia restart
+    /// rehydrates nothing, treats its error as unbounded, and must
+    /// re-acquire the time from a quorum (§5) before serving it.
+    pub amnesia: bool,
+}
 
 /// The server-process failure catalogue.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ServerFaultKind {
     /// The server crashes: from the trigger on it neither answers
     /// requests, processes replies, nor starts rounds. Its clock keeps
-    /// running, but nobody can read it.
-    Crash,
+    /// running, but nobody can read it. With `restart: None` the crash
+    /// is terminal — the server is silent for the rest of the run; with
+    /// a [`RestartSchedule`] it comes back after the scheduled
+    /// downtime, rehydrating from stable storage (or not, on an
+    /// amnesia restart) and re-entering the service through the §5
+    /// bootstrap path.
+    Crash {
+        /// Optional restart schedule; `None` means the crash is final.
+        restart: Option<RestartSchedule>,
+    },
     /// The server omits replies: each incoming time request is dropped
     /// with probability `prob` (it still synchronises its own clock).
     Omit {
@@ -47,6 +74,39 @@ pub enum ServerFaultKind {
     },
 }
 
+impl fmt::Display for ServerFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerFaultKind::Crash { restart: None } => write!(f, "crash (terminal)"),
+            ServerFaultKind::Crash {
+                restart: Some(schedule),
+            } => {
+                let store = if schedule.amnesia {
+                    "amnesia"
+                } else {
+                    "durable"
+                };
+                match schedule.every {
+                    Some(every) => write!(
+                        f,
+                        "crash (restart after {} every {}, {store})",
+                        schedule.after, every
+                    ),
+                    None => write!(f, "crash (restart after {}, {store})", schedule.after),
+                }
+            }
+            ServerFaultKind::Omit { prob } => write!(f, "omit (p={prob})"),
+            ServerFaultKind::Lie {
+                clock_skew,
+                error_shrink,
+            } => write!(f, "lie (skew {clock_skew}, error x{error_shrink})"),
+            ServerFaultKind::WeakenAdoption { slack } => {
+                write!(f, "weakened adoption (slack {slack})")
+            }
+        }
+    }
+}
+
 /// A server fault armed to trigger at a given real time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerFault {
@@ -56,13 +116,79 @@ pub struct ServerFault {
     pub kind: ServerFaultKind,
 }
 
+impl fmt::Display for ServerFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.at)
+    }
+}
+
 impl ServerFault {
-    /// The server crashes at real time `at`.
+    /// The server crashes terminally at real time `at`.
     #[must_use]
     pub fn crash_at(at: Timestamp) -> Self {
         ServerFault {
             at,
-            kind: ServerFaultKind::Crash,
+            kind: ServerFaultKind::Crash { restart: None },
+        }
+    }
+
+    /// The server crashes at `at` and restarts once after `downtime`,
+    /// rehydrating its interval from stable storage (a durable
+    /// restart) or, with `amnesia`, coming back with nothing and
+    /// bootstrapping from a quorum per §5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downtime` is not positive.
+    #[must_use]
+    pub fn crash_restart(at: Timestamp, downtime: Duration, amnesia: bool) -> Self {
+        assert!(
+            downtime.as_secs() > 0.0,
+            "restart downtime must be positive, got {downtime}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::Crash {
+                restart: Some(RestartSchedule {
+                    after: downtime,
+                    every: None,
+                    amnesia,
+                }),
+            },
+        }
+    }
+
+    /// A restart storm: the server crashes at `at`, restarts after
+    /// `downtime`, runs for `uptime`, crashes again, and so on for the
+    /// rest of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downtime` or `uptime` is not positive.
+    #[must_use]
+    pub fn restart_storm(
+        at: Timestamp,
+        downtime: Duration,
+        uptime: Duration,
+        amnesia: bool,
+    ) -> Self {
+        assert!(
+            downtime.as_secs() > 0.0,
+            "restart downtime must be positive, got {downtime}"
+        );
+        assert!(
+            uptime.as_secs() > 0.0,
+            "storm uptime must be positive, got {uptime}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::Crash {
+                restart: Some(RestartSchedule {
+                    after: downtime,
+                    every: Some(uptime),
+                    amnesia,
+                }),
+            },
         }
     }
 
@@ -128,13 +254,31 @@ impl ServerFault {
         now >= self.at
     }
 
-    /// Whether this fault breaks the theorems' *assumptions* (crash,
-    /// omission, lying). [`ServerFaultKind::WeakenAdoption`] does not:
-    /// it is a bug in the synchronisation logic of an otherwise honest
-    /// server, exactly what an invariant checker exists to catch.
+    /// The crash's restart schedule, if this fault is a crash that
+    /// restarts.
+    #[must_use]
+    pub fn restart_schedule(&self) -> Option<RestartSchedule> {
+        match self.kind {
+            ServerFaultKind::Crash { restart } => restart,
+            _ => None,
+        }
+    }
+
+    /// Whether this fault breaks the theorems' *assumptions* (terminal
+    /// crash, omission, lying). Two kinds do not:
+    /// [`ServerFaultKind::WeakenAdoption`] is a bug in the
+    /// synchronisation logic of an otherwise honest server, exactly
+    /// what an invariant checker exists to catch; and a crash *with a
+    /// restart schedule* is fail-recovery — the server is silent while
+    /// down and rejoins through stable storage (rule MM-1 holds across
+    /// the downtime) or the §5 bootstrap, so the theorems should hold
+    /// for it whenever it serves the time.
     #[must_use]
     pub fn is_byzantine(&self) -> bool {
-        !matches!(self.kind, ServerFaultKind::WeakenAdoption { .. })
+        !matches!(
+            self.kind,
+            ServerFaultKind::WeakenAdoption { .. } | ServerFaultKind::Crash { restart: Some(_) }
+        )
     }
 }
 
@@ -148,7 +292,10 @@ mod tests {
 
     #[test]
     fn constructors_set_kind() {
-        assert_eq!(ServerFault::crash_at(ts(5.0)).kind, ServerFaultKind::Crash);
+        assert_eq!(
+            ServerFault::crash_at(ts(5.0)).kind,
+            ServerFaultKind::Crash { restart: None }
+        );
         assert_eq!(
             ServerFault::omit_from(ts(5.0), 0.3).kind,
             ServerFaultKind::Omit { prob: 0.3 }
@@ -163,6 +310,74 @@ mod tests {
     }
 
     #[test]
+    fn restart_constructors_set_schedule() {
+        let once = ServerFault::crash_restart(ts(5.0), Duration::from_secs(30.0), false);
+        assert_eq!(
+            once.restart_schedule(),
+            Some(RestartSchedule {
+                after: Duration::from_secs(30.0),
+                every: None,
+                amnesia: false,
+            })
+        );
+        let storm = ServerFault::restart_storm(
+            ts(5.0),
+            Duration::from_secs(20.0),
+            Duration::from_secs(40.0),
+            true,
+        );
+        assert_eq!(
+            storm.restart_schedule(),
+            Some(RestartSchedule {
+                after: Duration::from_secs(20.0),
+                every: Some(Duration::from_secs(40.0)),
+                amnesia: true,
+            })
+        );
+        assert_eq!(ServerFault::crash_at(ts(1.0)).restart_schedule(), None);
+        assert_eq!(
+            ServerFault::omit_from(ts(1.0), 0.5).restart_schedule(),
+            None
+        );
+    }
+
+    #[test]
+    fn terminal_crash_is_byzantine_but_restarting_crash_is_not() {
+        assert!(ServerFault::crash_at(ts(1.0)).is_byzantine());
+        assert!(ServerFault::omit_from(ts(1.0), 0.5).is_byzantine());
+        assert!(
+            !ServerFault::crash_restart(ts(1.0), Duration::from_secs(10.0), false).is_byzantine()
+        );
+        assert!(!ServerFault::restart_storm(
+            ts(1.0),
+            Duration::from_secs(10.0),
+            Duration::from_secs(10.0),
+            true
+        )
+        .is_byzantine());
+        assert!(!ServerFault::weaken_adoption_from(ts(1.0), Duration::ZERO).is_byzantine());
+    }
+
+    #[test]
+    fn display_names_the_failure_modes() {
+        assert_eq!(
+            ServerFault::crash_at(ts(10.0)).kind.to_string(),
+            "crash (terminal)"
+        );
+        let once = ServerFault::crash_restart(ts(10.0), Duration::from_secs(30.0), false);
+        assert!(once.kind.to_string().contains("durable"));
+        let storm = ServerFault::restart_storm(
+            ts(10.0),
+            Duration::from_secs(20.0),
+            Duration::from_secs(40.0),
+            true,
+        );
+        let text = storm.kind.to_string();
+        assert!(text.contains("every") && text.contains("amnesia"), "{text}");
+        assert!(storm.to_string().ends_with("at 10s") || storm.to_string().contains("at 10"));
+    }
+
+    #[test]
     fn activation_boundary_is_inclusive() {
         let f = ServerFault::crash_at(ts(10.0));
         assert!(!f.active_at(ts(9.999)));
@@ -174,6 +389,12 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn bad_omit_probability_rejected() {
         let _ = ServerFault::omit_from(ts(0.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "downtime must be positive")]
+    fn zero_downtime_rejected() {
+        let _ = ServerFault::crash_restart(ts(0.0), Duration::ZERO, false);
     }
 
     #[test]

@@ -62,13 +62,15 @@ mod message;
 mod node;
 mod rate;
 mod server;
+mod store;
 pub mod wire;
 
 pub use client::{ClientObservation, ClientStrategy, TimeClient};
 pub use config::{ApplyMode, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig, Strategy};
-pub use fault::{ServerFault, ServerFaultKind};
+pub use fault::{RestartSchedule, ServerFault, ServerFaultKind};
 pub use health::{HealthConfig, HealthTracker, PeerState};
 pub use message::Message;
 pub use node::ServiceNode;
 pub use rate::RateMonitor;
-pub use server::{ServerSample, ServerStats, TimeServer};
+pub use server::{Lifecycle, ServerSample, ServerStats, TimeServer};
+pub use store::{MemoryStore, PersistedState, StableStore};

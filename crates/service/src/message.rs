@@ -37,6 +37,15 @@ pub enum Message {
         /// (`T3` and the MM-1 error).
         estimate: TimeEstimate,
     },
+    /// The §5 bootstrap refusal: the server is `Booting` after a
+    /// restart and does not yet hold a trustworthy interval, so it
+    /// explicitly declines to serve the time rather than stay silent.
+    /// Requesters treat it as proof of liveness (the peer is back) but
+    /// never adopt anything from it.
+    Uninitialized {
+        /// Correlation id copied from the request.
+        request_id: u64,
+    },
 }
 
 #[cfg(test)]
@@ -59,5 +68,8 @@ mod tests {
         assert_ne!(req, rep);
         let copy = rep;
         assert_eq!(copy, rep);
+        let refusal = Message::Uninitialized { request_id: 7 };
+        assert_ne!(refusal, req);
+        assert_eq!(refusal, refusal);
     }
 }

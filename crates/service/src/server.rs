@@ -29,6 +29,7 @@ use crate::fault::ServerFaultKind;
 use crate::health::{HealthTracker, PeerState};
 use crate::message::Message;
 use crate::rate::RateMonitor;
+use crate::store::{MemoryStore, PersistedState, StableStore};
 
 /// Timer tag: start a new resync round.
 const TIMER_RESYNC: u64 = 1;
@@ -38,9 +39,39 @@ const TIMER_ROUND_END: u64 = 2;
 const TIMER_JOIN: u64 = 3;
 /// Timer tag: leave the service (§1.1 churn).
 const TIMER_LEAVE: u64 = 4;
+/// Timer tag: the armed crash instant (and, under a restart storm, each
+/// subsequent re-crash).
+const TIMER_CRASH: u64 = 5;
+/// Timer tag: the scheduled restart after a crash.
+const TIMER_RESTART: u64 = 6;
+/// Timer tag: close the current bootstrap collection round.
+const TIMER_BOOT_ROUND: u64 = 7;
+/// Round timers carry the lifecycle epoch in their high bits so a resync
+/// chain armed before a crash dies instead of doubling up with the chain
+/// the restart starts.
+const TIMER_EPOCH_SHIFT: u64 = 32;
 /// High bit marking a per-request timeout timer; the low bits carry the
 /// request id. Request ids are sequential and never reach 2^63.
 const TIMER_TIMEOUT_FLAG: u64 = 1 << 63;
+
+/// Where a server stands in the crash–restart lifecycle.
+///
+/// `Active → Crashed` at a scheduled [`ServerFaultKind::Crash`];
+/// `Crashed → Active` directly on a durable restart (stable storage
+/// rehydrates `(r_i, ε_i)` and rule MM-1 has grown `E_i` across the
+/// downtime); `Crashed → Booting → Active` on an amnesia restart, which
+/// must first re-acquire the time from a quorum of neighbours (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Serving time and running resync rounds.
+    Active,
+    /// Crashed: deaf and mute until the scheduled restart (if any).
+    Crashed,
+    /// Restarted without usable stable state: answering requests with an
+    /// explicit [`Message::Uninitialized`] refusal while re-acquiring
+    /// the time from a quorum.
+    Booting,
+}
 
 /// Why a request was sent, remembered until its reply arrives.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +135,15 @@ pub struct ServerStats {
     /// Rounds that gathered fewer than the configured quorum of replies
     /// and therefore skipped their reset (rule MM-1 keeps growing `E_i`).
     pub degraded_rounds: usize,
+    /// Scheduled crashes taken.
+    pub crashes: usize,
+    /// Restarts taken after a crash.
+    pub restarts: usize,
+    /// Bootstrap rounds run while re-acquiring the time after an
+    /// amnesia restart.
+    pub bootstrap_rounds: usize,
+    /// §3 recovery replies rejected by the §5 consistency screen.
+    pub recoveries_rejected: usize,
 }
 
 /// A snapshot of a server's externally observable and simulation-only
@@ -127,6 +167,36 @@ impl ServerSample {
     pub fn estimate(&self) -> TimeEstimate {
         TimeEstimate::new(self.clock, self.error)
     }
+}
+
+/// Ages replies buffered during a collection window to `clock_now`.
+///
+/// Two sound adjustments keep an aged claim sharp:
+///
+/// * trailing edge: since receipt, at least `age/(1+δ)` real seconds
+///   have passed (our clock runs at most (1+δ)), so the whole claim may
+///   be advanced by that much;
+/// * leading edge: it must still absorb the full inflated send-to-now
+///   span `(1+δ)·ξ_total` (rule IM-2), so the residual round-trip passed
+///   on is `ξ_total − m/(1+δ)`.
+fn age_buffered(
+    buffered: &[BufferedReply],
+    clock_now: Timestamp,
+    inflation: f64,
+) -> Vec<TimedReply> {
+    buffered
+        .iter()
+        .map(|b| {
+            let age = (clock_now - b.recv_clock).max(Duration::ZERO);
+            let advance = age / inflation;
+            let xi_total = (clock_now - b.send_clock).max(Duration::ZERO);
+            let residual = (xi_total - advance / inflation).max(Duration::ZERO);
+            TimedReply::new(
+                TimeEstimate::new(b.estimate.time() + advance, b.estimate.error()),
+                residual,
+            )
+        })
+        .collect()
 }
 
 /// Maps the health tracker's verdict to its telemetry mirror.
@@ -177,6 +247,22 @@ pub struct TimeServer {
     /// Whether the previous windowed round was quorum-starved, for
     /// degraded-mode enter/exit transition events.
     degraded: bool,
+    /// Crash–restart lifecycle stage.
+    lifecycle: Lifecycle,
+    /// Bumped on every crash; round timers from older epochs are stale.
+    epoch: u32,
+    /// Stable storage for `(r_i, ε_i)`, written at every reset and read
+    /// back on a durable restart.
+    store: MemoryStore,
+    /// Bootstrap requests in flight (`request id → (peer, send clock)`).
+    boot_pending: HashMap<u64, (NodeId, Timestamp)>,
+    /// Replies collected by the current bootstrap round.
+    boot_replies: Vec<BufferedReply>,
+    /// Bootstrap rounds run since the current restart.
+    boot_rounds: u32,
+    /// The freshest processed estimate per peer (with the own-clock
+    /// reading at receipt) — the §5 screen applied to recovery replies.
+    recent_estimates: HashMap<NodeId, (TimeEstimate, Timestamp)>,
 }
 
 impl TimeServer {
@@ -212,6 +298,14 @@ impl TimeServer {
             })),
         };
         let health = HealthTracker::new(config.health);
+        // The initial `(r_i, ε_i)` counts as the first reset: a durable
+        // restart before any adoption still rehydrates something.
+        let mut store = MemoryStore::new();
+        store.persist(PersistedState {
+            reset_clock: start_reading,
+            inherited_error: config.initial_error,
+            reset_at: clock.last_real(),
+        });
         TimeServer {
             clock,
             state,
@@ -231,6 +325,13 @@ impl TimeServer {
             bus: Bus::disabled(),
             me: 0,
             degraded: false,
+            lifecycle: Lifecycle::Active,
+            epoch: 0,
+            store,
+            boot_pending: HashMap::new(),
+            boot_replies: Vec::new(),
+            boot_rounds: 0,
+            recent_estimates: HashMap::new(),
         }
     }
 
@@ -252,10 +353,24 @@ impl TimeServer {
         }
     }
 
-    /// Whether the server is currently part of the service.
+    /// Whether the server is currently part of the service *and*
+    /// serving time (neither crashed nor booting after a restart).
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.active
+        self.active && self.lifecycle == Lifecycle::Active
+    }
+
+    /// Where the server stands in the crash–restart lifecycle.
+    #[must_use]
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.lifecycle
+    }
+
+    /// The most recently persisted stable state, if any survives (the
+    /// amnesia path wipes it).
+    #[must_use]
+    pub fn persisted(&self) -> Option<PersistedState> {
+        self.store.load()
     }
 
     /// The server's configuration.
@@ -316,6 +431,12 @@ impl TimeServer {
         id
     }
 
+    /// Tags a round timer with the current lifecycle epoch, so firings
+    /// from a pre-crash chain are recognisably stale.
+    fn round_tag(&self, base: u64) -> u64 {
+        base | (u64::from(self.epoch) << TIMER_EPOCH_SHIFT)
+    }
+
     /// Applies an accepted reset: sets the hardware clock, reads it back
     /// (the read-back is what keeps the MM-1 state honest even when the
     /// clock refuses the set — see `FaultKind::RefuseSet`), and replaces
@@ -357,6 +478,13 @@ impl TimeServer {
                     });
             }
         }
+        // Every reset reaches stable storage, so a durable restart can
+        // rehydrate the freshest `(r_i, ε_i)` pair.
+        self.store.persist(PersistedState {
+            reset_clock: self.state.last_reset(),
+            inherited_error: self.state.inherited_error(),
+            reset_at: now,
+        });
         self.stats.resets += 1;
     }
 
@@ -376,7 +504,10 @@ impl TimeServer {
             });
         }
         let fraction = ctx.rng().random_range(0.05..1.0);
-        ctx.set_timer(self.config.resync_period * fraction, TIMER_RESYNC);
+        ctx.set_timer(
+            self.config.resync_period * fraction,
+            self.round_tag(TIMER_RESYNC),
+        );
     }
 
     fn begin_round(&mut self, ctx: &mut Context<'_, Message>) {
@@ -412,7 +543,7 @@ impl TimeServer {
             self.send_request(peer, 0, false, ctx);
         }
         if self.config.strategy.uses_round_window() {
-            ctx.set_timer(self.config.collect_window, TIMER_ROUND_END);
+            ctx.set_timer(self.config.collect_window, self.round_tag(TIMER_ROUND_END));
         }
         // Schedule the next round with jitter.
         let jitter = if self.config.jitter > 0.0 {
@@ -422,7 +553,10 @@ impl TimeServer {
         } else {
             1.0
         };
-        ctx.set_timer(self.config.resync_period * jitter, TIMER_RESYNC);
+        ctx.set_timer(
+            self.config.resync_period * jitter,
+            self.round_tag(TIMER_RESYNC),
+        );
     }
 
     /// Sends one time request to `peer`, records it as pending and —
@@ -612,11 +746,34 @@ impl TimeServer {
             }
         }
 
+        if !pending.recovery {
+            // Remember what this neighbour claimed (and when, on our
+            // clock): these records are the §5 screen a later recovery
+            // reply must pass.
+            self.recent_estimates.insert(from, (estimate, clock_now));
+        }
+
         if pending.recovery {
-            // §3 recovery: adopt the third server's value outright, with
-            // the usual round-trip allowance on the inherited error.
+            // §3 recovery, with a §5 screen: the rescuer's claim must
+            // still intersect what the *remaining* neighbours said
+            // recently (their estimates aged to now). Without the screen
+            // a lying third server poisons the recovering clock
+            // unconditionally.
             let new_error =
                 estimate.error() + reply.round_trip * self.config.drift_bound.inflation();
+            let proposal = TimeEstimate::new(estimate.time(), new_error);
+            if !self.recovery_consistent(from, &proposal, clock_now) {
+                self.stats.recoveries_rejected += 1;
+                self.recovering = false;
+                self.bus
+                    .emit_with(TelemetryKind::RoundReject, || TelemetryEvent::RoundReject {
+                        at: now,
+                        server: self.me,
+                        round: pending.round,
+                        cause: RejectCause::Inconsistent,
+                    });
+                return;
+            }
             let error_before = self.state.estimate_at(clock_now).error();
             self.bus
                 .emit_with(TelemetryKind::RoundAdopt, || TelemetryEvent::RoundAdopt {
@@ -721,9 +878,44 @@ impl TimeServer {
         }
     }
 
-    /// The §3 recovery rule: ask a random neighbour other than the
-    /// inconsistent one (if any is named), and adopt its answer
-    /// unconditionally when it arrives.
+    /// The §5 screen on a §3 recovery reply: the rescuer's proposal must
+    /// intersect at least half of the intervals most recently heard from
+    /// the *remaining* peers, each aged to `clock_now` (its time advanced
+    /// by the elapsed own-clock span, its error widened by `2δ` of it —
+    /// both clocks drift at most `δ`). With no other peer on record there
+    /// is nothing to screen against and the reply is taken on faith,
+    /// exactly as in §3.
+    fn recovery_consistent(
+        &self,
+        target: NodeId,
+        proposal: &TimeEstimate,
+        clock_now: Timestamp,
+    ) -> bool {
+        let widen_rate = 2.0 * self.config.drift_bound.as_f64();
+        let mut consistent = 0usize;
+        let mut total = 0usize;
+        for (&peer, &(estimate, seen_clock)) in &self.recent_estimates {
+            if peer == target {
+                continue;
+            }
+            let age = (clock_now - seen_clock).max(Duration::ZERO);
+            let aged =
+                TimeEstimate::new(estimate.time() + age, estimate.error() + age * widen_rate);
+            total += 1;
+            if proposal.is_consistent_with(&aged) {
+                consistent += 1;
+            }
+        }
+        total == 0 || consistent * 2 >= total
+    }
+
+    /// The §3 recovery rule, health-aware: ask a neighbour other than
+    /// the inconsistent one (if any is named), preferring Healthy peers,
+    /// falling back to Suspects, and never soliciting a peer already
+    /// declared Dead — a recovery request to a buried peer can only time
+    /// out, wasting the one in-flight recovery this server allows
+    /// itself. The answer, when it arrives, must still pass the §5
+    /// consistency screen before it is adopted.
     fn maybe_recover(&mut self, inconsistent_with: Option<NodeId>, ctx: &mut Context<'_, Message>) {
         if self.config.recovery != RecoveryPolicy::ThirdServer || self.recovering {
             return;
@@ -734,10 +926,21 @@ impl TimeServer {
             .copied()
             .filter(|&n| Some(n) != inconsistent_with)
             .collect();
-        if candidates.is_empty() {
+        let of_state = |state: PeerState| -> Vec<NodeId> {
+            candidates
+                .iter()
+                .copied()
+                .filter(|&n| self.health.state(n) == state)
+                .collect()
+        };
+        let mut pool = of_state(PeerState::Healthy);
+        if pool.is_empty() {
+            pool = of_state(PeerState::Suspect);
+        }
+        if pool.is_empty() {
             return;
         }
-        let peer = candidates[ctx.rng().random_range(0..candidates.len())];
+        let peer = pool[ctx.rng().random_range(0..pool.len())];
         let at = ctx.now();
         self.bus.emit_with(TelemetryKind::RecoveryStarted, || {
             TelemetryEvent::RecoveryStarted {
@@ -748,6 +951,241 @@ impl TimeServer {
         self.send_request(peer, 0, true, ctx);
         self.recovering = true;
         self.stats.recoveries_started += 1;
+    }
+
+    /// The scheduled crash: the server goes deaf and mute and loses all
+    /// volatile protocol state — only the [`StableStore`] survives. The
+    /// hardware clock keeps running (it is hardware), and the restart,
+    /// if one is scheduled, is armed here.
+    fn crash(&mut self, ctx: &mut Context<'_, Message>) {
+        self.lifecycle = Lifecycle::Crashed;
+        self.epoch = self.epoch.wrapping_add(1);
+        self.pending.clear();
+        self.round_replies.clear();
+        self.boot_pending.clear();
+        self.boot_replies.clear();
+        self.recent_estimates.clear();
+        self.recovering = false;
+        self.degraded = false;
+        self.stats.crashes += 1;
+        let at = ctx.now();
+        self.bus.emit_with(TelemetryKind::ServerCrashed, || {
+            TelemetryEvent::ServerCrashed {
+                at,
+                server: self.me,
+            }
+        });
+        if let Some(schedule) = self.config.fault.and_then(|f| f.restart_schedule()) {
+            ctx.set_timer(schedule.after, TIMER_RESTART);
+        }
+    }
+
+    /// The scheduled restart. A *durable* restart rehydrates `(r_i, ε_i)`
+    /// from stable storage and re-derives the error per rule MM-1 — the
+    /// hardware clock ran through the downtime, so `E = ε + (C − r)·δ`
+    /// has grown across it automatically — and promotes straight back to
+    /// [`Lifecycle::Active`]. An *amnesia* restart lost the store: it
+    /// enters [`Lifecycle::Booting`] and re-acquires the time from a
+    /// quorum (§5) before serving anything.
+    fn restart(&mut self, ctx: &mut Context<'_, Message>) {
+        let schedule = self
+            .config
+            .fault
+            .and_then(|f| f.restart_schedule())
+            .expect("restart timer fired without a restart schedule");
+        self.stats.restarts += 1;
+        let now = ctx.now();
+        let amnesia = schedule.amnesia;
+        self.bus.emit_with(TelemetryKind::ServerRestarted, || {
+            TelemetryEvent::ServerRestarted {
+                at: now,
+                server: self.me,
+                amnesia,
+            }
+        });
+        if amnesia {
+            self.store.wipe();
+            self.lifecycle = Lifecycle::Booting;
+            self.boot_rounds = 0;
+            self.begin_boot_round(ctx);
+        } else {
+            let clock_now = self.reading(now);
+            if let Some(p) = self.store.load() {
+                // Guard against a pre-crash step that left the current
+                // reading behind the persisted reset point (the MM-1
+                // growth term must stay non-negative).
+                let reset_clock = p.reset_clock.min(clock_now);
+                self.state =
+                    ErrorState::new(reset_clock, p.inherited_error, self.config.drift_bound);
+                if self.bus.enabled(TelemetryKind::StateRehydrated) {
+                    let error = self.state.error_at(clock_now);
+                    self.bus.emit(TelemetryEvent::StateRehydrated {
+                        at: now,
+                        server: self.me,
+                        clock: clock_now,
+                        error,
+                        reset_clock,
+                        persisted_error: p.inherited_error,
+                    });
+                }
+            }
+            self.promote(0, ctx);
+        }
+        if let Some(uptime) = schedule.every {
+            // A restart storm: the next crash is already scheduled.
+            ctx.set_timer(uptime, TIMER_CRASH);
+        }
+    }
+
+    /// Re-enters service after a restart: back to [`Lifecycle::Active`]
+    /// with a fresh resync chain, started at a random fraction of the
+    /// period (like a join) so restarted servers do not resync in
+    /// lock-step.
+    fn promote(&mut self, rounds: u32, ctx: &mut Context<'_, Message>) {
+        self.lifecycle = Lifecycle::Active;
+        let now = ctx.now();
+        if self.bus.enabled(TelemetryKind::BootstrapCompleted) {
+            let clock = self.reading(now);
+            let error = self.state.error_at(clock);
+            self.bus.emit(TelemetryEvent::BootstrapCompleted {
+                at: now,
+                server: self.me,
+                rounds,
+                clock,
+                error,
+            });
+        }
+        let fraction = ctx.rng().random_range(0.05..1.0);
+        ctx.set_timer(
+            self.config.resync_period * fraction,
+            self.round_tag(TIMER_RESYNC),
+        );
+    }
+
+    /// One §5 bootstrap round: ask every neighbour for the time, collect
+    /// replies for one window, then try to intersect them in
+    /// [`TimeServer::close_boot_round`].
+    fn begin_boot_round(&mut self, ctx: &mut Context<'_, Message>) {
+        self.boot_replies.clear();
+        self.boot_pending.clear();
+        self.boot_rounds += 1;
+        self.stats.bootstrap_rounds += 1;
+        let peers = ctx.neighbors().to_vec();
+        for peer in peers {
+            let request_id = self.fresh_request_id();
+            let send_clock = self.reading(ctx.now());
+            self.boot_pending.insert(request_id, (peer, send_clock));
+            ctx.send(
+                peer,
+                Message::TimeRequest {
+                    request_id,
+                    attempt: 0,
+                },
+            );
+        }
+        ctx.set_timer(self.config.collect_window, self.round_tag(TIMER_BOOT_ROUND));
+    }
+
+    /// A reply received while booting: buffered for the bootstrap round
+    /// (with its round-trip, measured like any other reply).
+    fn handle_boot_reply(
+        &mut self,
+        from: NodeId,
+        request_id: u64,
+        estimate: TimeEstimate,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        let Some(&(peer, send_clock)) = self.boot_pending.get(&request_id) else {
+            self.stats.late_replies += 1;
+            return;
+        };
+        if peer != from {
+            self.stats.mismatched_replies += 1;
+            return;
+        }
+        self.boot_pending.remove(&request_id);
+        let recv_clock = self.reading(ctx.now());
+        self.boot_replies.push(BufferedReply {
+            peer: from,
+            estimate,
+            send_clock,
+            recv_clock,
+        });
+    }
+
+    /// Closes a bootstrap collection window. With a quorum of replies
+    /// the server runs an IM-style read — its own interval is a
+    /// synthesised, effectively unbounded stand-in, so the result is the
+    /// intersection of the neighbours' claims — and promotes itself.
+    /// Too few replies, or an empty intersection, and the round retries.
+    fn close_boot_round(&mut self, ctx: &mut Context<'_, Message>) {
+        let now = ctx.now();
+        let clock_now = self.reading(now);
+        let needed = self.config.quorum.max(1);
+        if self.boot_replies.len() >= needed {
+            let replies = age_buffered(
+                &self.boot_replies,
+                clock_now,
+                self.config.drift_bound.inflation(),
+            );
+            // An amnesia restart holds no trustworthy interval of its
+            // own: a year of claimed error is wider than anything a
+            // peer will say, so only the peers constrain the result.
+            let wide = TimeEstimate::new(clock_now, Duration::from_secs(3.2e7));
+            if let ImOutcome::Reset(reset) = im_round(&wide, self.config.drift_bound, &replies) {
+                self.apply_reset(now, reset);
+                self.boot_replies.clear();
+                self.boot_pending.clear();
+                let rounds = self.boot_rounds;
+                self.promote(rounds, ctx);
+                return;
+            }
+        }
+        self.begin_boot_round(ctx);
+    }
+
+    /// A peer refused our request because it is booting after a restart.
+    /// The refusal is proof of liveness — the peer is back and talking —
+    /// so its health record takes a reply (reinstating it if it was
+    /// buried), but nothing is adopted, and a recovery aimed at it is
+    /// abandoned so another third server can be tried.
+    fn handle_uninitialized(
+        &mut self,
+        from: NodeId,
+        request_id: u64,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        let Some(&pending) = self.pending.get(&request_id) else {
+            self.stats.late_replies += 1;
+            return;
+        };
+        if pending.peer != from {
+            self.stats.mismatched_replies += 1;
+            return;
+        }
+        self.pending.remove(&request_id);
+        if pending.recovery {
+            self.recovering = false;
+        }
+        if self.config.retry.is_enabled() {
+            let before = self.health.state(from);
+            if self.health.record_reply(from) {
+                self.stats.peers_reinstated += 1;
+            }
+            let after = self.health.state(from);
+            if before != after {
+                let at = ctx.now();
+                self.bus.emit_with(TelemetryKind::HealthChanged, || {
+                    TelemetryEvent::HealthChanged {
+                        at,
+                        server: self.me,
+                        peer: from.index(),
+                        from: health_state(before),
+                        to: health_state(after),
+                    }
+                });
+            }
+        }
     }
 
     fn close_round(&mut self, ctx: &mut Context<'_, Message>) {
@@ -798,29 +1236,12 @@ impl TimeServer {
         }
         let own = self.state.estimate_at(clock_now);
         // A buffered reply has aged while waiting for the round to
-        // close. Two sound adjustments keep it sharp:
-        //
-        // * trailing edge: since receipt, at least `age/(1+δ)` real
-        //   seconds have passed (our clock runs at most (1+δ)), so the
-        //   whole claim may be advanced by that much;
-        // * leading edge: it must still absorb the full inflated
-        //   send-to-now span `(1+δ)·ξ_total` (rule IM-2), so the
-        //   residual round-trip passed on is `ξ_total − m/(1+δ)`.
-        let inflation = self.config.drift_bound.inflation();
-        let replies: Vec<TimedReply> = self
-            .round_replies
-            .iter()
-            .map(|b| {
-                let age = (clock_now - b.recv_clock).max(Duration::ZERO);
-                let advance = age / inflation;
-                let xi_total = (clock_now - b.send_clock).max(Duration::ZERO);
-                let residual = (xi_total - advance / inflation).max(Duration::ZERO);
-                TimedReply::new(
-                    TimeEstimate::new(b.estimate.time() + advance, b.estimate.error()),
-                    residual,
-                )
-            })
-            .collect();
+        // close; see `age_buffered` for the two sound adjustments.
+        let replies = age_buffered(
+            &self.round_replies,
+            clock_now,
+            self.config.drift_bound.inflation(),
+        );
 
         match self.config.strategy {
             Strategy::Mm => unreachable!("MM does not use round windows"),
@@ -974,6 +1395,13 @@ impl Actor for TimeServer {
         if let Some(leave) = self.config.leave_after {
             ctx.set_timer(leave, TIMER_LEAVE);
         }
+        // A scheduled crash becomes a timer: the lifecycle machine (not
+        // a per-message check) takes the server down.
+        if let Some(fault) = self.config.fault {
+            if matches!(fault.kind, ServerFaultKind::Crash { .. }) {
+                ctx.set_timer((fault.at - ctx.now()).max(Duration::ZERO), TIMER_CRASH);
+            }
+        }
     }
 
     fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_, Message>) {
@@ -982,12 +1410,35 @@ impl Actor for TimeServer {
             // requests, deaf to replies.
             return;
         }
-        let fault = self.fault_kind(ctx.now());
-        if matches!(fault, Some(ServerFaultKind::Crash)) {
-            // Crashed: deaf and mute. The clock keeps ticking, but
-            // nobody can read it any more.
-            return;
+        match self.lifecycle {
+            Lifecycle::Crashed => {
+                // Deaf and mute. The clock keeps ticking, but nobody
+                // can read it any more.
+                return;
+            }
+            Lifecycle::Booting => {
+                match msg {
+                    Message::TimeRequest { request_id, .. } => {
+                        // §5 bootstrap refusal: no trustworthy interval
+                        // yet, so decline explicitly rather than serve
+                        // garbage or stay suspiciously silent.
+                        ctx.send(from, Message::Uninitialized { request_id });
+                    }
+                    Message::TimeReply {
+                        request_id,
+                        estimate,
+                        ..
+                    } => {
+                        self.handle_boot_reply(from, request_id, estimate, ctx);
+                    }
+                    // Both sides booting: nothing useful to exchange.
+                    Message::Uninitialized { .. } => {}
+                }
+                return;
+            }
+            Lifecycle::Active => {}
         }
+        let fault = self.fault_kind(ctx.now());
         match msg {
             Message::TimeRequest { request_id, .. } => {
                 if let Some(ServerFaultKind::Omit { prob }) = fault {
@@ -1028,23 +1479,29 @@ impl Actor for TimeServer {
             } => {
                 self.handle_reply(from, request_id, estimate, ctx);
             }
+            Message::Uninitialized { request_id } => {
+                self.handle_uninitialized(from, request_id, ctx);
+            }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Message>) {
-        if matches!(self.fault_kind(ctx.now()), Some(ServerFaultKind::Crash)) {
-            return;
-        }
         if tag & TIMER_TIMEOUT_FLAG != 0 {
-            if self.active {
+            if self.is_active() {
                 self.handle_timeout(tag & !TIMER_TIMEOUT_FLAG, ctx);
             }
             return;
         }
-        match tag {
-            TIMER_RESYNC if self.active => self.begin_round(ctx),
-            TIMER_ROUND_END if self.active => self.close_round(ctx),
-            TIMER_RESYNC | TIMER_ROUND_END => {} // departed: chain dies
+        let base = tag & ((1 << TIMER_EPOCH_SHIFT) - 1);
+        let current = (tag >> TIMER_EPOCH_SHIFT) as u32 == self.epoch;
+        match base {
+            TIMER_RESYNC if current && self.is_active() => self.begin_round(ctx),
+            TIMER_ROUND_END if current && self.is_active() => self.close_round(ctx),
+            TIMER_BOOT_ROUND if current && self.lifecycle == Lifecycle::Booting => {
+                self.close_boot_round(ctx);
+            }
+            // Departed, crashed, or pre-crash epoch: the chain dies.
+            TIMER_RESYNC | TIMER_ROUND_END | TIMER_BOOT_ROUND => {}
             TIMER_JOIN => self.join(ctx),
             TIMER_LEAVE => {
                 self.active = false;
@@ -1059,6 +1516,9 @@ impl Actor for TimeServer {
                         server: self.me,
                     });
             }
+            TIMER_CRASH if self.lifecycle != Lifecycle::Crashed => self.crash(ctx),
+            TIMER_RESTART if self.lifecycle == Lifecycle::Crashed => self.restart(ctx),
+            TIMER_CRASH | TIMER_RESTART => {}
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
     }
@@ -1601,6 +2061,254 @@ mod tests {
             "the forged replies must be counted: {stats:?}"
         );
         assert!(s.sample(now).correct, "the forgery must not be adopted");
+    }
+
+    #[test]
+    fn recovery_skips_dead_candidates() {
+        // Server 0 races at 4 %; the only recovery candidate it is ever
+        // offered (server 2, since server 1 is the inconsistent one) has
+        // crashed terminally. A health-blind picker would solicit the
+        // corpse every round forever; the health-aware one stops once
+        // the peer is declared Dead.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut builder = SimClock::builder().seed(i);
+            if i == 0 {
+                builder = builder.drift(DriftModel::Constant(0.04));
+            }
+            let mut config = base_config(Strategy::Mm)
+                .recovery(RecoveryPolicy::ThirdServer)
+                .retry(RetryPolicy::Backoff {
+                    timeout: dur(0.2),
+                    max_retries: 1,
+                    multiplier: 2.0,
+                    jitter: 0.0,
+                })
+                .health(crate::health::HealthConfig {
+                    suspect_after: 2,
+                    dead_after: 4,
+                    probe_every: 8,
+                });
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::crash_at(ts(5.0)));
+            }
+            servers.push(TimeServer::new(builder.build(), config));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.001))),
+            31,
+        );
+        world.run_until(ts(600.0));
+        let racer = &world.actors()[0];
+        let stats = racer.stats();
+        assert_eq!(
+            racer.peer_state(NodeId::new(2)),
+            PeerState::Dead,
+            "the crashed candidate must be buried: {stats:?}"
+        );
+        assert!(stats.timeouts > 0);
+        // ~60 rounds each produce an inconsistency; a health-blind
+        // picker would have started a doomed recovery in nearly all of
+        // them. Health-aware, only the handful before the burial count.
+        assert!(
+            stats.recoveries_started < 10,
+            "recovery kept soliciting a Dead peer: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn lying_recovery_target_is_screened_out() {
+        // §3 recovery with a lying third server: before the §5 screen
+        // the racing server adopted the 500 s lie outright. The screen
+        // compares the rescuer's claim against what the *other*
+        // neighbours said recently, so the lie is rejected while honest
+        // rescues still land.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..4 {
+            let mut builder = SimClock::builder().seed(i);
+            if i == 0 {
+                builder = builder.drift(DriftModel::Constant(0.04));
+            }
+            let mut config = base_config(Strategy::Mm).recovery(RecoveryPolicy::ThirdServer);
+            if i == 3 {
+                config = config.fault(crate::fault::ServerFault::lie_from(
+                    ts(0.0),
+                    dur(500.0),
+                    0.01,
+                ));
+            }
+            servers.push(TimeServer::new(builder.build(), config));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(4),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.001))),
+            32,
+        );
+        world.run_until(ts(600.0));
+        let now = world.now();
+        let racer = &mut world.actors_mut()[0];
+        let stats = racer.stats();
+        assert!(
+            stats.recoveries_rejected > 0,
+            "the liar was never screened out: {stats:?}"
+        );
+        assert!(
+            stats.recoveries_applied > 0,
+            "honest rescuers must still be adopted: {stats:?}"
+        );
+        let sample = racer.sample(now);
+        assert!(
+            sample.true_offset.abs() < dur(10.0),
+            "the 500 s lie poisoned the recovering clock: offset {}",
+            sample.true_offset
+        );
+    }
+
+    #[test]
+    fn durable_restart_rehydrates_and_reintegrates() {
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut config = base_config(Strategy::Mm)
+                .retry(RetryPolicy::Backoff {
+                    timeout: dur(0.2),
+                    max_retries: 1,
+                    multiplier: 2.0,
+                    jitter: 0.0,
+                })
+                .health(crate::health::HealthConfig {
+                    suspect_after: 2,
+                    dead_after: 4,
+                    probe_every: 4,
+                });
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::crash_restart(
+                    ts(30.0),
+                    dur(25.0),
+                    false,
+                ));
+            }
+            servers.push(server([2e-5, -2e-5, 3e-5][i as usize], config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            33,
+        );
+        world.run_until(ts(200.0));
+        let now = world.now();
+        {
+            let restarted = &mut world.actors_mut()[2];
+            let stats = restarted.stats();
+            assert_eq!(stats.crashes, 1);
+            assert_eq!(stats.restarts, 1);
+            assert_eq!(stats.bootstrap_rounds, 0, "durable restarts do not boot");
+            assert_eq!(restarted.lifecycle(), Lifecycle::Active);
+            assert!(restarted.persisted().is_some());
+            let sample = restarted.sample(now);
+            assert!(
+                sample.correct,
+                "rule MM-1 across the downtime must keep the rehydrated \
+                 interval correct: offset {} error {}",
+                sample.true_offset, sample.error
+            );
+        }
+        // The peers buried or suspected it while it was down, and the
+        // probe path reinstated it after the restart.
+        for (i, s) in world.actors().iter().enumerate().take(2) {
+            assert!(s.stats().peers_suspected >= 1, "server {i} never suspected");
+            assert_eq!(
+                s.peer_state(NodeId::new(2)),
+                PeerState::Healthy,
+                "server {i} never reinstated the restarted peer"
+            );
+        }
+    }
+
+    #[test]
+    fn amnesia_restart_bootstraps_before_serving() {
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut config = base_config(Strategy::Mm);
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::crash_restart(
+                    ts(30.0),
+                    dur(20.0),
+                    true,
+                ));
+            }
+            servers.push(server([2e-5, -2e-5, 3e-5][i as usize], config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            34,
+        );
+        world.run_until(ts(200.0));
+        let now = world.now();
+        let restarted = &mut world.actors_mut()[2];
+        let stats = restarted.stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(
+            stats.bootstrap_rounds >= 1,
+            "an amnesia restart must re-acquire the time: {stats:?}"
+        );
+        assert_eq!(restarted.lifecycle(), Lifecycle::Active);
+        // The bootstrap adoption re-persisted fresh state.
+        assert!(restarted.persisted().is_some());
+        let sample = restarted.sample(now);
+        assert!(
+            sample.correct,
+            "the quorum read must hand back a correct interval: offset {} error {}",
+            sample.true_offset, sample.error
+        );
+    }
+
+    #[test]
+    fn restart_storm_keeps_reintegrating() {
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut config = base_config(Strategy::Mm);
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::restart_storm(
+                    ts(20.0),
+                    dur(5.0),
+                    dur(40.0),
+                    false,
+                ));
+            }
+            servers.push(server([2e-5, -2e-5, 3e-5][i as usize], config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            35,
+        );
+        world.run_until(ts(300.0));
+        let now = world.now();
+        let stormed = &mut world.actors_mut()[2];
+        let stats = stormed.stats();
+        assert!(
+            stats.crashes >= 5 && stats.restarts >= 5,
+            "the storm must keep cycling: {stats:?}"
+        );
+        assert_eq!(stormed.lifecycle(), Lifecycle::Active);
+        let sample = stormed.sample(now);
+        assert!(
+            sample.correct,
+            "every durable restart must reintegrate correctly: offset {} error {}",
+            sample.true_offset, sample.error
+        );
+        // The survivors never went incorrect either.
+        for s in world.actors_mut().iter_mut().take(2) {
+            assert!(s.sample(now).correct);
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Stable storage for the crash–restart lifecycle.
+//!
+//! §5 of the paper assumes a recovering server can tell whether it
+//! still *has* a trustworthy interval. [`StableStore`] is that
+//! distinction made explicit: a server persists `(r_i, ε_i)` — the
+//! clock reading at its last reset and the error it inherited there —
+//! plus the real time of the write, at every reset. On restart it
+//! rehydrates and re-derives its maximum error per rule MM-1,
+//! `E = ε + (now − r)·δ`, grown across the downtime; a server whose
+//! store was lost (an *amnesia* restart) rehydrates nothing, must
+//! treat its error as unbounded, and re-acquires the time from a
+//! quorum before serving it.
+
+use tempo_core::{Duration, Timestamp};
+
+/// The `(r_i, ε_i, last reset timestamp)` triple a server persists at
+/// each reset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersistedState {
+    /// The clock reading `r_i` at the last reset.
+    pub reset_clock: Timestamp,
+    /// The inherited error `ε_i` written by that reset.
+    pub inherited_error: Duration,
+    /// Real (simulated) time at which the reset was persisted. Kept
+    /// for audit; MM-1 rehydration needs only the clock-side pair.
+    pub reset_at: Timestamp,
+}
+
+/// Durable storage surviving a server crash.
+///
+/// The simulator's stores are in-memory stand-ins: durability here
+/// means "survives the *process*", which in a discrete-event world is
+/// simply "not wiped when the lifecycle machine crashes the actor".
+/// An amnesia restart models a lost disk by calling [`StableStore::wipe`]
+/// before rehydrating.
+pub trait StableStore: std::fmt::Debug {
+    /// Records the state written by a reset, replacing any previous
+    /// record.
+    fn persist(&mut self, state: PersistedState);
+
+    /// The most recently persisted state, if any survives.
+    fn load(&self) -> Option<PersistedState>;
+
+    /// Destroys the store's contents (the amnesia restart path).
+    fn wipe(&mut self);
+}
+
+/// The default [`StableStore`]: a single in-memory slot.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryStore {
+    state: Option<PersistedState>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+}
+
+impl StableStore for MemoryStore {
+    fn persist(&mut self, state: PersistedState) {
+        self.state = Some(state);
+    }
+
+    fn load(&self) -> Option<PersistedState> {
+        self.state
+    }
+
+    fn wipe(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(r: f64, eps: f64, at: f64) -> PersistedState {
+        PersistedState {
+            reset_clock: Timestamp::from_secs(r),
+            inherited_error: Duration::from_secs(eps),
+            reset_at: Timestamp::from_secs(at),
+        }
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        assert_eq!(MemoryStore::new().load(), None);
+    }
+
+    #[test]
+    fn persist_overwrites_and_load_round_trips() {
+        let mut store = MemoryStore::new();
+        store.persist(state(10.0, 0.01, 10.002));
+        store.persist(state(20.0, 0.005, 20.001));
+        assert_eq!(store.load(), Some(state(20.0, 0.005, 20.001)));
+    }
+
+    #[test]
+    fn wipe_is_amnesia() {
+        let mut store = MemoryStore::new();
+        store.persist(state(10.0, 0.01, 10.0));
+        store.wipe();
+        assert_eq!(store.load(), None);
+    }
+}

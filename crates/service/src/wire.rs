@@ -12,8 +12,8 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic 0x7E30 ("tempo/0")
-//! 2       1     message type (1 = request, 2 = reply)
-//! 3       1     retry attempt (requests), reserved 0 (replies)
+//! 2       1     message type (1 = request, 2 = reply, 3 = uninitialized)
+//! 3       1     retry attempt (requests), reserved 0 (others)
 //! 4       8     request id
 //! 12      8     received-at T2 (IEEE-754 bits; replies only)
 //! 20      8     clock time C   (IEEE-754 bits; replies only)
@@ -21,7 +21,7 @@
 //! last 2        checksum (ones'-complement sum of 16-bit words)
 //! ```
 //!
-//! Requests are 14 bytes, replies 38.
+//! Requests and uninitialized refusals are 14 bytes, replies 38.
 
 use std::fmt;
 
@@ -32,8 +32,10 @@ use crate::message::Message;
 const MAGIC: u16 = 0x7E30;
 const TYPE_REQUEST: u8 = 1;
 const TYPE_REPLY: u8 = 2;
+const TYPE_UNINIT: u8 = 3;
 const REQUEST_LEN: usize = 14;
 const REPLY_LEN: usize = 38;
+const UNINIT_LEN: usize = 14;
 
 /// Why a packet failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +129,11 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(&estimate.time().as_secs().to_bits().to_be_bytes());
             out.extend_from_slice(&estimate.error().as_secs().to_bits().to_be_bytes());
         }
+        Message::Uninitialized { request_id } => {
+            out.push(TYPE_UNINIT);
+            out.push(0);
+            out.extend_from_slice(&request_id.to_be_bytes());
+        }
     }
     let ck = checksum(&out);
     out.extend_from_slice(&ck.to_be_bytes());
@@ -152,6 +159,7 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
     let expected_len = match kind {
         TYPE_REQUEST => REQUEST_LEN,
         TYPE_REPLY => REPLY_LEN,
+        TYPE_UNINIT => UNINIT_LEN,
         other => return Err(DecodeError::UnknownType { found: other }),
     };
     if bytes.len() != expected_len {
@@ -171,6 +179,7 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
             request_id,
             attempt: body[3],
         }),
+        TYPE_UNINIT => Ok(Message::Uninitialized { request_id }),
         TYPE_REPLY => {
             let received = f64::from_bits(u64::from_be_bytes(
                 body[12..20].try_into().expect("length checked"),
@@ -217,6 +226,25 @@ mod tests {
             assert_eq!(bytes.len(), REQUEST_LEN);
             assert_eq!(bytes[3], attempt);
             assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn uninitialized_roundtrip_and_corruption() {
+        let msg = Message::Uninitialized {
+            request_id: 0xFEED_FACE,
+        };
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), UNINIT_LEN);
+        assert_eq!(bytes[2], TYPE_UNINIT);
+        assert_eq!(decode(&bytes).unwrap(), msg);
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xA5;
+            assert!(
+                decode(&corrupted).is_err(),
+                "flip at byte {i} slipped through"
+            );
         }
     }
 

@@ -17,6 +17,7 @@ pub mod fuzz;
 pub mod growth;
 pub mod loss;
 pub mod recovery;
+pub mod restart;
 pub mod scale;
 
 pub use ablations::{
@@ -33,4 +34,5 @@ pub use fuzz::{fuzz, fuzz_smoke, shrink, Fuzz, FuzzCase, FuzzFailure, FuzzServer
 pub use growth::{ten_x, thm8_error_vs_n, TenX, Thm8};
 pub use loss::{loss_sweep, LossSweep};
 pub use recovery::{recovery, Recovery};
+pub use restart::{restart, Restart, RestartRow};
 pub use scale::{scale, Scale};

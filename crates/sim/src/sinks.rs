@@ -14,7 +14,7 @@ use std::sync::Mutex;
 
 use tempo_core::Duration;
 use tempo_net::NetStats;
-use tempo_oracle::{Oracle, OracleReport, RoundObservation, SampleState};
+use tempo_oracle::{Oracle, OracleReport, RehydrationObservation, RoundObservation, SampleState};
 use tempo_service::ServerSample;
 use tempo_telemetry::json::{event_line, JsonObject};
 use tempo_telemetry::{EventKind, Observer, TelemetryEvent};
@@ -69,8 +69,10 @@ impl Observer for MetricsSink {
 
 /// Feeds the theorem oracle from the event stream: sample snapshots
 /// become [`SampleState`]s (inactive servers are `None` — the
-/// theorems say nothing about a server outside the service) and
-/// round adoptions become [`RoundObservation`]s, checked online.
+/// theorems say nothing about a server outside the service), round
+/// adoptions become [`RoundObservation`]s, and crash–restart
+/// lifecycle events drive the oracle's down/rehydration checks, all
+/// checked online.
 #[derive(Debug)]
 pub struct OracleSink {
     // `Oracle::finish` consumes the oracle, so it lives in an Option
@@ -96,7 +98,15 @@ impl OracleSink {
 
 impl Observer for OracleSink {
     fn enabled(&self, kind: EventKind) -> bool {
-        matches!(kind, EventKind::Sample | EventKind::RoundAdopt)
+        matches!(
+            kind,
+            EventKind::Sample
+                | EventKind::RoundAdopt
+                | EventKind::ServerCrashed
+                | EventKind::ServerRestarted
+                | EventKind::StateRehydrated
+                | EventKind::BootstrapCompleted
+        )
     }
 
     fn observe(&mut self, event: &TelemetryEvent) {
@@ -135,6 +145,36 @@ impl Observer for OracleSink {
                         recovery: *recovery,
                     },
                 );
+            }
+            TelemetryEvent::ServerCrashed { server, .. } => {
+                oracle.observe_crash(*server);
+            }
+            TelemetryEvent::ServerRestarted {
+                server, amnesia, ..
+            } => {
+                oracle.observe_restart(*server, *amnesia);
+            }
+            TelemetryEvent::StateRehydrated {
+                at,
+                server,
+                clock,
+                error,
+                reset_clock,
+                persisted_error,
+            } => {
+                oracle.observe_rehydration(
+                    *server,
+                    *at,
+                    &RehydrationObservation {
+                        clock: *clock,
+                        error: *error,
+                        reset_clock: *reset_clock,
+                        persisted_error: *persisted_error,
+                    },
+                );
+            }
+            TelemetryEvent::BootstrapCompleted { server, rounds, .. } => {
+                oracle.observe_bootstrap_complete(*server, *rounds);
             }
             _ => {}
         }

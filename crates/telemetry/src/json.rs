@@ -300,6 +300,46 @@ pub fn event_line(event: &TelemetryEvent) -> String {
             arr.push(']');
             o.num("t", at.as_secs()).raw("servers", &arr);
         }
+        TelemetryEvent::ServerCrashed { at, server } => {
+            o.num("t", at.as_secs()).int("server", *server as u64);
+        }
+        TelemetryEvent::ServerRestarted {
+            at,
+            server,
+            amnesia,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .bool("amnesia", *amnesia);
+        }
+        TelemetryEvent::StateRehydrated {
+            at,
+            server,
+            clock,
+            error,
+            reset_clock,
+            persisted_error,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .num("clock", clock.as_secs())
+                .num("error", error.as_secs())
+                .num("reset_clock", reset_clock.as_secs())
+                .num("persisted_error", persisted_error.as_secs());
+        }
+        TelemetryEvent::BootstrapCompleted {
+            at,
+            server,
+            rounds,
+            clock,
+            error,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("rounds", u64::from(*rounds))
+                .num("clock", clock.as_secs())
+                .num("error", error.as_secs());
+        }
     }
     o.finish()
 }
@@ -668,6 +708,27 @@ fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
             ("round", Field::Int),
         ],
         "sample" => &[("t", Field::Num), ("servers", Field::SampleArr)],
+        "crash" => &[("t", Field::Num), ("server", Field::Int)],
+        "restart" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("amnesia", Field::Bool),
+        ],
+        "rehydrate" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("clock", Field::Num),
+            ("error", Field::Num),
+            ("reset_clock", Field::Num),
+            ("persisted_error", Field::Num),
+        ],
+        "bootstrap" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("rounds", Field::Int),
+            ("clock", Field::Num),
+            ("error", Field::Num),
+        ],
         "summary" => &[
             ("events", Field::Int),
             ("dropped", Field::Int),
@@ -877,6 +938,32 @@ mod tests {
                         active: false,
                     },
                 ],
+            },
+            TelemetryEvent::ServerCrashed { at, server: 2 },
+            TelemetryEvent::ServerRestarted {
+                at,
+                server: 2,
+                amnesia: false,
+            },
+            TelemetryEvent::ServerRestarted {
+                at,
+                server: 2,
+                amnesia: true,
+            },
+            TelemetryEvent::StateRehydrated {
+                at,
+                server: 2,
+                clock,
+                error: Duration::from_millis(6.0),
+                reset_clock: Timestamp::from_secs(10.0),
+                persisted_error: Duration::from_millis(4.0),
+            },
+            TelemetryEvent::BootstrapCompleted {
+                at,
+                server: 2,
+                rounds: 3,
+                clock,
+                error: Duration::from_millis(7.0),
             },
         ]
     }

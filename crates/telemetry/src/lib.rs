@@ -110,11 +110,20 @@ pub enum EventKind {
     RecoveryStarted = 17,
     /// A periodic snapshot of every server's estimate.
     Sample = 18,
+    /// A server process crashed (its clock keeps running).
+    ServerCrashed = 19,
+    /// A crashed server's process came back up.
+    ServerRestarted = 20,
+    /// A restarted server rehydrated its interval from stable storage.
+    StateRehydrated = 21,
+    /// A booting server finished the §5 bootstrap and promoted to
+    /// active.
+    BootstrapCompleted = 22,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 23] = [
         EventKind::MsgSend,
         EventKind::MsgRecv,
         EventKind::MsgDrop,
@@ -134,6 +143,10 @@ impl EventKind {
         EventKind::DegradedExit,
         EventKind::RecoveryStarted,
         EventKind::Sample,
+        EventKind::ServerCrashed,
+        EventKind::ServerRestarted,
+        EventKind::StateRehydrated,
+        EventKind::BootstrapCompleted,
     ];
 
     /// This kind's position in the bus bitmask.
@@ -165,6 +178,10 @@ impl EventKind {
             EventKind::DegradedExit => "degraded_exit",
             EventKind::RecoveryStarted => "recovery",
             EventKind::Sample => "sample",
+            EventKind::ServerCrashed => "crash",
+            EventKind::ServerRestarted => "restart",
+            EventKind::StateRehydrated => "rehydrate",
+            EventKind::BootstrapCompleted => "bootstrap",
         }
     }
 }
@@ -473,6 +490,59 @@ pub enum TelemetryEvent {
         /// Per-server state, indexed by server.
         servers: Vec<SampleSnapshot>,
     },
+    /// A server process crashed: it answers nothing and runs no rounds
+    /// until (and unless) a scheduled restart brings it back. Its
+    /// hardware clock keeps running through the downtime.
+    ServerCrashed {
+        /// Real time of the crash.
+        at: Timestamp,
+        /// The crashed server.
+        server: usize,
+    },
+    /// A crashed server's process came back up and entered the
+    /// lifecycle's re-entry path.
+    ServerRestarted {
+        /// Real time of the restart.
+        at: Timestamp,
+        /// The restarting server.
+        server: usize,
+        /// Whether stable storage was lost: an amnesia restart holds
+        /// no interval and must bootstrap from a quorum before
+        /// serving; a durable restart rehydrates and re-enters
+        /// directly.
+        amnesia: bool,
+    },
+    /// A durable restart rehydrated `(r_i, ε_i)` from stable storage
+    /// and re-derived its error per rule MM-1 across the downtime.
+    StateRehydrated {
+        /// Real time of the rehydration.
+        at: Timestamp,
+        /// The rehydrating server.
+        server: usize,
+        /// The server's clock reading at rehydration.
+        clock: Timestamp,
+        /// The re-derived error `ε + (clock − r)·δ`.
+        error: Duration,
+        /// The persisted reset reading `r_i`.
+        reset_clock: Timestamp,
+        /// The persisted inherited error `ε_i`.
+        persisted_error: Duration,
+    },
+    /// A booting server completed the §5 bootstrap read of a quorum of
+    /// neighbours and promoted to active.
+    BootstrapCompleted {
+        /// Real time of the promotion.
+        at: Timestamp,
+        /// The promoted server.
+        server: usize,
+        /// How many bootstrap rounds it took (`0` for a durable
+        /// restart, which needs none).
+        rounds: u32,
+        /// The server's clock reading at promotion.
+        clock: Timestamp,
+        /// Its error bound at promotion.
+        error: Duration,
+    },
 }
 
 impl TelemetryEvent {
@@ -499,6 +569,10 @@ impl TelemetryEvent {
             TelemetryEvent::DegradedExit { .. } => EventKind::DegradedExit,
             TelemetryEvent::RecoveryStarted { .. } => EventKind::RecoveryStarted,
             TelemetryEvent::Sample { .. } => EventKind::Sample,
+            TelemetryEvent::ServerCrashed { .. } => EventKind::ServerCrashed,
+            TelemetryEvent::ServerRestarted { .. } => EventKind::ServerRestarted,
+            TelemetryEvent::StateRehydrated { .. } => EventKind::StateRehydrated,
+            TelemetryEvent::BootstrapCompleted { .. } => EventKind::BootstrapCompleted,
         }
     }
 
@@ -524,7 +598,11 @@ impl TelemetryEvent {
             | TelemetryEvent::DegradedEnter { at, .. }
             | TelemetryEvent::DegradedExit { at, .. }
             | TelemetryEvent::RecoveryStarted { at, .. }
-            | TelemetryEvent::Sample { at, .. } => *at,
+            | TelemetryEvent::Sample { at, .. }
+            | TelemetryEvent::ServerCrashed { at, .. }
+            | TelemetryEvent::ServerRestarted { at, .. }
+            | TelemetryEvent::StateRehydrated { at, .. }
+            | TelemetryEvent::BootstrapCompleted { at, .. } => *at,
         }
     }
 }
