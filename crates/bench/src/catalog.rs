@@ -140,6 +140,11 @@ pub fn all() -> Vec<Experiment> {
             artifact: "E18 — crash–restart lifecycle: durable vs amnesia, restart storms",
             run: || Box::new(ex::restart()),
         },
+        Experiment {
+            name: "byzantine",
+            artifact: "E19 — Byzantine tiers + self-stabilization, f-tolerance oracle",
+            run: || Box::new(ex::byzantine()),
+        },
     ]
 }
 
@@ -150,11 +155,11 @@ mod tests {
     #[test]
     fn catalogue_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 21);
+        assert_eq!(experiments.len(), 22);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "names must be unique");
+        assert_eq!(names.len(), 22, "names must be unique");
     }
 
     #[test]

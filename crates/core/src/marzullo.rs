@@ -19,8 +19,10 @@
 //!
 //! * [`best_intersection`] — the region(s) of maximum coverage (the
 //!   dissertation's formulation),
-//! * [`intersect_tolerating`] — the smallest interval covered by at least
-//!   `n − f` sources, for a caller-chosen fault budget `f`, together with
+//! * [`intersect_tolerating`] — the hull of all points covered by at
+//!   least `n − f` sources, for a caller-chosen fault budget `f` (the
+//!   NTP selection rule, which keeps real time inside the answer
+//!   whenever at most `f` sources lie), together with
 //!   [`smallest_tolerance`] which searches for the minimal `f` that
 //!   yields a non-empty answer (the NTP selection loop's shape).
 
@@ -173,36 +175,56 @@ fn members_of(intervals: &[TimeInterval], region: &TimeInterval) -> Vec<usize> {
         .collect()
 }
 
-/// The smallest interval covered by at least `n − max_faulty` of the `n`
-/// sources, or `None` when no point achieves that coverage.
+/// The hull of every point covered by at least `n − max_faulty` of the
+/// `n` sources, or `None` when no point achieves that coverage.
+///
+/// This is the selection rule NTP adopted from the dissertation's
+/// algorithm (RFC 5905 §11.2.1): the answer spans from the first point
+/// where the running coverage reaches `n − f` to the last point where it
+/// drops below `n − f`. The hull form — rather than the earliest
+/// maximum-coverage region — is what makes the `f`-tolerance claim true:
+/// if at most `f` sources are faulty, real time is covered by the
+/// `≥ n − f` correct sources and therefore lies inside the hull. (The
+/// maximum-coverage region alone can *exclude* real time when a faulty
+/// interval happens to tighten the crowd: three honest `[0,10]` sources
+/// plus a faulty `[5,6]` put maximum coverage at `[5,6]`, which misses a
+/// real time of 0 even though only one source lied.)
 ///
 /// With `max_faulty == 0` this is the plain IM intersection. When the
-/// required coverage is met by several disjoint regions, the earliest is
-/// returned (consistent with [`MarzulloResult::best`]); use
-/// [`best_intersection`] to inspect ambiguity.
+/// required coverage is met by several disjoint regions, the hull spans
+/// them all — wider, never narrower, than any single region; use
+/// [`best_intersection`] to inspect the individual regions and their
+/// ambiguity.
 ///
-/// # Panics
-///
-/// Panics if `max_faulty >= intervals.len()` (tolerating all sources
-/// being faulty makes the question meaningless).
+/// Returns `None` when `max_faulty >= intervals.len()` (tolerating all
+/// sources being faulty leaves no evidence to intersect — this covers
+/// the empty slice too) and when no point reaches the required coverage.
 #[must_use]
 pub fn intersect_tolerating(intervals: &[TimeInterval], max_faulty: usize) -> Option<TimeInterval> {
-    assert!(
-        max_faulty < intervals.len(),
-        "cannot tolerate {max_faulty} faults among {} sources",
-        intervals.len()
-    );
-    let needed = intervals.len() - max_faulty;
-    let result = best_intersection(intervals)?;
-    if result.coverage >= needed {
-        // The sweep's best regions have *maximum* coverage ≥ needed; the
-        // earliest such region is the canonical answer. (Regions with
-        // coverage between `needed` and the maximum exist too, but the
-        // maximum-coverage region is the best-supported estimate.)
-        Some(result.best().interval)
-    } else {
-        None
+    if max_faulty >= intervals.len() {
+        return None;
     }
+    let needed = intervals.len() - max_faulty;
+    let events = edge_events(intervals);
+    let mut count = 0usize;
+    let mut lo: Option<Timestamp> = None;
+    let mut hi: Option<Timestamp> = None;
+    for &(t, is_start) in &events {
+        if is_start {
+            count += 1;
+            if count == needed && lo.is_none() {
+                lo = Some(t);
+            }
+        } else {
+            if count == needed {
+                // Coverage drops below `needed` here; the last such drop
+                // is the hull's trailing edge.
+                hi = Some(t);
+            }
+            count -= 1;
+        }
+    }
+    Some(TimeInterval::new(lo?, hi.expect("every start has an end")))
 }
 
 /// Finds the smallest fault budget `f` for which a coverage of `n − f`
@@ -337,17 +359,36 @@ mod tests {
     #[test]
     fn tolerance_requirement_not_met() {
         // Three mutually disjoint intervals: max coverage 1, so even
-        // f = 1 (needing 2) fails.
+        // f = 1 (needing 2) fails. With f = 2 a single source suffices
+        // and the hull spans all three disjoint regions.
         let sources = [iv(0.0, 1.0), iv(2.0, 3.0), iv(4.0, 5.0)];
         assert_eq!(intersect_tolerating(&sources, 1), None);
-        assert_eq!(intersect_tolerating(&sources, 2), Some(iv(0.0, 1.0)));
+        assert_eq!(intersect_tolerating(&sources, 2), Some(iv(0.0, 5.0)));
     }
 
     #[test]
-    #[should_panic(expected = "cannot tolerate")]
-    fn tolerating_everything_panics() {
+    fn tolerating_everything_is_none() {
+        // f ≥ n leaves no evidence to intersect: explicitly None, for
+        // every n including the empty slice.
         let sources = [iv(0.0, 1.0)];
-        let _ = intersect_tolerating(&sources, 1);
+        assert_eq!(intersect_tolerating(&sources, 1), None);
+        assert_eq!(intersect_tolerating(&sources, 99), None);
+        let three = [iv(0.0, 1.0), iv(0.5, 2.0), iv(1.0, 3.0)];
+        assert_eq!(intersect_tolerating(&three, 3), None);
+        assert_eq!(intersect_tolerating(&[], 0), None);
+        assert_eq!(intersect_tolerating(&[], 5), None);
+    }
+
+    #[test]
+    fn hull_contains_real_time_despite_tight_liar() {
+        // Three honest sources span [0,10] with real time at the very
+        // edge (t = 0); one liar claims the tight [5,6]. Maximum coverage
+        // (4) sits at [5,6], which excludes t — but the f = 1 hull only
+        // needs coverage 3, which t enjoys from the honest sources.
+        let sources = [iv(0.0, 10.0), iv(0.0, 10.0), iv(0.0, 10.0), iv(5.0, 6.0)];
+        let hull = intersect_tolerating(&sources, 1).unwrap();
+        assert!(hull.contains(ts(0.0)), "hull {hull:?} must keep real time");
+        assert_eq!(hull, iv(0.0, 10.0));
     }
 
     #[test]

@@ -60,11 +60,24 @@ fn arb_intervals() -> impl Strategy<Value = Vec<TimeInterval>> {
     })
 }
 
-/// Brute-force reference for [`intersect_tolerating`]: the earliest
-/// maximum-coverage region, provided the coverage reaches `n − f`.
+/// Brute-force reference for [`intersect_tolerating`]: the hull of all
+/// points whose coverage reaches `n − f`. Coverage only changes at
+/// interval endpoints, and the intervals are closed, so the extreme
+/// qualifying points are always endpoints.
 fn brute_force_tolerating(intervals: &[TimeInterval], max_faulty: usize) -> Option<TimeInterval> {
-    let (cover, region) = brute_force(intervals);
-    (cover >= intervals.len() - max_faulty).then_some(region)
+    if max_faulty >= intervals.len() {
+        return None;
+    }
+    let needed = intervals.len() - max_faulty;
+    let cover = |t: Timestamp| intervals.iter().filter(|iv| iv.contains(t)).count();
+    let qualifying: Vec<Timestamp> = intervals
+        .iter()
+        .flat_map(|iv| [iv.lo(), iv.hi()])
+        .filter(|&t| cover(t) >= needed)
+        .collect();
+    let lo = qualifying.iter().copied().min()?;
+    let hi = qualifying.iter().copied().max()?;
+    Some(TimeInterval::new(lo, hi))
 }
 
 /// Like [`arb_intervals`] but deliberately nasty: widths may be exactly
@@ -131,15 +144,60 @@ proptest! {
         let got = intersect_tolerating(&intervals, max_faulty);
         let want = brute_force_tolerating(&intervals, max_faulty);
         prop_assert_eq!(got, want, "f = {}", max_faulty);
-        // Whenever an answer exists, every non-faulty-majority member
-        // really contains it: the region is a genuine intersection.
-        if let Some(region) = got {
-            let containing = intervals
-                .iter()
-                .filter(|iv| iv.contains_interval(&region))
-                .count();
-            prop_assert!(containing >= intervals.len() - max_faulty);
+        // The hull's edges are genuinely supported, and the hull misses
+        // no qualifying point: every endpoint with coverage ≥ n − f lies
+        // inside it.
+        if let Some(hull) = got {
+            let needed = intervals.len() - max_faulty;
+            let cover = |t: Timestamp| intervals.iter().filter(|iv| iv.contains(t)).count();
+            prop_assert!(cover(hull.lo()) >= needed);
+            prop_assert!(cover(hull.hi()) >= needed);
+            for t in intervals.iter().flat_map(|iv| [iv.lo(), iv.hi()]) {
+                if cover(t) >= needed {
+                    prop_assert!(hull.contains(t));
+                }
+            }
         }
+    }
+
+    /// The paper's `f`-tolerance claim, tested against a real adversary:
+    /// `n` honest intervals each containing real time, plus up to
+    /// `f < n` adversarial intervals (arbitrary placement, disjoint or
+    /// degenerate — so the adversary is always a strict minority of the
+    /// combined input), must yield a hull that still contains real time.
+    #[test]
+    fn tolerating_contains_real_time_under_adversarial_minority(
+        real in 0.0f64..100.0,
+        honest_specs in prop::collection::vec((0.0f64..30.0, 0.0f64..30.0), 1..12),
+        adversary_raw in prop::collection::vec(
+            (-50.0f64..150.0, prop_oneof![Just(0.0f64), 0.0f64..40.0]),
+            0..16,
+        ),
+    ) {
+        let t = Timestamp::from_secs(real);
+        let mut all: Vec<TimeInterval> = honest_specs
+            .iter()
+            .map(|&(before, after)| {
+                TimeInterval::new(
+                    Timestamp::from_secs(real - before),
+                    Timestamp::from_secs(real + after),
+                )
+            })
+            .collect();
+        let n = all.len();
+        let f = adversary_raw.len().min(n.saturating_sub(1));
+        for &(lo, w) in adversary_raw.iter().take(f) {
+            all.push(TimeInterval::new(
+                Timestamp::from_secs(lo),
+                Timestamp::from_secs(lo + w),
+            ));
+        }
+        let hull = intersect_tolerating(&all, f)
+            .expect("the honest sources alone reach n − f coverage");
+        prop_assert!(
+            hull.contains(t),
+            "hull {:?} lost real time {:?} with f = {}", hull, t, f
+        );
     }
 }
 

@@ -17,6 +17,8 @@
 //! | [`TheoremId::Consistency`] | §5 — correct servers form one consistency group |
 //! | [`TheoremId::Rehydration`] | Rule MM-1 across downtime — a rehydrated interval is derived correctly and still contains real time |
 //! | [`TheoremId::Lifecycle`] | §5 rejoin — no service while down, bootstrap completes in bounded rounds |
+//! | [`TheoremId::FTolerant`] | §4 `f`-tolerant synthesis — an adopted interval contains real time while ≤ `f` inputs are faulty |
+//! | [`TheoremId::Stabilization`] | Self-stabilization — a state-corrupted server re-converges within a bounded window |
 //!
 //! (Theorem 8 — the *expected* IM width need not grow with the number of
 //! servers — is a distributional claim; experiment E9 covers it offline.)
@@ -79,6 +81,16 @@ pub enum TheoremId {
     /// and a bootstrap reaches a quorum within a bounded number of
     /// rounds whenever one is reachable.
     Lifecycle,
+    /// §4 `f`-tolerance: as long as at most `f` of a correct server's
+    /// inputs are faulty (Byzantine liars included), every interval it
+    /// *adopts* still contains real time. Checked at each non-recovery
+    /// reset of a trusted, up, uncorrupted server.
+    FTolerant,
+    /// Self-stabilization: a server whose state was transiently
+    /// overwritten with garbage must pass the §5 consistency screen
+    /// again — and thereby rejoin the consistency group — within the
+    /// configured bound (a small multiple of the resync period).
+    Stabilization,
 }
 
 impl TheoremId {
@@ -96,6 +108,8 @@ impl TheoremId {
             TheoremId::Consistency => "Section 5 (consistency groups)",
             TheoremId::Rehydration => "Rule MM-1 across downtime",
             TheoremId::Lifecycle => "Section 5 (rejoin/bootstrap)",
+            TheoremId::FTolerant => "Section 4 (f-tolerant synthesis)",
+            TheoremId::Stabilization => "Section 5 (self-stabilization)",
         }
     }
 }
@@ -198,6 +212,16 @@ pub struct OracleConfig {
     pub max_bootstrap_rounds: u32,
     /// Steady-state envelope theorems (2/3 or 7), when applicable.
     pub envelope: Option<EnvelopeParams>,
+    /// §4 `f`-tolerance: every non-recovery adoption of a trusted, up,
+    /// uncorrupted server must contain real time. Sound only when the
+    /// strategy carries a fault budget (`MarzulloTolerant`) *and* at
+    /// most `f` of each server's inputs are faulty — the scenario layer
+    /// arms it, exactly like the trust checks.
+    pub check_f_tolerant: bool,
+    /// Self-stabilization bound: a state-corrupted server must emit
+    /// `Stabilized` within this much real time of its corruption (and
+    /// before the run ends). `None` disables the family.
+    pub stabilization_bound: Option<Duration>,
     /// Numeric tolerance added to every bound (floating-point headroom).
     pub tolerance: Duration,
 }
@@ -217,8 +241,25 @@ impl OracleConfig {
             check_lifecycle: true,
             max_bootstrap_rounds: 8,
             envelope: None,
+            check_f_tolerant: false,
+            stabilization_bound: None,
             tolerance: Duration::from_secs(1e-9),
         }
+    }
+
+    /// Arms the §4 `f`-tolerance check on adoptions (see
+    /// [`OracleConfig::check_f_tolerant`] for when it is sound).
+    #[must_use]
+    pub fn f_tolerant(mut self) -> Self {
+        self.check_f_tolerant = true;
+        self
+    }
+
+    /// Arms the self-stabilization window check with the given bound.
+    #[must_use]
+    pub fn stabilization(mut self, bound: Duration) -> Self {
+        self.stabilization_bound = Some(bound);
+        self
     }
 
     /// Adds the steady-state envelope checks.
@@ -307,11 +348,24 @@ pub struct Oracle {
     /// True from a crash until the matching bootstrap completes; a down
     /// server must present no samples.
     down: Vec<bool>,
+    /// `Some(corruption instant)` from a `StateCorrupted` event until the
+    /// matching `Stabilized`; a corrupted server is exempt from the
+    /// per-sample families (its state is arbitrary by construction) but
+    /// on the clock for the stabilization bound.
+    corrupted: Vec<Option<Timestamp>>,
+    /// Set by a recovery `RoundAdopt`, consumed by the immediately
+    /// following reset event: recovery adoptions are taken on faith and
+    /// exempt from the `f`-tolerance check.
+    pending_recovery: Vec<bool>,
+    /// The latest real time seen, so `finish` can measure how long a
+    /// never-stabilized server had been corrupted.
+    last_real: Timestamp,
     violations: Vec<Violation>,
     total_violations: usize,
     samples_checked: usize,
     rounds_checked: Vec<usize>,
     lifecycle_checked: usize,
+    resets_checked: usize,
 }
 
 impl Oracle {
@@ -326,11 +380,15 @@ impl Oracle {
             servers,
             prev: vec![None; n],
             down: vec![false; n],
+            corrupted: vec![None; n],
+            pending_recovery: vec![false; n],
+            last_real: Timestamp::from_secs(0.0),
             violations: Vec::new(),
             total_violations: 0,
             samples_checked: 0,
             rounds_checked: vec![0; n],
             lifecycle_checked: 0,
+            resets_checked: 0,
         }
     }
 
@@ -361,6 +419,7 @@ impl Oracle {
         );
         let event = self.samples_checked;
         self.samples_checked += 1;
+        self.last_real = self.last_real.max(real);
         let tol = self.tol();
 
         for (i, state) in states.iter().enumerate() {
@@ -370,6 +429,13 @@ impl Oracle {
                 continue;
             };
             if !view.trusted {
+                continue;
+            }
+            if self.corrupted[i].is_some() {
+                // An arbitrary state proves nothing about correctness,
+                // growth, or consistency; the stabilization clock is
+                // what this server is being held to.
+                self.prev[i] = None;
                 continue;
             }
             if self.config.check_lifecycle && self.down[i] {
@@ -442,12 +508,12 @@ impl Oracle {
     ) {
         let tol = self.tol();
         for i in 0..states.len() {
-            if !self.servers[i].trusted {
+            if !self.servers[i].trusted || self.corrupted[i].is_some() {
                 continue;
             }
             let Some(a) = states[i] else { continue };
             for (j, b) in states.iter().enumerate().skip(i + 1) {
-                if !self.servers[j].trusted {
+                if !self.servers[j].trusted || self.corrupted[j].is_some() {
                     continue;
                 }
                 let Some(b) = *b else { continue };
@@ -475,18 +541,26 @@ impl Oracle {
         event: usize,
     ) {
         let tol = self.tol() + envelope.slack;
-        // E_M stand-in: the most accurate trusted server right now.
+        // E_M stand-in: the most accurate trusted (and uncorrupted)
+        // server right now.
         let Some(e_min) = states
             .iter()
             .zip(&self.servers)
-            .filter_map(|(s, v)| if v.trusted { s.map(|s| s.error) } else { None })
+            .enumerate()
+            .filter_map(|(i, (s, v))| {
+                if v.trusted && self.corrupted[i].is_none() {
+                    s.map(|s| s.error)
+                } else {
+                    None
+                }
+            })
             .min()
         else {
             return;
         };
 
         for i in 0..states.len() {
-            if !self.servers[i].trusted {
+            if !self.servers[i].trusted || self.corrupted[i].is_some() {
                 continue;
             }
             let Some(a) = states[i] else { continue };
@@ -509,7 +583,7 @@ impl Oracle {
             }
 
             for (j, b) in states.iter().enumerate().skip(i + 1) {
-                if !self.servers[j].trusted {
+                if !self.servers[j].trusted || self.corrupted[j].is_some() {
                     continue;
                 }
                 let Some(b) = *b else { continue };
@@ -553,7 +627,11 @@ impl Oracle {
         let view = self.servers[server];
         let event = self.rounds_checked[server];
         self.rounds_checked[server] += 1;
-        if !view.trusted {
+        // The reset event that follows this record inherits its recovery
+        // flag: unconditional (§3-style) adoptions are exempt from the
+        // f-tolerance check.
+        self.pending_recovery[server] = round.recovery;
+        if !view.trusted || self.corrupted[server].is_some() {
             return;
         }
         let tol = self.tol();
@@ -592,6 +670,98 @@ impl Oracle {
                     ),
                 });
             }
+        }
+    }
+
+    /// Checks one applied reset (a `ClockStep`/`ClockSlew` event):
+    /// under the §4 fault budget, the interval a correct server *adopts*
+    /// — centre `center`, radius `error`, applied at real time `at` —
+    /// must contain real time. Recovery adoptions (flagged by the
+    /// preceding round record) are taken on faith and exempt, as are
+    /// down, corrupted, and untrusted servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_reset(
+        &mut self,
+        server: usize,
+        at: Timestamp,
+        center: Timestamp,
+        error: Duration,
+    ) {
+        let recovery = std::mem::take(&mut self.pending_recovery[server]);
+        if !self.config.check_f_tolerant {
+            return;
+        }
+        let view = self.servers[server];
+        if !view.trusted || self.down[server] || self.corrupted[server].is_some() || recovery {
+            return;
+        }
+        self.resets_checked += 1;
+        let offset = (center - at).abs();
+        if offset > error + self.tol() {
+            self.record(Violation {
+                seed: self.seed,
+                event: self.samples_checked,
+                server,
+                theorem: TheoremId::FTolerant,
+                observed: offset.as_secs(),
+                bound: error.as_secs(),
+                detail: format!(
+                    "adopted interval (centre {center}, radius {error}) excludes real time {at}"
+                ),
+            });
+        }
+    }
+
+    /// Records that `server`'s state was transiently overwritten with
+    /// garbage (a `StateCorrupted` event): from here until the matching
+    /// [`observe_stabilized`] the per-sample families are suspended for
+    /// it and the stabilization clock runs.
+    ///
+    /// [`observe_stabilized`]: Oracle::observe_stabilized
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_corruption(&mut self, server: usize, at: Timestamp) {
+        self.lifecycle_checked += 1;
+        self.last_real = self.last_real.max(at);
+        self.corrupted[server] = Some(at);
+        // The growth baseline is garbage now too.
+        self.prev[server] = None;
+    }
+
+    /// Records that `server` declared itself stabilized `elapsed` after
+    /// its corruption: the window must respect the configured bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn observe_stabilized(&mut self, server: usize, at: Timestamp, elapsed: Duration) {
+        self.lifecycle_checked += 1;
+        self.last_real = self.last_real.max(at);
+        self.corrupted[server] = None;
+        // Fresh start for the growth check: the pre-corruption baseline
+        // is ancient history.
+        self.prev[server] = None;
+        let Some(bound) = self.config.stabilization_bound else {
+            return;
+        };
+        if !self.servers[server].trusted {
+            return;
+        }
+        if elapsed > bound + self.tol() {
+            self.record(Violation {
+                seed: self.seed,
+                event: self.samples_checked,
+                server,
+                theorem: TheoremId::Stabilization,
+                observed: elapsed.as_secs(),
+                bound: bound.as_secs(),
+                detail: format!("stabilized only {elapsed} after the corruption"),
+            });
         }
     }
 
@@ -706,15 +876,38 @@ impl Oracle {
         }
     }
 
-    /// Consumes the oracle and returns its findings.
+    /// Consumes the oracle and returns its findings. A server still
+    /// corrupted at the end of the run — its stabilization never came —
+    /// is flagged here if the stabilization family is armed.
     #[must_use]
-    pub fn finish(self) -> OracleReport {
+    pub fn finish(mut self) -> OracleReport {
+        if let Some(bound) = self.config.stabilization_bound {
+            for i in 0..self.servers.len() {
+                let Some(since) = self.corrupted[i] else {
+                    continue;
+                };
+                if !self.servers[i].trusted {
+                    continue;
+                }
+                let outstanding = (self.last_real - since).max(Duration::ZERO);
+                self.record(Violation {
+                    seed: self.seed,
+                    event: self.samples_checked,
+                    server: i,
+                    theorem: TheoremId::Stabilization,
+                    observed: outstanding.as_secs(),
+                    bound: bound.as_secs(),
+                    detail: format!("never stabilized: corrupted since {since}"),
+                });
+            }
+        }
         OracleReport {
             violations: self.violations,
             total_violations: self.total_violations,
             samples_checked: self.samples_checked,
             rounds_checked: self.rounds_checked.iter().sum(),
             lifecycle_checked: self.lifecycle_checked,
+            resets_checked: self.resets_checked,
         }
     }
 }
@@ -732,6 +925,8 @@ pub struct OracleReport {
     pub rounds_checked: usize,
     /// Crash–restart lifecycle events observed.
     pub lifecycle_checked: usize,
+    /// Applied resets put through the §4 `f`-tolerance check.
+    pub resets_checked: usize,
 }
 
 impl OracleReport {
@@ -1156,6 +1351,112 @@ mod tests {
         o.observe_sample(ts(10.0), &[state(10.0, 0.01)]);
         o.observe_bootstrap_complete(0, 99);
         assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn adoption_excluding_real_time_violates_f_tolerance() {
+        let mut o = Oracle::new(13, OracleConfig::safety().f_tolerant(), views(1));
+        // Sound adoption: centre 30.02 with radius 50 ms contains 30.0.
+        o.observe_reset(0, ts(30.0), ts(30.02), dur(0.05));
+        // A colluding clique beyond the budget drags the hull off true
+        // time: centre 30.5 with radius 10 ms excludes 30.0.
+        o.observe_reset(0, ts(30.0), ts(30.5), dur(0.01));
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::FTolerant);
+        assert_eq!(v.seed, 13);
+        assert_eq!(report.total_violations, 1);
+        assert_eq!(report.resets_checked, 2);
+    }
+
+    #[test]
+    fn f_tolerance_exempts_recovery_down_and_unarmed() {
+        // Unarmed: nothing is checked at all.
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(1));
+        o.observe_reset(0, ts(30.0), ts(40.0), dur(0.01));
+        let report = o.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.resets_checked, 0);
+        // Recovery adoptions are taken on faith.
+        let mut o = Oracle::new(0, OracleConfig::safety().f_tolerant(), views(1));
+        o.observe_round(
+            0,
+            &RoundObservation {
+                clock: ts(30.0),
+                error_before: dur(0.01),
+                error_after: Some(dur(0.5)),
+                input_widths: vec![],
+                recovery: true,
+            },
+        );
+        o.observe_reset(0, ts(30.0), ts(40.0), dur(0.01));
+        // … but only the one immediately following the recovery record.
+        o.observe_reset(0, ts(50.0), ts(60.0), dur(0.01));
+        let report = o.finish();
+        assert_eq!(report.total_violations, 1);
+        // A down server's bootstrap resets are not adoption decisions.
+        let mut o = Oracle::new(0, OracleConfig::safety().f_tolerant(), views(1));
+        o.observe_crash(0);
+        o.observe_restart(0, true);
+        o.observe_reset(0, ts(30.0), ts(40.0), dur(0.01));
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn corruption_window_suspends_sample_checks() {
+        let mut o = Oracle::new(0, OracleConfig::safety(), views(2));
+        o.observe_sample(ts(10.0), &[state(10.0, 0.01), state(10.0, 0.01)]);
+        o.observe_corruption(1, ts(15.0));
+        // Server 1 is 40 s off with a tiny claim — correctness, growth,
+        // and consistency would all fire, but the window exempts it.
+        o.observe_sample(ts(20.0), &[state(20.0, 0.011), state(60.0, 0.001)]);
+        o.observe_stabilized(1, ts(25.0), dur(10.0));
+        o.observe_sample(ts(30.0), &[state(30.0, 0.012), state(30.0, 0.02)]);
+        let report = o.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn slow_stabilization_is_flagged() {
+        let cfg = OracleConfig::safety().stabilization(dur(30.0));
+        let mut o = Oracle::new(17, cfg, views(1));
+        o.observe_corruption(0, ts(100.0));
+        o.observe_stabilized(0, ts(145.0), dur(45.0));
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::Stabilization);
+        assert_eq!(v.seed, 17);
+        assert!(v.observed > v.bound);
+    }
+
+    #[test]
+    fn stabilization_within_bound_is_clean() {
+        let cfg = OracleConfig::safety().stabilization(dur(30.0));
+        let mut o = Oracle::new(0, cfg, views(1));
+        o.observe_corruption(0, ts(100.0));
+        o.observe_stabilized(0, ts(112.0), dur(12.0));
+        assert!(o.finish().is_clean());
+    }
+
+    #[test]
+    fn never_stabilizing_is_flagged_at_finish() {
+        let cfg = OracleConfig::safety().stabilization(dur(30.0));
+        let mut o = Oracle::new(0, cfg, views(2));
+        o.observe_corruption(1, ts(100.0));
+        o.observe_sample(ts(200.0), &[state(200.0, 0.01), state(260.0, 0.001)]);
+        let report = o.finish();
+        let v = report.first().expect("violation");
+        assert_eq!(v.theorem, TheoremId::Stabilization);
+        assert_eq!(v.server, 1);
+        assert!(v.detail.contains("never stabilized"), "{}", v.detail);
+        // ~100 s outstanding against a 30 s bound.
+        assert!(v.observed > v.bound);
+    }
+
+    #[test]
+    fn new_theorem_ids_cite_the_paper() {
+        assert!(TheoremId::FTolerant.paper_ref().contains("4"));
+        assert!(TheoremId::Stabilization.paper_ref().contains("5"));
     }
 
     #[test]

@@ -61,6 +61,59 @@ pub enum ServerFaultKind {
         /// claim perfection, `1.0` = honest error, skewed clock only).
         error_shrink: f64,
     },
+    /// A two-faced liar: the lie's *sign* depends on who is asking, so
+    /// different peers receive inconsistent intervals from the same
+    /// round. Peers with even node index are told a clock ahead by
+    /// `clock_skew`, odd-index peers one behind, and both see the error
+    /// shrunk by `error_shrink`. This is the classic Byzantine
+    /// behaviour that symmetric-lie models miss: no single corrected
+    /// interval describes what the liar said.
+    TwoFaced {
+        /// Magnitude of the skew; its sign flips per recipient.
+        clock_skew: Duration,
+        /// Factor in `[0, 1]` applied to the reported error.
+        error_shrink: f64,
+    },
+    /// A colluding liar: servers sharing the same `clique` bitmask
+    /// coordinate a *uniform* lie (same skew, same shrunk error)
+    /// against everyone outside the clique, while answering fellow
+    /// clique members honestly. A clique of size `> f` presents the
+    /// victim's Marzullo sweep with a coherent false cluster that can
+    /// outvote the honest sources — the attack the `f`-tolerant
+    /// intersection is provably unable to survive once its fault
+    /// budget is exceeded.
+    Collude {
+        /// Bitmask over node indices naming the colluders.
+        clique: u64,
+        /// Skew all colluders apply towards outsiders.
+        clock_skew: Duration,
+        /// Factor in `[0, 1]` applied to the reported error.
+        error_shrink: f64,
+    },
+    /// An adaptive liar: the lie is crafted *online* against the
+    /// requesting victim's current `(r, ε)`, as remembered from the
+    /// victim's last exchange with this server. The reply claims a
+    /// confident interval (own error times `error_shrink`) positioned
+    /// just inside the far edge of the victim's aged interval — the
+    /// most displaced claim that remains individually plausible to the
+    /// victim, maximally shifting the Marzullo hull it enters. With no
+    /// recorded estimate for the victim the server answers honestly.
+    AdversarialLie {
+        /// Factor in `[0, 1]` applied to the reported error.
+        error_shrink: f64,
+    },
+    /// A transient state corruption (the self-stabilization probe): at
+    /// the trigger time the server's `(r, ε, reset-t)` and peer-health
+    /// tables are overwritten with seeded garbage — no crash, no
+    /// bootstrap, the server keeps serving and synchronising from the
+    /// corrupted state. The §5 machinery (consistency screening plus
+    /// the next MM/Marzullo round) is what must pull it back; the
+    /// oracle's `Stabilization` check measures how long that takes.
+    CorruptState {
+        /// Seed for the garbage generator, so corruption storms are
+        /// reproducible.
+        seed: u64,
+    },
     /// An injected *implementation bug*, not a Byzantine behaviour: the
     /// server's rule MM-2 adoption guard is weakened so that it adopts a
     /// consistent peer estimate whose adjusted error exceeds its own by
@@ -100,6 +153,24 @@ impl fmt::Display for ServerFaultKind {
                 clock_skew,
                 error_shrink,
             } => write!(f, "lie (skew {clock_skew}, error x{error_shrink})"),
+            ServerFaultKind::TwoFaced {
+                clock_skew,
+                error_shrink,
+            } => write!(f, "two-faced (±{clock_skew}, error x{error_shrink})"),
+            ServerFaultKind::Collude {
+                clique,
+                clock_skew,
+                error_shrink,
+            } => write!(
+                f,
+                "collude (clique {clique:#b}, skew {clock_skew}, error x{error_shrink})"
+            ),
+            ServerFaultKind::AdversarialLie { error_shrink } => {
+                write!(f, "adversarial lie (error x{error_shrink})")
+            }
+            ServerFaultKind::CorruptState { seed } => {
+                write!(f, "corrupt state (seed {seed})")
+            }
             ServerFaultKind::WeakenAdoption { slack } => {
                 write!(f, "weakened adoption (slack {slack})")
             }
@@ -230,6 +301,96 @@ impl ServerFault {
         }
     }
 
+    /// The server turns two-faced at `at`: even-index peers are told a
+    /// clock ahead by `clock_skew`, odd-index peers one behind, both
+    /// with the error shrunk by `error_shrink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `error_shrink` is in `[0, 1]` or if `clock_skew`
+    /// is negative (the sign is per-recipient; pass the magnitude).
+    #[must_use]
+    pub fn two_faced_from(at: Timestamp, clock_skew: Duration, error_shrink: f64) -> Self {
+        assert!(
+            error_shrink.is_finite() && (0.0..=1.0).contains(&error_shrink),
+            "error shrink must be in [0, 1], got {error_shrink}"
+        );
+        assert!(
+            !clock_skew.is_negative(),
+            "two-faced skew is a magnitude and must be non-negative, got {clock_skew}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::TwoFaced {
+                clock_skew,
+                error_shrink,
+            },
+        }
+    }
+
+    /// The server joins a colluding clique at `at`: the node indices
+    /// set in `clique` answer each other honestly and tell everyone
+    /// else the same coordinated lie (`clock_skew`, `error_shrink`).
+    /// Give every colluder the same `clique` mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `error_shrink` is in `[0, 1]` or if the clique
+    /// mask is empty.
+    #[must_use]
+    pub fn collude_from(
+        at: Timestamp,
+        clique: u64,
+        clock_skew: Duration,
+        error_shrink: f64,
+    ) -> Self {
+        assert!(
+            error_shrink.is_finite() && (0.0..=1.0).contains(&error_shrink),
+            "error shrink must be in [0, 1], got {error_shrink}"
+        );
+        assert!(clique != 0, "a colluding clique needs at least one member");
+        ServerFault {
+            at,
+            kind: ServerFaultKind::Collude {
+                clique,
+                clock_skew,
+                error_shrink,
+            },
+        }
+    }
+
+    /// The server starts crafting adaptive lies at `at`: each reply is
+    /// positioned against the requester's last-known `(r, ε)` to be
+    /// maximally displaced yet individually plausible, claiming an
+    /// error shrunk by `error_shrink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `error_shrink` is in `[0, 1]`.
+    #[must_use]
+    pub fn adversarial_from(at: Timestamp, error_shrink: f64) -> Self {
+        assert!(
+            error_shrink.is_finite() && (0.0..=1.0).contains(&error_shrink),
+            "error shrink must be in [0, 1], got {error_shrink}"
+        );
+        ServerFault {
+            at,
+            kind: ServerFaultKind::AdversarialLie { error_shrink },
+        }
+    }
+
+    /// The server's state is overwritten with garbage drawn from
+    /// `seed` at real time `at` — a transient fault with no crash: the
+    /// server keeps serving from the corrupted `(r, ε, reset-t)` and
+    /// health tables until the protocol pulls it back.
+    #[must_use]
+    pub fn corrupt_at(at: Timestamp, seed: u64) -> Self {
+        ServerFault {
+            at,
+            kind: ServerFaultKind::CorruptState { seed },
+        }
+    }
+
     /// The server's MM-2 adoption guard is weakened by `slack` from
     /// real time `at` (a bug-injection probe for the theorem oracle).
     ///
@@ -265,19 +426,27 @@ impl ServerFault {
     }
 
     /// Whether this fault breaks the theorems' *assumptions* (terminal
-    /// crash, omission, lying). Two kinds do not:
+    /// crash, omission, lying in any tier — simple, two-faced,
+    /// colluding, or adaptive). Three kinds do not:
     /// [`ServerFaultKind::WeakenAdoption`] is a bug in the
     /// synchronisation logic of an otherwise honest server, exactly
-    /// what an invariant checker exists to catch; and a crash *with a
+    /// what an invariant checker exists to catch; a crash *with a
     /// restart schedule* is fail-recovery — the server is silent while
     /// down and rejoins through stable storage (rule MM-1 holds across
     /// the downtime) or the §5 bootstrap, so the theorems should hold
-    /// for it whenever it serves the time.
+    /// for it whenever it serves the time; and
+    /// [`ServerFaultKind::CorruptState`] is a *transient* fault in the
+    /// self-stabilization sense — the server never lies deliberately,
+    /// and once the protocol has pulled it back to a legitimate state
+    /// the theorems must hold again (the oracle exempts it only for
+    /// the corruption window).
     #[must_use]
     pub fn is_byzantine(&self) -> bool {
         !matches!(
             self.kind,
-            ServerFaultKind::WeakenAdoption { .. } | ServerFaultKind::Crash { restart: Some(_) }
+            ServerFaultKind::WeakenAdoption { .. }
+                | ServerFaultKind::Crash { restart: Some(_) }
+                | ServerFaultKind::CorruptState { .. }
         )
     }
 }
@@ -401,5 +570,70 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn bad_error_shrink_rejected() {
         let _ = ServerFault::lie_from(ts(0.0), Duration::ZERO, -0.1);
+    }
+
+    #[test]
+    fn byzantine_tier_constructors_set_kind() {
+        assert_eq!(
+            ServerFault::two_faced_from(ts(5.0), Duration::from_secs(0.02), 0.5).kind,
+            ServerFaultKind::TwoFaced {
+                clock_skew: Duration::from_secs(0.02),
+                error_shrink: 0.5
+            }
+        );
+        assert_eq!(
+            ServerFault::collude_from(ts(5.0), 0b1100, Duration::from_secs(0.02), 0.1).kind,
+            ServerFaultKind::Collude {
+                clique: 0b1100,
+                clock_skew: Duration::from_secs(0.02),
+                error_shrink: 0.1
+            }
+        );
+        assert_eq!(
+            ServerFault::adversarial_from(ts(5.0), 0.2).kind,
+            ServerFaultKind::AdversarialLie { error_shrink: 0.2 }
+        );
+        assert_eq!(
+            ServerFault::corrupt_at(ts(5.0), 42).kind,
+            ServerFaultKind::CorruptState { seed: 42 }
+        );
+    }
+
+    #[test]
+    fn lie_tiers_are_byzantine_but_corruption_is_not() {
+        assert!(ServerFault::two_faced_from(ts(1.0), Duration::ZERO, 1.0).is_byzantine());
+        assert!(ServerFault::collude_from(ts(1.0), 0b1, Duration::ZERO, 1.0).is_byzantine());
+        assert!(ServerFault::adversarial_from(ts(1.0), 0.5).is_byzantine());
+        assert!(!ServerFault::corrupt_at(ts(1.0), 7).is_byzantine());
+    }
+
+    #[test]
+    fn byzantine_tier_display_names_the_modes() {
+        let two = ServerFault::two_faced_from(ts(1.0), Duration::from_secs(0.02), 0.5);
+        assert!(two.kind.to_string().contains("two-faced"));
+        let col = ServerFault::collude_from(ts(1.0), 0b110, Duration::from_secs(0.02), 0.1);
+        let text = col.kind.to_string();
+        assert!(text.contains("collude") && text.contains("0b110"), "{text}");
+        assert!(ServerFault::adversarial_from(ts(1.0), 0.2)
+            .kind
+            .to_string()
+            .contains("adversarial"));
+        let corrupt = ServerFault::corrupt_at(ts(1.0), 42).kind.to_string();
+        assert!(
+            corrupt.contains("corrupt") && corrupt.contains("42"),
+            "{corrupt}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_clique_rejected() {
+        let _ = ServerFault::collude_from(ts(0.0), 0, Duration::ZERO, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_two_faced_skew_rejected() {
+        let _ = ServerFault::two_faced_from(ts(0.0), Duration::from_secs(-1.0), 0.5);
     }
 }

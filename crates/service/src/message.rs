@@ -28,6 +28,12 @@ pub enum Message {
     /// `T3`). In this simulator servers answer instantaneously, so
     /// `T2 = T3`, but the wire format carries both for real
     /// deployments with processing delay.
+    ///
+    /// Nothing in the format proves two recipients were told the same
+    /// thing: under a Byzantine fault (`ServerFaultKind::TwoFaced`,
+    /// `::Collude`, `::AdversarialLie`) the `estimate` may be crafted
+    /// per destination, which is precisely why requesters screen
+    /// replies rather than trust them.
     TimeReply {
         /// Correlation id copied from the request.
         request_id: u64,

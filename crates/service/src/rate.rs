@@ -93,6 +93,22 @@ impl RateMonitor {
         self.samples.remove(&peer);
     }
 
+    /// Translates every retained own-clock reading by `delta`.
+    ///
+    /// Rates are measured against our own clock, so when that clock is
+    /// *stepped* (an adoption applied in step mode) the retained
+    /// readings must move with it — otherwise the step masquerades as
+    /// an instantaneous change in every neighbour's rate, and a
+    /// consonant neighbour can be flagged dissonant (or a dissonant one
+    /// masked) for a whole window.
+    pub fn rebase(&mut self, delta: Duration) {
+        for samples in self.samples.values_mut() {
+            for s in samples.iter_mut() {
+                s.own += delta;
+            }
+        }
+    }
+
     /// The estimated separation rate `d/dt (C_peer − C_own)` for
     /// `peer`, with its uncertainty, or `None` while the baseline is
     /// too short.

@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use tempo_clocks::{ClockDiscipline, DisciplineConfig, SimClock};
 use tempo_core::bounds::mm2_adjusted_error;
@@ -46,6 +47,9 @@ const TIMER_CRASH: u64 = 5;
 const TIMER_RESTART: u64 = 6;
 /// Timer tag: close the current bootstrap collection round.
 const TIMER_BOOT_ROUND: u64 = 7;
+/// Timer tag: the armed state-corruption instant
+/// (see [`ServerFaultKind::CorruptState`]).
+const TIMER_CORRUPT: u64 = 8;
 /// Round timers carry the lifecycle epoch in their high bits so a resync
 /// chain armed before a crash dies instead of doubling up with the chain
 /// the restart starts.
@@ -263,6 +267,10 @@ pub struct TimeServer {
     /// The freshest processed estimate per peer (with the own-clock
     /// reading at receipt) — the §5 screen applied to recovery replies.
     recent_estimates: HashMap<NodeId, (TimeEstimate, Timestamp)>,
+    /// When a [`ServerFaultKind::CorruptState`] fault scrambled this
+    /// server's state, until the first adoption that passes the §5
+    /// consistency screen declares it stabilized again.
+    corrupted_at: Option<Timestamp>,
 }
 
 impl TimeServer {
@@ -332,6 +340,7 @@ impl TimeServer {
             boot_replies: Vec::new(),
             boot_rounds: 0,
             recent_estimates: HashMap::new(),
+            corrupted_at: None,
         }
     }
 
@@ -417,6 +426,14 @@ impl TimeServer {
         self.health.state(peer)
     }
 
+    /// When a [`ServerFaultKind::CorruptState`] fault scrambled this
+    /// server's state and it has not yet stabilized, the corruption
+    /// instant; `None` otherwise.
+    #[must_use]
+    pub fn corrupted_since(&self) -> Option<Timestamp> {
+        self.corrupted_at
+    }
+
     /// The armed server fault's kind, if it has triggered by `now`.
     fn fault_kind(&self, now: Timestamp) -> Option<ServerFaultKind> {
         self.config
@@ -437,6 +454,50 @@ impl TimeServer {
         base | (u64::from(self.epoch) << TIMER_EPOCH_SHIFT)
     }
 
+    /// Moves every own-clock landmark by `delta` after the clock was
+    /// *stepped* by that much.
+    ///
+    /// The protocol measures elapsed own-time between landmarks — a
+    /// request's `send_clock` against "now" is the round-trip `ξ` that
+    /// rule MM-2 widens an adopted error by, buffered replies age from
+    /// their `recv_clock`, the §5 screens age cached neighbour claims
+    /// from their record marks. A step tears that timescale: with a
+    /// backward step larger than the remaining flight time, an
+    /// in-flight request's measured round-trip clamps to zero and the
+    /// reply is adopted with *no* delay widening — an interval that can
+    /// exclude real time (a genuine Theorem 1 break, found by the E17
+    /// fuzzer). Translating the landmarks by the step keeps every
+    /// elapsed-time computation denominated in the post-step timescale.
+    fn rebase_clock_marks(&mut self, delta: Duration) {
+        if delta == Duration::ZERO {
+            return;
+        }
+        for p in self.pending.values_mut() {
+            p.send_clock += delta;
+            if let Some(deadline) = p.deadline_clock.as_mut() {
+                *deadline += delta;
+            }
+        }
+        for b in &mut self.round_replies {
+            b.send_clock += delta;
+            b.recv_clock += delta;
+        }
+        for (_, seen_clock) in self.recent_estimates.values_mut() {
+            *seen_clock += delta;
+        }
+        for (_, send_clock) in self.boot_pending.values_mut() {
+            *send_clock += delta;
+        }
+        for b in &mut self.boot_replies {
+            b.send_clock += delta;
+            b.recv_clock += delta;
+        }
+        self.round_start_clock += delta;
+        if let Some(rates) = &mut self.rates {
+            rates.rebase(delta);
+        }
+    }
+
     /// Applies an accepted reset: sets the hardware clock, reads it back
     /// (the read-back is what keeps the MM-1 state honest even when the
     /// clock refuses the set — see `FaultKind::RefuseSet`), and replaces
@@ -448,6 +509,7 @@ impl TimeServer {
                 let _ = self.clock.set(now, reset.new_clock);
                 let actual = self.clock.read(now);
                 self.state.reset(actual, reset.new_error);
+                self.rebase_clock_marks(actual - before);
                 self.bus
                     .emit_with(TelemetryKind::ClockStep, || TelemetryEvent::ClockStep {
                         at: now,
@@ -486,6 +548,30 @@ impl TimeServer {
             reset_at: now,
         });
         self.stats.resets += 1;
+        // Self-stabilization exit: a corrupted server counts as
+        // recovered once an adopted `(r_i, ε_i)` again agrees with the
+        // majority of what the neighbourhood said recently — the same
+        // §5 screen that vets recovery replies, aimed at ourselves.
+        // Unlike the recovery screen, the exit is *not* vacuously
+        // satisfied by an empty record set: with nothing fresh on
+        // record there is no evidence the garbage is gone, so the
+        // server stays flagged until the neighbourhood has spoken.
+        if let Some(since) = self.corrupted_at {
+            let reading = self.state.last_reset();
+            let adopted = self.state.estimate_at(reading);
+            if !self.recent_estimates.is_empty()
+                && self.consistent_with_recent(None, &adopted, reading)
+            {
+                let elapsed = (now - since).max(Duration::ZERO);
+                self.corrupted_at = None;
+                self.bus
+                    .emit_with(TelemetryKind::Stabilized, || TelemetryEvent::Stabilized {
+                        at: now,
+                        server: self.me,
+                        elapsed,
+                    });
+            }
+        }
     }
 
     /// Enters the service: from here on the server answers requests and
@@ -891,11 +977,25 @@ impl TimeServer {
         proposal: &TimeEstimate,
         clock_now: Timestamp,
     ) -> bool {
+        self.consistent_with_recent(Some(target), proposal, clock_now)
+    }
+
+    /// The screen behind [`Self::recovery_consistent`], reusable for the
+    /// self-stabilization exit: does `proposal` intersect at least half
+    /// of the freshest per-peer estimates (aged to `clock_now`),
+    /// skipping `exclude` when the proposal originated there? With
+    /// nothing on record there is nothing to disagree with.
+    fn consistent_with_recent(
+        &self,
+        exclude: Option<NodeId>,
+        proposal: &TimeEstimate,
+        clock_now: Timestamp,
+    ) -> bool {
         let widen_rate = 2.0 * self.config.drift_bound.as_f64();
         let mut consistent = 0usize;
         let mut total = 0usize;
         for (&peer, &(estimate, seen_clock)) in &self.recent_estimates {
-            if peer == target {
+            if Some(peer) == exclude {
                 continue;
             }
             let age = (clock_now - seen_clock).max(Duration::ZERO);
@@ -951,6 +1051,78 @@ impl TimeServer {
         self.send_request(peer, 0, true, ctx);
         self.recovering = true;
         self.stats.recoveries_started += 1;
+    }
+
+    /// The scheduled state corruption: a transient fault overwrites the
+    /// rule MM-1 state `(r_i, ε_i)`, the stable store, and the health
+    /// tables with seeded garbage. Unlike a crash the server *keeps
+    /// serving* — its replies are garbage until the next adoption that
+    /// passes the §5 screen, which is exactly the self-stabilization
+    /// window the oracle bounds.
+    fn corrupt_state(&mut self, ctx: &mut Context<'_, Message>) {
+        let Some(ServerFaultKind::CorruptState { seed }) = self.config.fault.map(|f| f.kind) else {
+            return;
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let now = ctx.now();
+        // Garbage clock: the hardware clock jumps 1–50 s either way, and
+        // the claimed error shrinks or balloons to anywhere in
+        // [1 ms, 10 s] — an arbitrary state in the self-stabilization
+        // sense, not merely a large one.
+        let magnitude = Duration::from_secs(rng.random_range(1.0..50.0));
+        let offset = if rng.random_bool(0.5) {
+            magnitude
+        } else {
+            -magnitude
+        };
+        let garbage_error = Duration::from_secs(rng.random_range(0.001..10.0));
+        let raw = self.clock.read(now);
+        let _ = self.clock.set(now, raw + offset);
+        let served = self.reading(now);
+        self.state.reset(served, garbage_error);
+        // The corruption reaches stable storage too: a durable restart
+        // inside the window would rehydrate garbage, exactly as a real
+        // memory fault that was checkpointed before detection.
+        self.store.persist(PersistedState {
+            reset_clock: served,
+            inherited_error: garbage_error,
+            reset_at: now,
+        });
+        // Scramble the health tables: bursts of phantom timeouts can
+        // bury perfectly healthy peers, so recovery must claw back from
+        // a poisoned view of the neighbourhood as well.
+        let peers: Vec<NodeId> = ctx.neighbors().to_vec();
+        for peer in peers {
+            for _ in 0..rng.random_range(0..8u32) {
+                let _ = self.health.record_timeout(peer);
+            }
+        }
+        // The neighbour-estimate cache is part of the clobbered tables.
+        // Wiping it also closes a subtle hole in the stabilization
+        // screen: cached estimates age by *own-clock* deltas, so a
+        // clock jump would translate every pre-jump record along with
+        // the garbage and make the corrupted state look "consistent"
+        // with the neighbourhood. Only post-corruption records, taken
+        // against the jumped clock, are correctly denominated.
+        self.recent_estimates.clear();
+        // In-flight request marks are torn by the jump the same way
+        // (a pre-jump `send_clock` against the jumped clock is a
+        // garbage round-trip, and rule MM-2 widens by exactly that
+        // measurement). Unlike an adoption step the jump is not a
+        // known, compensable quantity — the state is arbitrary — so
+        // the marks are dropped, and replies to pre-corruption
+        // requests count as late.
+        self.pending.clear();
+        self.round_replies.clear();
+        self.corrupted_at = Some(now);
+        self.bus.emit_with(TelemetryKind::StateCorrupted, || {
+            TelemetryEvent::StateCorrupted {
+                at: now,
+                server: self.me,
+                clock: served,
+                error: garbage_error,
+            }
+        });
     }
 
     /// The scheduled crash: the server goes deaf and mute and loses all
@@ -1395,11 +1567,17 @@ impl Actor for TimeServer {
         if let Some(leave) = self.config.leave_after {
             ctx.set_timer(leave, TIMER_LEAVE);
         }
-        // A scheduled crash becomes a timer: the lifecycle machine (not
-        // a per-message check) takes the server down.
+        // A scheduled crash or state corruption becomes a timer: the
+        // lifecycle machine (not a per-message check) fires the fault.
         if let Some(fault) = self.config.fault {
-            if matches!(fault.kind, ServerFaultKind::Crash { .. }) {
-                ctx.set_timer((fault.at - ctx.now()).max(Duration::ZERO), TIMER_CRASH);
+            match fault.kind {
+                ServerFaultKind::Crash { .. } => {
+                    ctx.set_timer((fault.at - ctx.now()).max(Duration::ZERO), TIMER_CRASH);
+                }
+                ServerFaultKind::CorruptState { .. } => {
+                    ctx.set_timer((fault.at - ctx.now()).max(Duration::ZERO), TIMER_CORRUPT);
+                }
+                _ => {}
             }
         }
     }
@@ -1449,19 +1627,73 @@ impl Actor for TimeServer {
                 // Rule MM-1: reply with ⟨C_i(t), E_i(t)⟩. Handling is
                 // instantaneous here, so T2 = T3 = the same reading.
                 let mut estimate = self.current_estimate(ctx.now());
-                if let Some(ServerFaultKind::Lie {
-                    clock_skew,
-                    error_shrink,
-                }) = fault
-                {
-                    // The liar reports a skewed clock under a shrunken
-                    // error claim — its advertised interval can exclude
-                    // true time entirely. Its own synchronisation is
-                    // untouched; it lies only to others.
-                    estimate = TimeEstimate::new(
-                        estimate.time() + clock_skew,
-                        estimate.error() * error_shrink,
-                    );
+                match fault {
+                    Some(ServerFaultKind::Lie {
+                        clock_skew,
+                        error_shrink,
+                    }) => {
+                        // The liar reports a skewed clock under a
+                        // shrunken error claim — its advertised interval
+                        // can exclude true time entirely. Its own
+                        // synchronisation is untouched; it lies only to
+                        // others.
+                        estimate = TimeEstimate::new(
+                            estimate.time() + clock_skew,
+                            estimate.error() * error_shrink,
+                        );
+                    }
+                    Some(ServerFaultKind::TwoFaced {
+                        clock_skew,
+                        error_shrink,
+                    }) => {
+                        // The two-faced liar tells half the service the
+                        // clock is fast and the other half it is slow —
+                        // the classic Byzantine split that a single
+                        // shared lie cannot produce.
+                        let signed = if from.index().is_multiple_of(2) {
+                            clock_skew
+                        } else {
+                            -clock_skew
+                        };
+                        estimate = TimeEstimate::new(
+                            estimate.time() + signed,
+                            estimate.error() * error_shrink,
+                        );
+                    }
+                    // Colluders stay honest among themselves (their
+                    // mutual screens see nothing) and feed everyone
+                    // outside the clique the same coordinated lie.
+                    Some(ServerFaultKind::Collude {
+                        clique,
+                        clock_skew,
+                        error_shrink,
+                    }) if clique & (1u64 << from.index()) == 0 => {
+                        estimate = TimeEstimate::new(
+                            estimate.time() + clock_skew,
+                            estimate.error() * error_shrink,
+                        );
+                    }
+                    Some(ServerFaultKind::AdversarialLie { error_shrink }) => {
+                        // Craft the lie against the victim's remembered
+                        // `(r, ε)`: place a narrow interval just inside
+                        // the upper edge of what the victim currently
+                        // believes, so it passes intersection screens
+                        // while dragging the victim as far as a single
+                        // faulty source can. With nothing remembered
+                        // about the victim, answer honestly and wait.
+                        let remembered = self.recent_estimates.get(&from).copied();
+                        if let Some((victim, seen_clock)) = remembered {
+                            let clock_now = self.reading(ctx.now());
+                            let age = (clock_now - seen_clock).max(Duration::ZERO);
+                            let widen = 2.0 * self.config.drift_bound.as_f64();
+                            let victim_time = victim.time() + age;
+                            let victim_error = victim.error() + age * widen;
+                            let lie_error = estimate.error() * error_shrink;
+                            let pull = (victim_error - lie_error) * 0.9;
+                            estimate = TimeEstimate::new(victim_time + pull, lie_error);
+                        }
+                    }
+                    _ => {}
                 }
                 ctx.send(
                     from,
@@ -1518,7 +1750,8 @@ impl Actor for TimeServer {
             }
             TIMER_CRASH if self.lifecycle != Lifecycle::Crashed => self.crash(ctx),
             TIMER_RESTART if self.lifecycle == Lifecycle::Crashed => self.restart(ctx),
-            TIMER_CRASH | TIMER_RESTART => {}
+            TIMER_CORRUPT if self.is_active() => self.corrupt_state(ctx),
+            TIMER_CRASH | TIMER_RESTART | TIMER_CORRUPT => {}
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
     }
@@ -1582,6 +1815,60 @@ mod tests {
             assert!(s.stats().rounds >= 2);
             assert!(s.stats().replies >= 1);
         }
+    }
+
+    #[test]
+    fn clock_step_rebases_inflight_marks() {
+        // A reply's round-trip is measured as elapsed *own* clock since
+        // the request's send mark. If an adoption steps the clock
+        // backward mid-flight by more than the remaining flight time,
+        // an un-rebased mark makes the measured ξ clamp to zero — and
+        // rule MM-2 then adopts with no delay widening (a genuine
+        // Theorem 1 break, found by the E17 fuzzer at seed 37).
+        let mut s = server(0.0, base_config(Strategy::Mm), 9);
+        let t0 = ts(100.0);
+        let send_clock = s.reading(t0);
+        s.pending.insert(
+            7,
+            Pending {
+                peer: NodeId::new(1),
+                send_clock,
+                round: 1,
+                recovery: false,
+                attempt: 0,
+                deadline_clock: Some(send_clock + dur(1.0)),
+            },
+        );
+        s.recent_estimates.insert(
+            NodeId::new(2),
+            (TimeEstimate::new(send_clock, dur(0.01)), send_clock),
+        );
+        // 9 ms into the flight an adoption steps the clock back 50 ms.
+        let t1 = ts(100.009);
+        let target = s.reading(t1) - dur(0.050);
+        s.apply_reset(
+            t1,
+            Reset {
+                new_clock: target,
+                new_error: dur(0.005),
+            },
+        );
+        let p = s.pending[&7];
+        let rtt = s.reading(t1) - p.send_clock;
+        assert!(
+            (rtt.as_secs() - 0.009).abs() < 1e-9,
+            "measured ξ must survive the step, got {rtt}"
+        );
+        let deadline = p.deadline_clock.expect("deadline survives");
+        assert!(
+            ((deadline - send_clock).as_secs() - (1.0 - 0.050)).abs() < 1e-9,
+            "deadline moves with the step"
+        );
+        let (_, seen) = s.recent_estimates[&NodeId::new(2)];
+        assert!(
+            ((s.reading(t1) - seen).as_secs() - 0.009).abs() < 1e-9,
+            "cached-claim age must survive the step"
+        );
     }
 
     #[test]
@@ -2163,6 +2450,188 @@ mod tests {
         assert!(
             sample.true_offset.abs() < dur(10.0),
             "the 500 s lie poisoned the recovering clock: offset {}",
+            sample.true_offset
+        );
+    }
+
+    /// What a peer most recently recorded about `of`, expressed as the
+    /// claimed offset from the recorder's own clock at receipt — ≈ 0 for
+    /// an honest claim under zero drift and millisecond delays.
+    fn recorded_offset(server: &TimeServer, of: usize) -> (Duration, Duration) {
+        let (estimate, seen_clock) = server.recent_estimates[&NodeId::new(of)];
+        (estimate.time() - seen_clock, estimate.error())
+    }
+
+    #[test]
+    fn two_faced_liar_splits_its_story_by_destination() {
+        // Server 2 is two-faced: even-indexed requesters are told the
+        // clock is 5 s fast, odd-indexed ones 5 s slow. Each victim's
+        // freshest record of the liar shows its own half of the split.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            let mut config = base_config(Strategy::Mm);
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::two_faced_from(
+                    ts(0.0),
+                    dur(5.0),
+                    0.1,
+                ));
+            }
+            servers.push(server(0.0, config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.001))),
+            41,
+        );
+        world.run_until(ts(35.0));
+        let (to_even, err_even) = recorded_offset(&world.actors()[0], 2);
+        let (to_odd, err_odd) = recorded_offset(&world.actors()[1], 2);
+        assert!(to_even > dur(4.0), "even victim saw {to_even}, not +5 s");
+        assert!(to_odd < dur(-4.0), "odd victim saw {to_odd}, not -5 s");
+        assert!(err_even < dur(0.02), "the error claim was not shrunk");
+        assert!(err_odd < dur(0.02));
+    }
+
+    #[test]
+    fn colluders_lie_to_victims_but_not_to_the_clique() {
+        // Server 3 colludes with server 2 (clique bitmask {2, 3}): its
+        // replies to 0 and 1 carry a coordinated 5 s lie, while server 2
+        // is told the truth — the clique's mutual screens see nothing.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..4 {
+            let mut config = base_config(Strategy::Mm);
+            if i == 3 {
+                config = config.fault(crate::fault::ServerFault::collude_from(
+                    ts(0.0),
+                    0b1100,
+                    dur(5.0),
+                    0.1,
+                ));
+            }
+            servers.push(server(0.0, config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(4),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.001))),
+            42,
+        );
+        world.run_until(ts(35.0));
+        let (to_victim, _) = recorded_offset(&world.actors()[0], 3);
+        let (to_other_victim, _) = recorded_offset(&world.actors()[1], 3);
+        let (to_clique, _) = recorded_offset(&world.actors()[2], 3);
+        assert!(to_victim > dur(4.0), "victim 0 saw {to_victim}");
+        assert!(to_other_victim > dur(4.0), "victim 1 saw {to_other_victim}");
+        assert!(
+            to_clique.abs() < dur(0.5),
+            "the clique member was lied to: {to_clique}"
+        );
+    }
+
+    #[test]
+    fn adversarial_liar_crafts_the_lie_inside_the_victims_interval() {
+        // The adversarial liar shapes each reply against the victim's
+        // remembered `(r, ε)`: a sharply shrunken error claim placed
+        // near the upper edge of the victim's own interval, so it is
+        // consistent with what the victim believes yet pulls as hard as
+        // one faulty source can.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..3 {
+            // A loose drift bound keeps every interval tens of
+            // milliseconds wide, so the crafted pull is well clear of
+            // network-delay noise.
+            let mut config = ServerConfig::new(Strategy::Mm, DriftRate::new(2e-3))
+                .resync_period(dur(10.0))
+                .collect_window(dur(0.5))
+                .initial_error(dur(0.05))
+                .jitter(0.0);
+            if i == 2 {
+                config = config.fault(crate::fault::ServerFault::adversarial_from(ts(0.0), 0.1));
+            }
+            servers.push(server(0.0, config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(3),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.001))),
+            43,
+        );
+        world.run_until(ts(35.0));
+        let now = ts(35.0);
+        // The victims' clocks drift-free at 0.0, so any displacement
+        // from real time is the lie's doing. (The recorded offset of
+        // the liar is no pull gauge here: MM steps onto the shrunken
+        // claim at receipt, and the mark rebasing then reads the
+        // post-adoption residual — exactly zero.)
+        let pull = world.actors_mut()[0].reading(now) - now;
+        let (_, claimed_error) = recorded_offset(&world.actors()[0], 2);
+        // The lie is shifted upward but stays small (within the
+        // victim's ~50 ms interval) — nothing like the blatant 5 s of
+        // the cruder tiers.
+        assert!(
+            pull > dur(0.005),
+            "the crafted lie did not pull the victim: {pull}"
+        );
+        assert!(pull < dur(0.5), "the lie overshot the victim's interval");
+        assert!(
+            claimed_error < dur(0.02),
+            "the error claim was not shrunk: {claimed_error}"
+        );
+    }
+
+    #[test]
+    fn corruption_scrambles_state_and_stabilizes_via_the_screen() {
+        // Server 3's state is overwritten with seeded garbage at t = 50
+        // (clock jumped ≥ 1 s, garbage persisted to stable storage); it
+        // keeps serving, and the next Marzullo adoption that agrees with
+        // the neighbourhood's recent claims ends the corruption window.
+        let mut servers: Vec<TimeServer> = Vec::new();
+        for i in 0..4 {
+            let mut config = base_config(Strategy::MarzulloTolerant { max_faulty: 1 });
+            if i == 3 {
+                config = config.fault(crate::fault::ServerFault::corrupt_at(ts(50.0), 9));
+            }
+            servers.push(server(0.0, config, i));
+        }
+        let mut world = World::new(
+            servers,
+            Topology::full_mesh(4),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.001))),
+            44,
+        );
+        world.run_until(ts(50.5));
+        {
+            let now = world.now();
+            let victim = &mut world.actors_mut()[3];
+            assert_eq!(victim.corrupted_since(), Some(ts(50.0)));
+            let sample = victim.sample(now);
+            assert!(
+                sample.true_offset.abs() > dur(0.9),
+                "the garbage clock jump is missing: offset {}",
+                sample.true_offset
+            );
+            let persisted = victim.persisted().expect("store survives corruption");
+            assert_eq!(
+                persisted.reset_at,
+                ts(50.0),
+                "the garbage was not persisted"
+            );
+        }
+        world.run_until(ts(300.0));
+        let now = world.now();
+        let victim = &mut world.actors_mut()[3];
+        assert_eq!(
+            victim.corrupted_since(),
+            None,
+            "the server never stabilized: {:?}",
+            victim.stats()
+        );
+        let sample = victim.sample(now);
+        assert!(
+            sample.true_offset.abs() < dur(0.5),
+            "stabilized but still far off: {}",
             sample.true_offset
         );
     }

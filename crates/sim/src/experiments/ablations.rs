@@ -452,22 +452,29 @@ pub fn screening_ablation() -> ScreeningAblation {
 }
 
 impl ScreeningAblation {
-    /// The expected shape: without screening the subtle attacker causes
-    /// honest violations; with screening it is detected by rate and the
-    /// violations vanish.
+    /// The expected shape: screening detects the attacker by rate and
+    /// keeps every configuration violation-free; IM — which has no
+    /// fault budget — is dragged several times further off true time
+    /// without screening than with it; and Marzullo's `f`-tolerant
+    /// hull keeps honest servers correct even with screening off (the
+    /// attacker is a single faulty source within the budget).
     #[must_use]
     pub fn reproduces_shape(&self) -> bool {
-        let unscreened_hurt = self
-            .rows
-            .iter()
-            .filter(|r| !r.screening)
-            .any(|r| r.honest_violations > 0);
-        let screened_clean = self
+        let get = |screening: bool, prefix: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.screening == screening && r.strategy.starts_with(prefix))
+                .expect("A4 always runs both strategies both ways")
+        };
+        let screened_active = self
             .rows
             .iter()
             .filter(|r| r.screening)
             .all(|r| r.honest_violations == 0 && r.screened_replies > 0);
-        unscreened_hurt && screened_clean
+        let im_rescued =
+            get(false, "IM").worst_honest_offset > 2.0 * get(true, "IM").worst_honest_offset;
+        let hull_safe = get(false, "Marzullo").honest_violations == 0;
+        screened_active && im_rescued && hull_safe
     }
 }
 

@@ -25,6 +25,21 @@ use tempo_service::{ServerFault, Strategy};
 
 use crate::scenario::{Scenario, ServerSpec};
 
+/// The Byzantine tier of a generated liar: how sophisticated its lie
+/// is. Tiers are only drawn where the strategy claims to tolerate them
+/// (Marzullo with `f ≥ 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiarTier {
+    /// A fixed skewed clock under a shrunken error, told to everyone.
+    Simple,
+    /// Per-destination sign flips: half the service is told "fast",
+    /// the other half "slow".
+    TwoFaced,
+    /// A lie crafted online against each victim's remembered `(r, ε)`,
+    /// placed inside the victim's own interval to evade screens.
+    Adversarial,
+}
+
 /// One generated server.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FuzzServer {
@@ -39,6 +54,11 @@ pub struct FuzzServer {
     pub initial_offset: f64,
     /// Whether this server lies to its peers (Marzullo cases only).
     pub liar: bool,
+    /// How the server lies, when it does.
+    pub tier: LiarTier,
+    /// Whether a transient fault overwrites this server's state with
+    /// garbage mid-run (Marzullo cases with spare fault budget only).
+    pub corrupt: bool,
     /// Whether this server's MM-2 adoption guard is weakened (the
     /// bug-injection probe; never generated, armed by tests/CLI).
     pub weakened: bool,
@@ -74,17 +94,34 @@ impl FuzzCase {
     pub fn from_seed(seed: u64, horizon: f64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let n = rng.random_range(3..=6usize);
+        // The tolerated fault budget is drawn too: Marzullo with f = 0
+        // degenerates to the plain intersection, f = 2 doubles the
+        // lies a deployment must absorb.
+        let max_faulty = rng.random_range(0..=2usize);
         let strategy = match rng.random_range(0..3u32) {
             0 => Strategy::Mm,
             1 => Strategy::Im,
-            _ => Strategy::MarzulloTolerant { max_faulty: 1 },
+            _ => Strategy::MarzulloTolerant { max_faulty },
         };
-        // A lying server is only generated where the algorithm claims to
-        // tolerate it: Marzullo with f = 1 needs n ≥ 4 so the honest
-        // majority still pins the max-coverage region.
-        let with_liar = matches!(strategy, Strategy::MarzulloTolerant { .. })
-            && n >= 4
-            && rng.random::<f64>() < 0.4;
+        // Liars are only generated where the algorithm claims to
+        // tolerate them: at most `f` of them, and never more than the
+        // honest majority can pin down (at least two more honest
+        // servers than liars), so the max-coverage region still
+        // contains real time and the sweep must come back clean.
+        let budget = match strategy {
+            Strategy::MarzulloTolerant { max_faulty } => max_faulty,
+            _ => 0,
+        };
+        let max_liars = budget.min(n.saturating_sub(2) / 2);
+        let liars = if max_liars > 0 && rng.random::<f64>() < 0.4 {
+            rng.random_range(1..=max_liars)
+        } else {
+            0
+        };
+        // A transient state corruption consumes one unit of the same
+        // budget (a corrupted server is one more arbitrary source per
+        // round until it stabilizes).
+        let corrupt = budget > liars && n >= 4 && rng.random::<f64>() < 0.25;
         let servers = (0..n)
             .map(|i| {
                 // Log-uniform bound in [1e-5, 1e-3].
@@ -92,12 +129,21 @@ impl FuzzCase {
                 let drift = rng.random_range(-1.0..1.0) * bound;
                 let initial_error = rng.random_range(0.005..0.020);
                 let initial_offset = rng.random_range(-0.4..0.4) * initial_error;
+                let tier = match rng.random_range(0..3u32) {
+                    0 => LiarTier::Simple,
+                    1 => LiarTier::TwoFaced,
+                    _ => LiarTier::Adversarial,
+                };
                 FuzzServer {
                     drift,
                     bound,
                     initial_error,
                     initial_offset,
-                    liar: with_liar && i == n - 1,
+                    liar: i >= n - liars,
+                    tier,
+                    // Liars sit at the tail, the corruption victim at
+                    // the head: a server is never both.
+                    corrupt: corrupt && i == 0,
                     weakened: false,
                 }
             })
@@ -134,6 +180,12 @@ impl FuzzCase {
         self.servers.iter().any(|s| s.liar)
     }
 
+    /// Whether any server suffers a mid-run state corruption.
+    #[must_use]
+    pub fn has_corrupt(&self) -> bool {
+        self.servers.iter().any(|s| s.corrupt)
+    }
+
     /// Whether the network misbehaves at all.
     #[must_use]
     pub fn has_chaos(&self) -> bool {
@@ -156,6 +208,13 @@ impl FuzzCase {
     ///   guaranteed to contain real time when a liar is present);
     /// * the Theorem 6 intersection check applies wherever IM rounds are
     ///   traced;
+    /// * for Marzullo cases the §4 f-tolerance predicate is armed:
+    ///   every adoption by an honest, stabilized server must still
+    ///   contain real time, since at most `f` of its round inputs are
+    ///   arbitrary by construction;
+    /// * when a state corruption is drawn, the self-stabilization bound
+    ///   is armed at `8τ` — a handful of rounds is ample for the §5
+    ///   screen to re-converge even through loss or a partition;
     /// * the steady-state envelope theorems (2/3 for MM, 7 for IM) apply
     ///   only to clean deployments: no loss, duplication, partitions, or
     ///   liars, and a warm-up of `3τ`.
@@ -165,6 +224,12 @@ impl FuzzCase {
         if self.has_liar() {
             config = config.without_trust_checks();
             config.check_error_growth = false;
+        }
+        if matches!(self.strategy, Strategy::MarzulloTolerant { .. }) {
+            config = config.f_tolerant();
+        }
+        if self.has_corrupt() {
+            config = config.stabilization(Duration::from_secs(8.0 * self.resync));
         }
         let envelope_kind = match self.strategy {
             Strategy::Mm => Some(EnvelopeKind::Mm),
@@ -226,10 +291,19 @@ impl FuzzCase {
                 .initial_error(Duration::from_secs(server.initial_error))
                 .initial_offset(Duration::from_secs(server.initial_offset));
             if server.liar {
-                spec = spec.server_fault(ServerFault::lie_from(
-                    Timestamp::from_secs(self.horizon * 0.2),
-                    Duration::from_secs(0.5),
-                    0.1,
+                let from = Timestamp::from_secs(self.horizon * 0.2);
+                spec = spec.server_fault(match server.tier {
+                    LiarTier::Simple => ServerFault::lie_from(from, Duration::from_secs(0.5), 0.1),
+                    LiarTier::TwoFaced => {
+                        ServerFault::two_faced_from(from, Duration::from_secs(0.5), 0.1)
+                    }
+                    LiarTier::Adversarial => ServerFault::adversarial_from(from, 0.1),
+                });
+            }
+            if server.corrupt {
+                spec = spec.server_fault(ServerFault::corrupt_at(
+                    Timestamp::from_secs(self.horizon * 0.25),
+                    self.seed ^ 0xC0FF_EE00,
                 ));
             }
             if server.weakened {
@@ -270,12 +344,18 @@ impl fmt::Display for FuzzCase {
         for (i, s) in self.servers.iter().enumerate() {
             write!(
                 f,
-                "\n    server {i}: drift={:+.2e} bound={:.0e} ε₀={:.1}ms offset₀={:+.1}ms{}{}",
+                "\n    server {i}: drift={:+.2e} bound={:.0e} ε₀={:.1}ms offset₀={:+.1}ms{}{}{}",
                 s.drift,
                 s.bound,
                 s.initial_error * 1e3,
                 s.initial_offset * 1e3,
-                if s.liar { " LIAR" } else { "" },
+                match (s.liar, s.tier) {
+                    (false, _) => "",
+                    (true, LiarTier::Simple) => " LIAR",
+                    (true, LiarTier::TwoFaced) => " LIAR(two-faced)",
+                    (true, LiarTier::Adversarial) => " LIAR(adversarial)",
+                },
+                if s.corrupt { " CORRUPT" } else { "" },
                 if s.weakened { " WEAKENED-GUARD" } else { "" },
             )?;
         }
@@ -285,8 +365,8 @@ impl fmt::Display for FuzzCase {
 
 /// Shrinks a failing case to a minimal reproducer: repeatedly tries the
 /// cheapest simplification that still violates, to a fixpoint. Order:
-/// drop network chaos, drop liars, halve the horizon, drop servers from
-/// the end.
+/// drop network chaos, drop liars, drop the corruption, halve the
+/// horizon, drop servers from the end.
 #[must_use]
 pub fn shrink(mut case: FuzzCase) -> FuzzCase {
     'outer: loop {
@@ -305,9 +385,23 @@ pub fn shrink(mut case: FuzzCase) -> FuzzCase {
             }
             candidates.push(honest);
         }
+        if case.has_corrupt() {
+            let mut intact = case.clone();
+            for s in &mut intact.servers {
+                s.corrupt = false;
+            }
+            candidates.push(intact);
+        }
         if case.horizon > 4.0 * case.resync {
+            // A shorter run also drops the corruption: halving could
+            // otherwise leave too little room for stabilization and
+            // manufacture a *new* violation instead of preserving the
+            // original one.
             let mut shorter = case.clone();
             shorter.horizon /= 2.0;
+            for s in &mut shorter.servers {
+                s.corrupt = false;
+            }
             candidates.push(shorter);
         }
         if case.servers.len() > 2 {
@@ -418,24 +512,54 @@ mod tests {
 
     #[test]
     fn generated_cases_respect_their_own_constraints() {
-        for seed in 0..50 {
+        let mut budgets = [0usize; 3];
+        let mut tiers_seen = 0usize;
+        let mut corruptions = 0usize;
+        for seed in 0..120 {
             let case = FuzzCase::from_seed(seed, 60.0);
-            assert!((3..=6).contains(&case.servers.len()));
+            let n = case.servers.len();
+            assert!((3..=6).contains(&n));
+            let budget = match case.strategy {
+                Strategy::MarzulloTolerant { max_faulty } => {
+                    assert!(max_faulty <= 2, "budget drawn from 0..=2");
+                    budgets[max_faulty] += 1;
+                    max_faulty
+                }
+                _ => 0,
+            };
+            let liars = case.servers.iter().filter(|s| s.liar).count();
+            let corrupt = case.servers.iter().filter(|s| s.corrupt).count();
+            assert!(
+                liars + corrupt <= budget,
+                "seed {seed}: {liars} liars + {corrupt} corrupt exceed f = {budget}"
+            );
+            assert!(liars <= n.saturating_sub(2) / 2, "honest majority margin");
             for s in &case.servers {
                 assert!(s.drift.abs() <= s.bound, "honest hardware");
                 assert!(s.initial_offset.abs() < s.initial_error, "correct at t = 0");
+                assert!(!(s.liar && s.corrupt), "one fault per server");
                 if s.liar {
                     assert!(
                         matches!(case.strategy, Strategy::MarzulloTolerant { .. }),
                         "liars only where tolerated"
                     );
-                    assert!(case.servers.len() >= 4);
+                    assert!(n >= 4);
+                    if s.tier != LiarTier::Simple {
+                        tiers_seen += 1;
+                    }
                 }
             }
+            corruptions += corrupt;
             assert!(case.collect_window() < case.resync);
             // The scenario must build and validate.
             let _ = case.scenario();
         }
+        assert!(
+            budgets.iter().all(|&b| b > 0),
+            "every budget in 0..=2 is generated: {budgets:?}"
+        );
+        assert!(tiers_seen > 0, "higher Byzantine tiers are generated");
+        assert!(corruptions > 0, "corruption events are generated");
     }
 
     #[test]
@@ -443,6 +567,24 @@ mod tests {
         let outcome = fuzz(0..8, 45.0);
         assert_eq!(outcome.cases_run, 8);
         assert!(outcome.is_clean(), "{outcome}");
+    }
+
+    #[test]
+    fn backward_step_mid_flight_stays_correct() {
+        // Regression pin for a genuine Theorem 1 break this fuzzer
+        // found at seed 37: an honest, fault-free MM deployment where
+        // one adoption steps the clock backward while a second request
+        // is still in flight. Un-rebased, the late reply's measured
+        // round-trip clamps to zero and MM-2 adopts it with no delay
+        // widening — an interval that excludes real time. The shrunk
+        // reproducer (chaos stripped) must now run clean.
+        let mut case = FuzzCase::from_seed(37, 60.0);
+        assert!(matches!(case.strategy, Strategy::Mm), "reproducer shape");
+        assert!(!case.has_liar() && !case.has_corrupt(), "fault-free");
+        case.loss = 0.0;
+        case.duplication = 0.0;
+        case.partition = false;
+        assert_eq!(case.check(), None, "rebased marks keep MM correct");
     }
 
     #[test]
@@ -480,6 +622,60 @@ mod tests {
         assert!(
             minimal.servers.iter().any(|s| s.weakened),
             "the buggy server must survive shrinking"
+        );
+        let v = minimal.check().expect("still violating");
+        assert_eq!(v.seed, minimal.seed, "reproducer carries its seed");
+    }
+
+    #[test]
+    fn byzantine_clique_beyond_budget_is_caught_and_shrunk() {
+        // The §4 acceptance probe: two adversarial liars against a
+        // budget of f = 1, buried under network chaos. Their crafted
+        // lies sit inside each victim's own interval, so they pass
+        // every screen — but two of them against f = 1 capture the
+        // max-coverage region and drag honest adoptions off real
+        // time. The oracle must flag it and shrinking must strip the
+        // camouflage while keeping the clique.
+        let mut case = FuzzCase::from_seed(4321, 120.0);
+        case.strategy = Strategy::MarzulloTolerant { max_faulty: 1 };
+        while case.servers.len() < 5 {
+            case.servers.push(case.servers[0]);
+        }
+        for s in &mut case.servers {
+            s.liar = false;
+            s.corrupt = false;
+        }
+        let n = case.servers.len();
+        for s in &mut case.servers[n - 2..] {
+            s.liar = true;
+            s.tier = LiarTier::Adversarial;
+        }
+        case.loss = 0.1;
+        case.duplication = 0.02;
+        case.partition = true;
+
+        let violation = case
+            .check()
+            .expect("two crafted liars against f = 1 violate");
+        assert!(
+            matches!(
+                violation.theorem,
+                TheoremId::FTolerant | TheoremId::Correctness | TheoremId::Consistency
+            ),
+            "the capture shows up as an f-tolerance (or downstream) break, got {:?}",
+            violation.theorem
+        );
+
+        let minimal = shrink(case);
+        assert!(!minimal.has_chaos(), "chaos must shrink away");
+        assert!(
+            minimal.servers.iter().filter(|s| s.liar).count() >= 2,
+            "the clique must survive shrinking — one liar is within budget"
+        );
+        assert!(
+            minimal.servers.len() < 5,
+            "bystanders must shrink away, got {}",
+            minimal.servers.len()
         );
         let v = minimal.check().expect("still violating");
         assert_eq!(v.seed, minimal.seed, "reproducer carries its seed");

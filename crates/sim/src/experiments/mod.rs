@@ -8,6 +8,7 @@
 
 pub mod ablations;
 pub mod bounds;
+pub mod byzantine;
 pub mod chaos;
 pub mod churn;
 pub mod consonance;
@@ -25,6 +26,7 @@ pub use ablations::{
     ScreeningAblation, StrategyComparison,
 };
 pub use bounds::{im_bounds, min_delay_ablation, mm_bounds, ImBounds, MmBounds};
+pub use byzantine::{byzantine, Byzantine, ByzantineRow};
 pub use chaos::{chaos, Chaos};
 pub use churn::{churn, churn_with, Churn};
 pub use consonance::{consonance, Consonance};

@@ -102,10 +102,14 @@ impl Observer for OracleSink {
             kind,
             EventKind::Sample
                 | EventKind::RoundAdopt
+                | EventKind::ClockStep
+                | EventKind::ClockSlew
                 | EventKind::ServerCrashed
                 | EventKind::ServerRestarted
                 | EventKind::StateRehydrated
                 | EventKind::BootstrapCompleted
+                | EventKind::StateCorrupted
+                | EventKind::Stabilized
         )
     }
 
@@ -146,6 +150,29 @@ impl Observer for OracleSink {
                     },
                 );
             }
+            TelemetryEvent::ClockStep {
+                at,
+                server,
+                to,
+                error,
+                ..
+            } => {
+                // The adopted interval's centre is the post-step served
+                // reading.
+                oracle.observe_reset(*server, *at, *to, *error);
+            }
+            TelemetryEvent::ClockSlew {
+                at,
+                server,
+                from,
+                error,
+                ..
+            } => {
+                // Under slew the served reading does not move at the
+                // reset instant — `from` is the new `r_i`, and `error`
+                // already covers the queued correction.
+                oracle.observe_reset(*server, *at, *from, *error);
+            }
             TelemetryEvent::ServerCrashed { server, .. } => {
                 oracle.observe_crash(*server);
             }
@@ -175,6 +202,16 @@ impl Observer for OracleSink {
             }
             TelemetryEvent::BootstrapCompleted { server, rounds, .. } => {
                 oracle.observe_bootstrap_complete(*server, *rounds);
+            }
+            TelemetryEvent::StateCorrupted { at, server, .. } => {
+                oracle.observe_corruption(*server, *at);
+            }
+            TelemetryEvent::Stabilized {
+                at,
+                server,
+                elapsed,
+            } => {
+                oracle.observe_stabilized(*server, *at, *elapsed);
             }
             _ => {}
         }

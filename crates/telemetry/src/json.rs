@@ -340,6 +340,26 @@ pub fn event_line(event: &TelemetryEvent) -> String {
                 .num("clock", clock.as_secs())
                 .num("error", error.as_secs());
         }
+        TelemetryEvent::StateCorrupted {
+            at,
+            server,
+            clock,
+            error,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .num("clock", clock.as_secs())
+                .num("error", error.as_secs());
+        }
+        TelemetryEvent::Stabilized {
+            at,
+            server,
+            elapsed,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .num("elapsed", elapsed.as_secs());
+        }
     }
     o.finish()
 }
@@ -729,6 +749,17 @@ fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
             ("clock", Field::Num),
             ("error", Field::Num),
         ],
+        "corrupt" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("clock", Field::Num),
+            ("error", Field::Num),
+        ],
+        "stabilized" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("elapsed", Field::Num),
+        ],
         "summary" => &[
             ("events", Field::Int),
             ("dropped", Field::Int),
@@ -964,6 +995,17 @@ mod tests {
                 rounds: 3,
                 clock,
                 error: Duration::from_millis(7.0),
+            },
+            TelemetryEvent::StateCorrupted {
+                at,
+                server: 1,
+                clock: Timestamp::from_secs(40.0),
+                error: Duration::from_secs(3.0),
+            },
+            TelemetryEvent::Stabilized {
+                at,
+                server: 1,
+                elapsed: Duration::from_secs(21.5),
             },
         ]
     }

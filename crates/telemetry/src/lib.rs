@@ -119,11 +119,17 @@ pub enum EventKind {
     /// A booting server finished the §5 bootstrap and promoted to
     /// active.
     BootstrapCompleted = 22,
+    /// A server's state was overwritten with garbage by a transient
+    /// `CorruptState` fault (no crash — it keeps serving).
+    StateCorrupted = 23,
+    /// A previously corrupted server adopted an estimate that passes
+    /// the §5 consistency screen again — it has self-stabilized.
+    Stabilized = 24,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 23] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::MsgSend,
         EventKind::MsgRecv,
         EventKind::MsgDrop,
@@ -147,6 +153,8 @@ impl EventKind {
         EventKind::ServerRestarted,
         EventKind::StateRehydrated,
         EventKind::BootstrapCompleted,
+        EventKind::StateCorrupted,
+        EventKind::Stabilized,
     ];
 
     /// This kind's position in the bus bitmask.
@@ -182,6 +190,8 @@ impl EventKind {
             EventKind::ServerRestarted => "restart",
             EventKind::StateRehydrated => "rehydrate",
             EventKind::BootstrapCompleted => "bootstrap",
+            EventKind::StateCorrupted => "corrupt",
+            EventKind::Stabilized => "stabilized",
         }
     }
 }
@@ -543,6 +553,31 @@ pub enum TelemetryEvent {
         /// Its error bound at promotion.
         error: Duration,
     },
+    /// A transient `CorruptState` fault overwrote a server's
+    /// `(r, ε, reset-t)` and health tables with garbage. The server
+    /// does not crash: it keeps serving and synchronising from the
+    /// corrupted state until the protocol pulls it back.
+    StateCorrupted {
+        /// Real time of the corruption.
+        at: Timestamp,
+        /// The corrupted server.
+        server: usize,
+        /// Its (garbage) clock reading just after the overwrite.
+        clock: Timestamp,
+        /// Its (garbage) error bound just after the overwrite.
+        error: Duration,
+    },
+    /// A previously corrupted server adopted an estimate that passes
+    /// the §5 consistency screen again: it has converged back to a
+    /// legitimate state (self-stabilization in Herman's sense).
+    Stabilized {
+        /// Real time of the stabilizing adoption.
+        at: Timestamp,
+        /// The stabilized server.
+        server: usize,
+        /// Real-time distance from the corruption to this adoption.
+        elapsed: Duration,
+    },
 }
 
 impl TelemetryEvent {
@@ -573,6 +608,8 @@ impl TelemetryEvent {
             TelemetryEvent::ServerRestarted { .. } => EventKind::ServerRestarted,
             TelemetryEvent::StateRehydrated { .. } => EventKind::StateRehydrated,
             TelemetryEvent::BootstrapCompleted { .. } => EventKind::BootstrapCompleted,
+            TelemetryEvent::StateCorrupted { .. } => EventKind::StateCorrupted,
+            TelemetryEvent::Stabilized { .. } => EventKind::Stabilized,
         }
     }
 
@@ -602,7 +639,9 @@ impl TelemetryEvent {
             | TelemetryEvent::ServerCrashed { at, .. }
             | TelemetryEvent::ServerRestarted { at, .. }
             | TelemetryEvent::StateRehydrated { at, .. }
-            | TelemetryEvent::BootstrapCompleted { at, .. } => *at,
+            | TelemetryEvent::BootstrapCompleted { at, .. }
+            | TelemetryEvent::StateCorrupted { at, .. }
+            | TelemetryEvent::Stabilized { at, .. } => *at,
         }
     }
 }

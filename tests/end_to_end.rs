@@ -144,16 +144,23 @@ fn marzullo_tolerates_wildly_racing_peer() {
 /// while there it can drag the intersection off true time. The
 /// excursion is bounded by the width of the consistency band, but it is
 /// a real correctness violation — reproducing the paper's warning.
+///
+/// The demonstration needs *plain* IM: the faulty-tolerant hull with
+/// `f ≥ 1` keeps real time covered by the n−1 honest intervals, so a
+/// single racing peer cannot push it out. (An earlier version of this
+/// test showed the excursion under Marzullo(f=1) — that turned out to
+/// be the in-flight round-trip tear fixed in `apply_reset`'s mark
+/// rebasing, not the §4 phenomenon.)
 #[test]
 fn subtle_drift_violation_can_mislead_intersection() {
-    let result = Scenario::new(Strategy::MarzulloTolerant { max_faulty: 1 })
+    let result = Scenario::new(Strategy::Im)
         .servers(4, &ServerSpec::honest(3e-5, 1e-4))
         .server(
             ServerSpec::honest(0.0, 1e-4)
                 .fault(Fault::racing_from(Timestamp::from_secs(20.0), 0.05)),
         )
         .duration(dur(300.0))
-        .seed(13)
+        .seed(43)
         .run();
     let honest_violations: usize = result
         .samples
@@ -186,7 +193,7 @@ fn rate_screening_neutralises_subtle_drift() {
     use tempo::core::DriftRate;
     use tempo::service::ScreeningPolicy;
 
-    let result = Scenario::new(Strategy::MarzulloTolerant { max_faulty: 1 })
+    let result = Scenario::new(Strategy::Im)
         .servers(4, &ServerSpec::honest(3e-5, 1e-4))
         .server(
             ServerSpec::honest(0.0, 1e-4)
@@ -197,7 +204,7 @@ fn rate_screening_neutralises_subtle_drift() {
             sample_noise: Duration::from_millis(10.0),
         })
         .duration(dur(300.0))
-        .seed(13)
+        .seed(43)
         .run();
     for row in &result.samples {
         for i in 0..4 {
