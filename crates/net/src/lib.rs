@@ -17,7 +17,10 @@
 //! * [`NetConfig`] — loss probability, per-link overrides, and timed
 //!   [`Partition`]s,
 //! * [`World`] — the event loop driving a set of [`Actor`]s, with
-//!   stable, reproducible event ordering for any fixed seed.
+//!   stable, reproducible event ordering for any fixed seed,
+//! * [`Transport`] — the delivery-backend seam: the [`World`] is one
+//!   implementation; the `tempo-transport` crate provides a real UDP
+//!   one driving the *same* actors over actual sockets.
 //!
 //! Besides the private bounded [`Trace`], a world built with
 //! [`World::new_with_bus`] emits every send, delivery, drop,
@@ -74,10 +77,12 @@ mod delay;
 mod node;
 mod topology;
 mod trace;
+mod transport;
 mod world;
 
 pub use delay::DelayModel;
 pub use node::NodeId;
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
+pub use transport::{node_rng, ActorAction, Transport};
 pub use world::{Actor, Context, NetConfig, NetStats, Partition, World};

@@ -13,6 +13,7 @@ use crate::delay::DelayModel;
 use crate::node::NodeId;
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
+use crate::transport::{ActorAction, Transport};
 
 /// A protocol participant driven by the [`World`].
 ///
@@ -36,13 +37,6 @@ pub trait Actor {
     fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Self::Msg>);
 }
 
-/// What an actor can do during a callback.
-#[derive(Debug)]
-enum Action<M> {
-    Send { to: NodeId, msg: M },
-    Timer { delay: Duration, tag: u64 },
-}
-
 /// The execution context handed to actor callbacks.
 #[derive(Debug)]
 pub struct Context<'a, M> {
@@ -50,10 +44,39 @@ pub struct Context<'a, M> {
     me: NodeId,
     neighbors: &'a [NodeId],
     rng: &'a mut StdRng,
-    actions: Vec<Action<M>>,
+    actions: Vec<ActorAction<M>>,
 }
 
-impl<M> Context<'_, M> {
+impl<'a, M> Context<'a, M> {
+    /// Builds a context for an *external* driver — a
+    /// [`Transport`](crate::Transport) backend other than the
+    /// [`World`], such as a real-socket runtime. The driver invokes
+    /// the actor's callbacks with this context, then drains the
+    /// queued actions with [`Context::take_actions`] and executes
+    /// them via [`Transport::apply`](crate::Transport::apply).
+    #[must_use]
+    pub fn external(
+        now: Timestamp,
+        me: NodeId,
+        neighbors: &'a [NodeId],
+        rng: &'a mut StdRng,
+    ) -> Self {
+        Context {
+            now,
+            me,
+            neighbors,
+            rng,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Drains the actions the actor queued during the callback,
+    /// leaving the context reusable. The [`World`] drains internally;
+    /// external drivers call this after each callback.
+    pub fn take_actions(&mut self) -> Vec<ActorAction<M>> {
+        std::mem::take(&mut self.actions)
+    }
+
     /// The current *real* simulated time. Protocol code should prefer
     /// reading its own simulated clock; this accessor exists so the
     /// actor can feed that clock.
@@ -88,7 +111,7 @@ impl<M> Context<'_, M> {
             "{} attempted to send to non-neighbor {to}",
             self.me
         );
-        self.actions.push(Action::Send { to, msg });
+        self.actions.push(ActorAction::Send { to, msg });
     }
 
     /// Sends `msg` to every neighbour (directed broadcast, the paper's
@@ -98,7 +121,7 @@ impl<M> Context<'_, M> {
         M: Clone,
     {
         for &to in self.neighbors {
-            self.actions.push(Action::Send {
+            self.actions.push(ActorAction::Send {
                 to,
                 msg: msg.clone(),
             });
@@ -112,7 +135,7 @@ impl<M> Context<'_, M> {
     /// Panics if `delay` is negative.
     pub fn set_timer(&mut self, delay: Duration, tag: u64) {
         assert!(!delay.is_negative(), "timer delay must be non-negative");
-        self.actions.push(Action::Timer { delay, tag });
+        self.actions.push(ActorAction::Timer { delay, tag });
     }
 
     /// This actor's private deterministic RNG (seeded from the world
@@ -656,90 +679,99 @@ impl<A: Actor> World<A> {
         self.apply_actions(node, actions);
     }
 
-    fn apply_actions(&mut self, from: NodeId, actions: Vec<Action<A::Msg>>) {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    self.stats.sent += 1;
-                    self.record(TraceEvent::Send {
-                        at: self.now,
-                        from,
-                        to,
-                    });
-                    self.bus
-                        .emit_with(TelemetryKind::MsgSend, || TelemetryEvent::MsgSend {
-                            at: self.now,
-                            from: from.index(),
-                            to: to.index(),
-                        });
-                    if self
-                        .config
-                        .partitions
-                        .iter()
-                        .any(|p| p.blocks(self.now, from, to))
-                    {
-                        self.stats.partitioned += 1;
-                        self.record(TraceEvent::Partitioned {
-                            at: self.now,
-                            from,
-                            to,
-                        });
-                        self.bus
-                            .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
-                                at: self.now,
-                                from: from.index(),
-                                to: to.index(),
-                                cause: DropCause::Partition,
-                            });
-                        continue;
-                    }
-                    let loss = self.config.loss_for(from, to);
-                    if loss > 0.0 && self.net_rng.random::<f64>() < loss {
-                        self.stats.lost += 1;
-                        self.record(TraceEvent::Lost {
-                            at: self.now,
-                            from,
-                            to,
-                        });
-                        self.bus
-                            .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
-                                at: self.now,
-                                from: from.index(),
-                                to: to.index(),
-                                cause: DropCause::Loss,
-                            });
-                        continue;
-                    }
-                    if self.config.duplication > 0.0
-                        && self.net_rng.random::<f64>() < self.config.duplication
-                    {
-                        self.stats.duplicated += 1;
-                        self.record(TraceEvent::Duplicated {
-                            at: self.now,
-                            from,
-                            to,
-                        });
-                        self.bus.emit_with(TelemetryKind::MsgDuplicate, || {
-                            TelemetryEvent::MsgDuplicate {
-                                at: self.now,
-                                from: from.index(),
-                                to: to.index(),
-                            }
-                        });
-                        self.schedule_delivery(from, to, msg.clone());
-                    }
-                    self.schedule_delivery(from, to, msg);
-                }
-                Action::Timer { delay, tag } => {
-                    let seq = self.next_seq();
-                    self.queue.push(Event {
-                        time: self.now + delay,
-                        seq,
-                        kind: EventKind::Timer { node: from, tag },
-                    });
-                }
-            }
+    fn apply_actions(&mut self, from: NodeId, actions: Vec<ActorAction<A::Msg>>) {
+        Transport::apply(self, from, actions);
+    }
+}
+
+/// The simulator *is* a [`Transport`]: sends run the delay / loss /
+/// duplication / partition pipeline against the world's deterministic
+/// RNG, timers go into the event queue. Action order maps one-to-one
+/// onto RNG draw order, so routing through this trait is
+/// byte-identical to the pre-trait pipeline (pinned by the
+/// `transport_equivalence` goldens in `tempo-sim`).
+impl<A: Actor> Transport<A::Msg> for World<A> {
+    fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        self.stats.sent += 1;
+        self.record(TraceEvent::Send {
+            at: self.now,
+            from,
+            to,
+        });
+        self.bus
+            .emit_with(TelemetryKind::MsgSend, || TelemetryEvent::MsgSend {
+                at: self.now,
+                from: from.index(),
+                to: to.index(),
+            });
+        if self
+            .config
+            .partitions
+            .iter()
+            .any(|p| p.blocks(self.now, from, to))
+        {
+            self.stats.partitioned += 1;
+            self.record(TraceEvent::Partitioned {
+                at: self.now,
+                from,
+                to,
+            });
+            self.bus
+                .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
+                    at: self.now,
+                    from: from.index(),
+                    to: to.index(),
+                    cause: DropCause::Partition,
+                });
+            return;
         }
+        let loss = self.config.loss_for(from, to);
+        if loss > 0.0 && self.net_rng.random::<f64>() < loss {
+            self.stats.lost += 1;
+            self.record(TraceEvent::Lost {
+                at: self.now,
+                from,
+                to,
+            });
+            self.bus
+                .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
+                    at: self.now,
+                    from: from.index(),
+                    to: to.index(),
+                    cause: DropCause::Loss,
+                });
+            return;
+        }
+        if self.config.duplication > 0.0 && self.net_rng.random::<f64>() < self.config.duplication {
+            self.stats.duplicated += 1;
+            self.record(TraceEvent::Duplicated {
+                at: self.now,
+                from,
+                to,
+            });
+            self.bus.emit_with(TelemetryKind::MsgDuplicate, || {
+                TelemetryEvent::MsgDuplicate {
+                    at: self.now,
+                    from: from.index(),
+                    to: to.index(),
+                }
+            });
+            self.schedule_delivery(from, to, msg.clone());
+        }
+        self.schedule_delivery(from, to, msg);
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: Duration, tag: u64) {
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: self.now + delay,
+            seq,
+            kind: EventKind::Timer { node, tag },
+        });
     }
 }
 

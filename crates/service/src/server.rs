@@ -148,6 +148,10 @@ pub struct ServerStats {
     pub bootstrap_rounds: usize,
     /// §3 recovery replies rejected by the §5 consistency screen.
     pub recoveries_rejected: usize,
+    /// Datagrams that failed wire-codec decoding and were discarded at
+    /// the transport boundary (real transports only; the simulator
+    /// delivers typed messages and never increments this).
+    pub malformed_frames: usize,
 }
 
 /// A snapshot of a server's externally observable and simulation-only
@@ -256,8 +260,11 @@ pub struct TimeServer {
     /// Bumped on every crash; round timers from older epochs are stale.
     epoch: u32,
     /// Stable storage for `(r_i, ε_i)`, written at every reset and read
-    /// back on a durable restart.
-    store: MemoryStore,
+    /// back on a durable restart. Boxed so real deployments can plug a
+    /// file-backed store that survives the *process* (see
+    /// [`TimeServer::with_store`]); the default [`MemoryStore`] only
+    /// survives simulated crashes.
+    store: Box<dyn StableStore>,
     /// Bootstrap requests in flight (`request id → (peer, send clock)`).
     boot_pending: HashMap<u64, (NodeId, Timestamp)>,
     /// Replies collected by the current bootstrap round.
@@ -284,10 +291,46 @@ impl TimeServer {
     /// Panics if the configuration is invalid
     /// (see [`ServerConfig::validate`]).
     #[must_use]
-    pub fn new(mut clock: SimClock, config: ServerConfig) -> Self {
+    pub fn new(clock: SimClock, config: ServerConfig) -> Self {
+        Self::with_store(clock, config, Box::new(MemoryStore::new()))
+    }
+
+    /// Creates a server around a simulated clock and an explicit
+    /// stable store — the real-deployment constructor.
+    ///
+    /// If `store` already holds persisted state (the process was
+    /// killed and relaunched against the same file), the server
+    /// rehydrates it exactly as a durable in-process restart does:
+    /// `(r_i, ε_i)` come from the store and rule MM-1 re-derives
+    /// `E = ε + (C − r)·δ`, so the error keeps growing across the
+    /// downtime instead of resetting to the configured initial error.
+    /// An empty store gets the initial `(r_i, ε_i)` persisted, exactly
+    /// as [`TimeServer::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// (see [`ServerConfig::validate`]).
+    #[must_use]
+    pub fn with_store(
+        mut clock: SimClock,
+        config: ServerConfig,
+        mut store: Box<dyn StableStore>,
+    ) -> Self {
         config.validate();
         let start_reading = clock.read(clock.last_real());
-        let state = ErrorState::new(start_reading, config.initial_error, config.drift_bound);
+        let state = match store.load() {
+            // Cross-process durable restart: rehydrate, guarding
+            // against a pre-crash step that left the current reading
+            // behind the persisted reset point (the MM-1 growth term
+            // must stay non-negative), as `restart` does.
+            Some(p) => ErrorState::new(
+                p.reset_clock.min(start_reading),
+                p.inherited_error,
+                config.drift_bound,
+            ),
+            None => ErrorState::new(start_reading, config.initial_error, config.drift_bound),
+        };
         let rates = match config.screening {
             ScreeningPolicy::Off => None,
             ScreeningPolicy::Consonance { sample_noise, .. } => Some(RateMonitor::new(
@@ -307,13 +350,17 @@ impl TimeServer {
         };
         let health = HealthTracker::new(config.health);
         // The initial `(r_i, ε_i)` counts as the first reset: a durable
-        // restart before any adoption still rehydrates something.
-        let mut store = MemoryStore::new();
-        store.persist(PersistedState {
-            reset_clock: start_reading,
-            inherited_error: config.initial_error,
-            reset_at: clock.last_real(),
-        });
+        // restart before any adoption still rehydrates something. A
+        // store carrying rehydrated state is left untouched — its
+        // persisted reset predates this launch and stays the truth
+        // until the first post-launch adoption.
+        if store.load().is_none() {
+            store.persist(PersistedState {
+                reset_clock: start_reading,
+                inherited_error: config.initial_error,
+                reset_at: clock.last_real(),
+            });
+        }
         TimeServer {
             clock,
             state,
@@ -388,10 +435,42 @@ impl TimeServer {
         &self.config
     }
 
+    /// Records a datagram that failed wire-codec decoding: the frame
+    /// is dropped *audibly* — counted in
+    /// [`ServerStats::malformed_frames`] and emitted as a
+    /// [`TelemetryKind::MalformedFrame`] event — never handed to the
+    /// protocol. Real transports call this from their receive loop;
+    /// the simulator delivers typed messages and has no malformed
+    /// path.
+    pub fn note_malformed_frame(
+        &mut self,
+        now: Timestamp,
+        len: usize,
+        error: crate::wire::DecodeError,
+    ) {
+        self.stats.malformed_frames += 1;
+        self.bus.emit_with(TelemetryKind::MalformedFrame, || {
+            TelemetryEvent::MalformedFrame {
+                at: now,
+                server: self.me,
+                len,
+                cause: error.label(),
+            }
+        });
+    }
+
     /// Protocol counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    /// Forces the stable store onto its durable medium (see
+    /// [`StableStore::flush`]). Real deployments call this from their
+    /// graceful-shutdown path so the persisted `(r_i, ε_i)` survives
+    /// the process.
+    pub fn flush_store(&mut self) {
+        self.store.flush();
     }
 
     /// The current estimate `⟨C_i(t), E_i(t)⟩` (rule MM-1), on the

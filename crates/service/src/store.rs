@@ -43,6 +43,12 @@ pub trait StableStore: std::fmt::Debug {
 
     /// Destroys the store's contents (the amnesia restart path).
     fn wipe(&mut self);
+
+    /// Forces any buffered state onto the durable medium. In-memory
+    /// stores have nothing to do; file-backed stores fsync here. Called
+    /// on graceful shutdown so a SIGTERM never races an in-flight
+    /// persist.
+    fn flush(&mut self) {}
 }
 
 /// The default [`StableStore`]: a single in-memory slot.

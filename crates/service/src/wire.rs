@@ -40,7 +40,8 @@ const UNINIT_LEN: usize = 14;
 /// Why a packet failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Fewer bytes than the smallest valid packet.
+    /// Fewer bytes than the declared (or smallest valid) packet: the
+    /// frame was cut off at some field boundary in flight.
     Truncated {
         /// How many bytes arrived.
         len: usize,
@@ -55,7 +56,8 @@ pub enum DecodeError {
         /// The offending type byte.
         found: u8,
     },
-    /// The length is wrong for the declared type.
+    /// More bytes than the declared type allows (trailing garbage; a
+    /// *shortfall* is reported as [`DecodeError::Truncated`]).
     BadLength {
         /// Declared type byte.
         kind: u8,
@@ -67,6 +69,22 @@ pub enum DecodeError {
     /// A reply carried a non-finite clock value or a negative/non-finite
     /// error.
     BadPayload,
+}
+
+impl DecodeError {
+    /// A stable snake_case label for telemetry (the
+    /// `"malformed".cause` enum of the JSONL schema).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DecodeError::Truncated { .. } => "truncated",
+            DecodeError::BadMagic { .. } => "bad_magic",
+            DecodeError::UnknownType { .. } => "unknown_type",
+            DecodeError::BadLength { .. } => "bad_length",
+            DecodeError::BadChecksum => "bad_checksum",
+            DecodeError::BadPayload => "bad_payload",
+        }
+    }
 }
 
 impl fmt::Display for DecodeError {
@@ -162,7 +180,14 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
         TYPE_UNINIT => UNINIT_LEN,
         other => return Err(DecodeError::UnknownType { found: other }),
     };
-    if bytes.len() != expected_len {
+    // A shortfall is truncation — a reply cut anywhere between the
+    // header and its last checksum byte lands here — while excess
+    // bytes are a framing error. Distinguishing them keeps a
+    // truncation-under-fault soak attributable in telemetry.
+    if bytes.len() < expected_len {
+        return Err(DecodeError::Truncated { len: bytes.len() });
+    }
+    if bytes.len() > expected_len {
         return Err(DecodeError::BadLength {
             kind,
             len: bytes.len(),
@@ -302,13 +327,42 @@ mod tests {
         });
         bytes.push(0);
         assert!(matches!(decode(&bytes), Err(DecodeError::BadLength { .. })));
-        // A reply-typed packet at request length.
+        // A reply-typed packet at request length: the declared type
+        // promises 38 bytes, so 14 is a truncation.
         let mut bytes = encode(&Message::TimeRequest {
             request_id: 1,
             attempt: 0,
         });
         bytes[2] = TYPE_REPLY;
-        assert!(matches!(decode(&bytes), Err(DecodeError::BadLength { .. })));
+        assert_eq!(decode(&bytes), Err(DecodeError::Truncated { len: 14 }));
+    }
+
+    #[test]
+    fn every_field_boundary_truncation_rejected() {
+        // Cut each frame type at every byte, including exactly at each
+        // field boundary (magic|type|attempt|id|T2|C|E|checksum): all
+        // shortfalls must decode to `Truncated`, never panic, never
+        // alias another error or a valid message.
+        let frames = [
+            encode(&Message::TimeRequest {
+                request_id: 0x0102_0304_0506_0708,
+                attempt: 3,
+            }),
+            encode(&Message::Uninitialized {
+                request_id: 0x1122_3344_5566_7788,
+            }),
+            encode(&reply(9, 1234.5, 0.125)),
+        ];
+        for bytes in &frames {
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    decode(&bytes[..cut]),
+                    Err(DecodeError::Truncated { len: cut }),
+                    "cut at {cut} of a {}-byte frame",
+                    bytes.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use tempo_core::{Duration, TimeEstimate, Timestamp};
-use tempo_service::wire::{decode, encode};
+use tempo_service::wire::{decode, encode, DecodeError};
 use tempo_service::Message;
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -26,6 +26,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 received_at: Timestamp::from_secs(c + r),
                 estimate: TimeEstimate::new(Timestamp::from_secs(c), Duration::from_secs(e),),
             },),
+        any::<u64>().prop_map(|request_id| Message::Uninitialized { request_id }),
     ]
 }
 
@@ -65,12 +66,17 @@ proptest! {
         }
     }
 
-    /// Truncating a valid packet anywhere is rejected.
+    /// Truncating a valid packet anywhere — any field boundary, any
+    /// mid-field byte — is rejected *as a truncation*, so a fault
+    /// soak's cut datagrams stay attributable.
     #[test]
     fn truncation_detected(msg in arb_message(), cut_seed in any::<usize>()) {
         let bytes = encode(&msg);
         let cut = cut_seed % bytes.len();
-        prop_assert!(decode(&bytes[..cut]).is_err());
+        prop_assert_eq!(
+            decode(&bytes[..cut]),
+            Err(DecodeError::Truncated { len: cut })
+        );
     }
 
     /// A valid packet with trailing garbage is rejected, never panics —

@@ -1,0 +1,132 @@
+//! Byte-identical telemetry across the `Transport` refactor.
+//!
+//! The simulator's per-seed JSONL export is a contract: routing the
+//! `World`'s delivery pipeline through the `Transport` trait must not
+//! perturb a single RNG draw, event ordering, or formatted byte. These
+//! tests pin three seed-swept scenarios against goldens captured from
+//! the pre-refactor pipeline and committed to the repo.
+//!
+//! To regenerate (only when an *intentional* telemetry change lands):
+//!
+//! ```sh
+//! TEMPO_REGEN_GOLDENS=1 cargo test -p tempo-sim --test transport_equivalence
+//! ```
+
+use std::path::PathBuf;
+
+use tempo_clocks::{Fault, FaultKind};
+use tempo_core::{DriftRate, Duration, Timestamp};
+use tempo_service::{RetryPolicy, ScreeningPolicy, ServerFault, Strategy};
+use tempo_sim::{Scenario, ServerSpec};
+
+/// The three pinned seeds. Distinct scenarios per seed so the goldens
+/// cover the delivery pipeline's independent branches: plain mesh,
+/// loss + duplication + retries, and faults (crash + clock step).
+const SEEDS: [u64; 3] = [11, 47, 203];
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+/// The scenario pinned for `seed`. Deliberately short runs: the point
+/// is covering code paths, not statistics.
+fn scenario_for(seed: u64) -> Scenario {
+    match seed {
+        // Clean full mesh, MM: exercises the plain send/deliver/timer
+        // path with per-link delay sampling.
+        11 => Scenario::new(Strategy::Mm)
+            .servers(4, &ServerSpec::honest(2e-5, 1e-4))
+            .duration(Duration::from_secs(45.0))
+            .seed(seed),
+        // Lossy, duplicating net with backoff retries and a quorum:
+        // exercises the loss roll, the duplication roll, timeout
+        // timers, and health-tracking events.
+        47 => Scenario::new(Strategy::Im)
+            .servers(5, &ServerSpec::honest(1e-5, 1e-4))
+            .loss(0.15)
+            .duplication(0.1)
+            .retry(RetryPolicy::backoff_defaults())
+            .quorum(2)
+            .duration(Duration::from_secs(60.0))
+            .seed(seed),
+        // A crashing server plus a clock-stepping one under screening:
+        // exercises lifecycle timers, §5 screening, and recovery
+        // events.
+        203 => Scenario::new(Strategy::MarzulloTolerant { max_faulty: 1 })
+            .servers(3, &ServerSpec::honest(1e-5, 1e-4))
+            .server(
+                ServerSpec::honest(1e-5, 1e-4)
+                    .server_fault(ServerFault::crash_at(Timestamp::from_secs(20.0))),
+            )
+            .server(ServerSpec::honest(1e-5, 1e-4).fault(Fault {
+                at: Timestamp::from_secs(25.0),
+                kind: FaultKind::Step {
+                    offset: Duration::from_secs(0.5),
+                },
+            }))
+            .screening(ScreeningPolicy::Consonance {
+                peer_bound: DriftRate::new(1e-4),
+                sample_noise: Duration::from_millis(20.0),
+            })
+            .retry(RetryPolicy::backoff_defaults())
+            .duration(Duration::from_secs(50.0))
+            .seed(seed),
+        _ => unreachable!("no scenario pinned for seed {seed}"),
+    }
+}
+
+#[test]
+fn telemetry_matches_pre_refactor_goldens() {
+    let dir = goldens_dir();
+    let regen = std::env::var_os("TEMPO_REGEN_GOLDENS").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+    }
+    for seed in SEEDS {
+        let golden_path = dir.join(format!("seed_{seed}.jsonl"));
+        let out = std::env::temp_dir().join(format!("tempo_transport_eq_{seed}.jsonl"));
+        let _ = scenario_for(seed).telemetry_out(&out).run();
+        let produced = std::fs::read(&out).expect("read produced telemetry");
+        std::fs::remove_file(&out).ok();
+        assert!(
+            !produced.is_empty(),
+            "seed {seed} produced empty telemetry — export is broken"
+        );
+        if regen {
+            std::fs::write(&golden_path, &produced).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); regenerate with TEMPO_REGEN_GOLDENS=1 \
+                 only if the telemetry change is intentional",
+                golden_path.display()
+            )
+        });
+        assert!(
+            produced == golden,
+            "seed {seed}: telemetry diverged from the pre-refactor golden \
+             ({} bytes vs {} bytes). The Transport path changed an RNG draw, \
+             event order, or formatting.",
+            produced.len(),
+            golden.len()
+        );
+    }
+}
+
+#[test]
+fn goldens_differ_across_seeds() {
+    // Guard against the degenerate failure where every scenario
+    // produces the same stream (e.g. seed not plumbed through).
+    let mut streams = Vec::new();
+    for seed in SEEDS {
+        let out = std::env::temp_dir().join(format!("tempo_transport_eq_x_{seed}.jsonl"));
+        let _ = scenario_for(seed).telemetry_out(&out).run();
+        streams.push(std::fs::read(&out).expect("read telemetry"));
+        std::fs::remove_file(&out).ok();
+    }
+    assert_ne!(streams[0], streams[1]);
+    assert_ne!(streams[1], streams[2]);
+}

@@ -360,6 +360,17 @@ pub fn event_line(event: &TelemetryEvent) -> String {
                 .int("server", *server as u64)
                 .num("elapsed", elapsed.as_secs());
         }
+        TelemetryEvent::MalformedFrame {
+            at,
+            server,
+            len,
+            cause,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("len", *len as u64)
+                .str("cause", cause);
+        }
     }
     o.finish()
 }
@@ -760,6 +771,12 @@ fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
             ("server", Field::Int),
             ("elapsed", Field::Num),
         ],
+        "malformed" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("len", Field::Int),
+            ("cause", Field::Str),
+        ],
         "summary" => &[
             ("events", Field::Int),
             ("dropped", Field::Int),
@@ -775,11 +792,23 @@ fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
     })
 }
 
-const ENUM_FIELDS: [(&str, &str, &[&str]); 4] = [
+const ENUM_FIELDS: [(&str, &str, &[&str]); 5] = [
     ("drop", "cause", &["loss", "partition"]),
     ("reject", "cause", &["inconsistent", "starved"]),
     ("health", "from", &["healthy", "suspect", "dead"]),
     ("health", "to", &["healthy", "suspect", "dead"]),
+    (
+        "malformed",
+        "cause",
+        &[
+            "truncated",
+            "bad_magic",
+            "unknown_type",
+            "bad_length",
+            "bad_checksum",
+            "bad_payload",
+        ],
+    ),
 ];
 
 /// Validates one JSONL line against the documented schema: it must
@@ -1006,6 +1035,12 @@ mod tests {
                 at,
                 server: 1,
                 elapsed: Duration::from_secs(21.5),
+            },
+            TelemetryEvent::MalformedFrame {
+                at,
+                server: 0,
+                len: 7,
+                cause: "truncated",
             },
         ]
     }

@@ -125,11 +125,16 @@ pub enum EventKind {
     /// A previously corrupted server adopted an estimate that passes
     /// the §5 consistency screen again — it has self-stabilized.
     Stabilized = 24,
+    /// A datagram arrived that failed wire-codec decoding (truncated,
+    /// corrupted, garbage) and was dropped before reaching the
+    /// protocol. Only real transports emit this — the simulator
+    /// delivers typed messages and never produces one.
+    MalformedFrame = 25,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 25] = [
+    pub const ALL: [EventKind; 26] = [
         EventKind::MsgSend,
         EventKind::MsgRecv,
         EventKind::MsgDrop,
@@ -155,6 +160,7 @@ impl EventKind {
         EventKind::BootstrapCompleted,
         EventKind::StateCorrupted,
         EventKind::Stabilized,
+        EventKind::MalformedFrame,
     ];
 
     /// This kind's position in the bus bitmask.
@@ -192,6 +198,7 @@ impl EventKind {
             EventKind::BootstrapCompleted => "bootstrap",
             EventKind::StateCorrupted => "corrupt",
             EventKind::Stabilized => "stabilized",
+            EventKind::MalformedFrame => "malformed",
         }
     }
 }
@@ -578,6 +585,22 @@ pub enum TelemetryEvent {
         /// Real-time distance from the corruption to this adoption.
         elapsed: Duration,
     },
+    /// A datagram failed wire-codec decoding and was dropped at the
+    /// transport boundary — truncated in flight, bit-flipped past the
+    /// checksum, or outright garbage. The protocol never sees it; this
+    /// event is the audit trail proving the drop was deliberate, not
+    /// silent.
+    MalformedFrame {
+        /// Real time of the arrival.
+        at: Timestamp,
+        /// The server that received (and discarded) the datagram.
+        server: usize,
+        /// The datagram's byte length as received.
+        len: usize,
+        /// The decoder's verdict (a stable label such as
+        /// `"truncated"`, `"bad_checksum"`, `"bad_magic"`).
+        cause: &'static str,
+    },
 }
 
 impl TelemetryEvent {
@@ -610,6 +633,7 @@ impl TelemetryEvent {
             TelemetryEvent::BootstrapCompleted { .. } => EventKind::BootstrapCompleted,
             TelemetryEvent::StateCorrupted { .. } => EventKind::StateCorrupted,
             TelemetryEvent::Stabilized { .. } => EventKind::Stabilized,
+            TelemetryEvent::MalformedFrame { .. } => EventKind::MalformedFrame,
         }
     }
 
@@ -641,7 +665,8 @@ impl TelemetryEvent {
             | TelemetryEvent::StateRehydrated { at, .. }
             | TelemetryEvent::BootstrapCompleted { at, .. }
             | TelemetryEvent::StateCorrupted { at, .. }
-            | TelemetryEvent::Stabilized { at, .. } => *at,
+            | TelemetryEvent::Stabilized { at, .. }
+            | TelemetryEvent::MalformedFrame { at, .. } => *at,
         }
     }
 }

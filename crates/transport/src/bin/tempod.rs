@@ -1,0 +1,330 @@
+//! `tempod` — one time-service node on a real UDP socket.
+//!
+//! The daemon form of the paper's server: the same `TimeServer` state
+//! machine the simulator runs, pointed at a bound socket and a list of
+//! peer addresses. A five-node localhost cluster:
+//!
+//! ```text
+//! for i in 0 1 2 3 4; do
+//!   tempod --id $i --listen 127.0.0.1:900$i \
+//!          --peer 127.0.0.1:9000 --peer 127.0.0.1:9001 \
+//!          --peer 127.0.0.1:9002 --peer 127.0.0.1:9003 \
+//!          --peer 127.0.0.1:9004 \
+//!          --offset 0.0$i --state /tmp/tempo-$i.state &
+//! done
+//! ```
+//!
+//! SIGTERM/SIGINT trigger a graceful stop: the stable store is
+//! flushed and the socket closed. SIGKILL does not — which is the
+//! point of the store: relaunching with the same `--state` rehydrates
+//! `(r_i, ε_i)` and re-derives the error grown across the downtime.
+
+use std::cell::RefCell;
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, UdpSocket};
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use tempo_clocks::{DriftModel, SimClock};
+use tempo_core::{DriftRate, Duration, Timestamp};
+use tempo_service::{MemoryStore, RetryPolicy, ServerConfig, StableStore, Strategy, TimeServer};
+use tempo_telemetry::json::event_line;
+use tempo_telemetry::{Bus, EventKind, Observer, TelemetryEvent};
+use tempo_transport::{signal, FaultPlan, FaultyTransport, FileStore, UdpRuntime};
+
+const USAGE: &str = "\
+tempod — one node of the tempo time service over UDP
+
+USAGE:
+    tempod --id N --listen ADDR --peer ADDR [--peer ADDR ...] [OPTIONS]
+
+REQUIRED:
+    --id N              this node's index into the --peer list
+    --listen ADDR       UDP address to bind (must equal peer[N])
+    --peer ADDR         cluster member address, repeated in node-id order
+
+OPTIONS:
+    --offset SECS       initial clock offset from true time   [0]
+    --epoch-unix SECS   cluster epoch as a unix timestamp: the clock
+                        boots at (wall time - epoch) + offset, so the
+                        OS clock plays the hardware clock that keeps
+                        running across a SIGKILL. Omit: boots at offset.
+    --drift RATE        constant drift rate, e.g. 2e-5        [0]
+    --drift-bound RATE  assumed drift bound delta             [1e-4]
+    --initial-error S   initial error epsilon                 [0.01]
+    --period SECS       resync period tau                     [1.0]
+    --window SECS       reply-collection window               [0.25]
+    --strategy NAME     mm | im | tolerant:F                  [mm]
+    --quorum N          §5 bootstrap quorum                   [1]
+    --seed N            protocol rng seed                     [0]
+    --state PATH        durable state file (omit: in-memory)
+    --fault SPEC        outgoing-datagram faults, e.g.
+                        loss=0.2,dup=0.1,delay=0.3:0.01:0.05,truncate=0.05,garbage=0.05
+    --fault-seed N      fault schedule seed                   [1]
+    --telemetry-out P   write telemetry JSONL to P
+    --duration SECS     exit (gracefully) after SECS; omit to run until signalled
+    --report            print a final sample line to stdout on exit
+";
+
+#[derive(Debug)]
+struct Options {
+    id: usize,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    offset: f64,
+    epoch_unix: Option<f64>,
+    drift: f64,
+    drift_bound: f64,
+    initial_error: f64,
+    period: f64,
+    window: f64,
+    strategy: Strategy,
+    quorum: usize,
+    seed: u64,
+    state: Option<String>,
+    fault: Option<FaultPlan>,
+    fault_seed: u64,
+    telemetry_out: Option<String>,
+    duration: Option<f64>,
+    report: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut id = None;
+    let mut listen = None;
+    let mut peers = Vec::new();
+    let mut opts = Options {
+        id: 0,
+        listen: "0.0.0.0:0".parse().unwrap(),
+        peers: Vec::new(),
+        offset: 0.0,
+        epoch_unix: None,
+        drift: 0.0,
+        drift_bound: 1e-4,
+        initial_error: 0.01,
+        period: 1.0,
+        window: 0.25,
+        strategy: Strategy::Mm,
+        quorum: 1,
+        seed: 0,
+        state: None,
+        fault: None,
+        fault_seed: 1,
+        telemetry_out: None,
+        duration: None,
+        report: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--report" {
+            opts.report = true;
+            continue;
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--id" => id = Some(parse(&value()?, "--id")?),
+            "--listen" => listen = Some(parse_addr(&value()?)?),
+            "--peer" => peers.push(parse_addr(&value()?)?),
+            "--offset" => opts.offset = parse(&value()?, "--offset")?,
+            "--epoch-unix" => opts.epoch_unix = Some(parse(&value()?, "--epoch-unix")?),
+            "--drift" => opts.drift = parse(&value()?, "--drift")?,
+            "--drift-bound" => opts.drift_bound = parse(&value()?, "--drift-bound")?,
+            "--initial-error" => opts.initial_error = parse(&value()?, "--initial-error")?,
+            "--period" => opts.period = parse(&value()?, "--period")?,
+            "--window" => opts.window = parse(&value()?, "--window")?,
+            "--strategy" => opts.strategy = parse_strategy(&value()?)?,
+            "--quorum" => opts.quorum = parse(&value()?, "--quorum")?,
+            "--seed" => opts.seed = parse(&value()?, "--seed")?,
+            "--state" => opts.state = Some(value()?),
+            "--fault" => opts.fault = Some(FaultPlan::parse(&value()?)?),
+            "--fault-seed" => opts.fault_seed = parse(&value()?, "--fault-seed")?,
+            "--telemetry-out" => opts.telemetry_out = Some(value()?),
+            "--duration" => opts.duration = Some(parse(&value()?, "--duration")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    opts.id = id.ok_or("--id is required")?;
+    opts.listen = listen.ok_or("--listen is required")?;
+    opts.peers = peers;
+    if opts.peers.len() < 2 {
+        return Err("need at least two --peer addresses".into());
+    }
+    if opts.id >= opts.peers.len() {
+        return Err(format!(
+            "--id {} outside the {}-node --peer list",
+            opts.id,
+            opts.peers.len()
+        ));
+    }
+    if opts.peers[opts.id] != opts.listen {
+        return Err(format!(
+            "--listen {} does not match peer[{}] = {}",
+            opts.listen, opts.id, opts.peers[opts.id]
+        ));
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse `{value}`"))
+}
+
+fn parse_addr(value: &str) -> Result<SocketAddr, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad socket address `{value}`"))
+}
+
+fn parse_strategy(value: &str) -> Result<Strategy, String> {
+    match value {
+        "mm" => Ok(Strategy::Mm),
+        "im" => Ok(Strategy::Im),
+        other => match other.strip_prefix("tolerant:") {
+            Some(f) => Ok(Strategy::MarzulloTolerant {
+                max_faulty: parse(f, "--strategy tolerant:F")?,
+            }),
+            None => Err(format!("unknown strategy `{other}` (mm, im, tolerant:F)")),
+        },
+    }
+}
+
+/// Telemetry sink: every event, one JSON line, flushed on drop.
+struct JsonlSink {
+    out: BufWriter<std::fs::File>,
+}
+
+impl Observer for JsonlSink {
+    fn enabled(&self, _kind: EventKind) -> bool {
+        true
+    }
+
+    fn observe(&mut self, event: &TelemetryEvent) {
+        let _ = writeln!(self.out, "{}", event_line(event));
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    // With an epoch, the OS wall clock plays the hardware clock: it
+    // keeps running while the process is dead, so a relaunch against
+    // the same --state rehydrates into a *continued* clock and the
+    // MM-1 error grows across the downtime instead of resetting.
+    let boot_value = match opts.epoch_unix {
+        Some(epoch) => {
+            let wall = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_err(|e| e.to_string())?
+                .as_secs_f64();
+            wall - epoch + opts.offset
+        }
+        None => opts.offset,
+    };
+    let clock = SimClock::builder()
+        .initial_value(Timestamp::from_secs(boot_value))
+        .drift(DriftModel::Constant(opts.drift))
+        .seed(opts.seed)
+        .build();
+    let config = ServerConfig::new(opts.strategy, DriftRate::new(opts.drift_bound))
+        .resync_period(Duration::from_secs(opts.period))
+        .collect_window(Duration::from_secs(opts.window))
+        .initial_error(Duration::from_secs(opts.initial_error))
+        .retry(RetryPolicy::backoff_defaults())
+        .quorum(opts.quorum);
+    let store: Box<dyn StableStore> = match &opts.state {
+        Some(path) => Box::new(FileStore::open(path).map_err(|e| e.to_string())?),
+        None => Box::new(MemoryStore::new()),
+    };
+    let mut server = TimeServer::with_store(clock, config, store);
+    if let Some(path) = &opts.telemetry_out {
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        let bus = Bus::new();
+        bus.subscribe(Rc::new(RefCell::new(JsonlSink {
+            out: BufWriter::new(file),
+        })));
+        server.attach_bus(bus);
+    }
+    let socket = UdpSocket::bind(opts.listen).map_err(|e| e.to_string())?;
+    signal::install();
+    eprintln!(
+        "tempod: node {} serving on {} ({} peers{})",
+        opts.id,
+        opts.listen,
+        opts.peers.len() - 1,
+        match &opts.fault {
+            Some(plan) => format!(", faults {plan:?}"),
+            None => String::new(),
+        }
+    );
+    let deadline = opts.duration.map(Duration::from_secs);
+    // Faulty and clean paths instantiate the runtime at different
+    // socket types; each arm runs its own monomorphisation.
+    match opts.fault.filter(FaultPlan::is_active) {
+        Some(plan) => {
+            let faulty = FaultyTransport::new(socket, plan, opts.fault_seed);
+            let mut rt = UdpRuntime::new(server, faulty, opts.id, opts.peers.clone(), opts.seed);
+            rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
+            report(&opts, &mut rt);
+        }
+        None => {
+            let mut rt = UdpRuntime::new(server, socket, opts.id, opts.peers.clone(), opts.seed);
+            rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
+            report(&opts, &mut rt);
+        }
+    }
+    Ok(())
+}
+
+fn report<S: tempo_transport::DatagramSocket>(opts: &Options, rt: &mut UdpRuntime<S>) {
+    if !opts.report {
+        return;
+    }
+    let now = rt.elapsed();
+    let server = rt.server_mut();
+    let stats = server.stats();
+    let active = server.is_active();
+    let estimate = server.current_estimate(now);
+    println!(
+        "{{\"node\":{},\"active\":{},\"time\":{},\"error\":{},\"rounds\":{},\"resets\":{},\"malformed\":{}}}",
+        opts.id,
+        active,
+        estimate.time().as_secs(),
+        estimate.error().as_secs(),
+        stats.rounds,
+        stats.resets,
+        stats.malformed_frames,
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match run(opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("tempod: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if e.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("tempod: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # tempo-transport
+//!
+//! The real-network backend of the time service: the same
+//! [`tempo_service::TimeServer`] state machine that runs inside the
+//! deterministic simulator, driven here by actual UDP datagrams on
+//! actual sockets.
+//!
+//! The paper's protocol is transport-agnostic by construction — rule
+//! MM-1 only needs "ask a peer, time the round trip on your own clock"
+//! — and the codebase mirrors that: the server is a sans-io actor whose
+//! outputs are [`tempo_net::ActorAction`]s, and anything implementing
+//! [`tempo_net::Transport`] may execute them. `tempo-net`'s `World` is
+//! one such executor (simulated time, seeded delays); this crate's
+//! [`UdpRuntime`] is the other (wall-clock time, real packet loss).
+//!
+//! * [`DatagramSocket`] — the thin socket seam: `std::net::UdpSocket`
+//!   in production, a recording mock in tests.
+//! * [`FaultyTransport`] — a socket decorator that injects loss,
+//!   duplication, delay/reordering, truncation, and garbage *below*
+//!   the codec, on real datagrams — the robustness hammer.
+//! * [`UdpRuntime`] — owns a `TimeServer`, a socket, the peer table,
+//!   and a wall-clock timer wheel; pumps receive/decode/dispatch.
+//! * [`UdpTimeClient`] — a blocking client that queries a cluster and
+//!   returns rtt-adjusted readings.
+//! * [`FileStore`] — a durable [`tempo_service::StableStore`] (atomic
+//!   tmp-write + fsync + rename), so a SIGKILLed server rehydrates
+//!   `(r_i, ε_i)` on relaunch.
+//! * [`signal`] — minimal SIGTERM/SIGINT latching for graceful
+//!   shutdown without a signal-handling dependency.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod fault;
+mod runtime;
+pub mod signal;
+mod socket;
+mod store;
+
+pub use client::{ClusterReading, ServerReading, UdpTimeClient};
+pub use fault::{FaultPlan, FaultyTransport};
+pub use runtime::UdpRuntime;
+pub use socket::DatagramSocket;
+pub use store::FileStore;

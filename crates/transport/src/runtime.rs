@@ -1,0 +1,482 @@
+//! The UDP runtime: one [`TimeServer`] actor, one socket, wall-clock
+//! timers — the real-network twin of `tempo_net::World`.
+//!
+//! The state machine is untouched: the runtime merely plays the
+//! [`Transport`] role that the simulator plays in tests. Simulated
+//! time becomes "seconds since process start" (a monotonic
+//! [`Instant`] base), `Context::set_timer` becomes a wall-clock heap
+//! drained between socket read timeouts, and `Context::send` becomes
+//! `encode` + `send_to`. Datagrams that fail the wire codec are
+//! dropped *audibly* via [`TimeServer::note_malformed_frame`] — the
+//! protocol never sees them.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+
+use tempo_core::{Duration, Timestamp};
+use tempo_net::{node_rng, Actor, Context, NodeId, Transport};
+use tempo_service::wire::{decode, encode};
+use tempo_service::{Message, TimeServer};
+
+use crate::signal;
+use crate::socket::DatagramSocket;
+
+/// Timer-heap ordering key: due time, then set order (FIFO among
+/// simultaneous timers, matching the simulator's tiebreak).
+type TimerKey = (Timestamp, u64);
+
+/// Drives a [`TimeServer`] over a real datagram socket.
+///
+/// The runtime is single-threaded by design — the actor model already
+/// serialises the protocol, so the loop is: fire due timers, block on
+/// the socket for at most the gap to the next timer, dispatch one
+/// datagram, repeat. Peers occupy [`NodeId`]s `0..cluster_size`;
+/// client addresses get transient ids above that range so replies can
+/// route back without the protocol knowing about "clients" at all.
+pub struct UdpRuntime<S: DatagramSocket> {
+    server: TimeServer,
+    socket: S,
+    me: NodeId,
+    /// Cluster peer addresses, indexed by `NodeId::index`. The entry
+    /// at `me` is this process's own bind address (never dialed).
+    peers: Vec<SocketAddr>,
+    addr_to_node: HashMap<SocketAddr, NodeId>,
+    /// Transient (client) address table: id = cluster_size + slot.
+    transients: Vec<SocketAddr>,
+    timers: BinaryHeap<Reverse<TimerKey>>,
+    timer_tags: HashMap<TimerKey, u64>,
+    next_timer_seq: u64,
+    started_at: Instant,
+    rng: StdRng,
+    recv_buf: [u8; 512],
+}
+
+impl<S: DatagramSocket> std::fmt::Debug for UdpRuntime<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpRuntime")
+            .field("me", &self.me)
+            .field("peers", &self.peers)
+            .field("socket", &self.socket)
+            .field("pending_timers", &self.timers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: DatagramSocket> UdpRuntime<S> {
+    /// Builds a runtime for node `me` of a cluster whose members live
+    /// at `peers` (indexed by node id, including `me`'s own address).
+    /// `seed` derives the per-node protocol RNG exactly as the
+    /// simulator does, so jitter behaves identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside `peers`.
+    pub fn new(
+        server: TimeServer,
+        socket: S,
+        me: usize,
+        peers: Vec<SocketAddr>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            me < peers.len(),
+            "node {me} outside cluster of {}",
+            peers.len()
+        );
+        let addr_to_node = peers
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| (addr, NodeId::new(i)))
+            .collect();
+        UdpRuntime {
+            server,
+            socket,
+            me: NodeId::new(me),
+            peers,
+            addr_to_node,
+            transients: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_tags: HashMap::new(),
+            next_timer_seq: 0,
+            started_at: Instant::now(),
+            rng: node_rng(seed, NodeId::new(me)),
+            recv_buf: [0u8; 512],
+        }
+    }
+
+    /// The driven server (counters, samples, lifecycle).
+    #[must_use]
+    pub fn server(&self) -> &TimeServer {
+        &self.server
+    }
+
+    /// Mutable access to the driven server.
+    pub fn server_mut(&mut self) -> &mut TimeServer {
+        &mut self.server
+    }
+
+    /// Seconds since the runtime was built, as the actor's
+    /// wall-clock-backed "real time".
+    #[must_use]
+    pub fn elapsed(&self) -> Timestamp {
+        Timestamp::from_secs(self.started_at.elapsed().as_secs_f64())
+    }
+
+    fn addr_of(&self, node: NodeId) -> Option<SocketAddr> {
+        let i = node.index();
+        if i < self.peers.len() {
+            Some(self.peers[i])
+        } else {
+            self.transients.get(i - self.peers.len()).copied()
+        }
+    }
+
+    /// The node id for a datagram's source address, minting a
+    /// transient id for unknown (client) sources.
+    fn node_for(&mut self, addr: SocketAddr) -> NodeId {
+        if let Some(&node) = self.addr_to_node.get(&addr) {
+            return node;
+        }
+        let node = NodeId::new(self.peers.len() + self.transients.len());
+        self.transients.push(addr);
+        self.addr_to_node.insert(addr, node);
+        node
+    }
+
+    /// Neighbour set for a callback: every *other* cluster member,
+    /// plus (for message callbacks) the sender — so replies to
+    /// transient clients pass `Context::send`'s neighbour check while
+    /// timer-driven polls only ever target real peers.
+    fn neighbor_ids(&self, include: Option<NodeId>) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.peers.len())
+            .map(NodeId::new)
+            .filter(|&n| n != self.me)
+            .collect();
+        if let Some(extra) = include {
+            if extra != self.me && !ids.contains(&extra) {
+                ids.push(extra);
+            }
+        }
+        ids
+    }
+
+    /// Runs the actor's `on_start` (join timers, first poll). Call
+    /// once before [`UdpRuntime::poll`].
+    pub fn start(&mut self) {
+        let now = self.elapsed();
+        let neighbors = self.neighbor_ids(None);
+        let mut ctx = Context::external(now, self.me, &neighbors, &mut self.rng);
+        self.server.on_start(&mut ctx);
+        let actions = ctx.take_actions();
+        self.apply(self.me, actions);
+    }
+
+    /// Fires every due timer, then waits for one datagram for at most
+    /// `max_wait`, dispatching it if one arrives. Returns whether a
+    /// datagram was processed. This is one turn of the event loop.
+    pub fn poll(&mut self, max_wait: std::time::Duration) -> bool {
+        self.fire_due_timers();
+        let wait = match self.next_deadline() {
+            Some(due) => {
+                let gap = (due - self.elapsed()).as_secs().max(0.0);
+                std::time::Duration::from_secs_f64(gap).min(max_wait)
+            }
+            None => max_wait,
+        };
+        let got = self.recv_one(wait);
+        self.fire_due_timers();
+        got
+    }
+
+    /// Runs the full serve loop: `on_start`, then poll until `until`
+    /// returns true or a shutdown signal is latched, then a graceful
+    /// stop — the stable store is flushed so the persisted
+    /// `(r_i, ε_i)` survives the process (§5's recoverable departure).
+    pub fn run(&mut self, mut until: impl FnMut(&Self) -> bool) {
+        self.start();
+        while !signal::shutdown_requested() && !until(self) {
+            self.poll(std::time::Duration::from_millis(10));
+        }
+        self.shutdown();
+    }
+
+    /// The graceful-stop half of [`UdpRuntime::run`], public so
+    /// embedders with their own loop can reuse it.
+    pub fn shutdown(&mut self) {
+        self.server.flush_store();
+    }
+
+    fn next_deadline(&self) -> Option<Timestamp> {
+        self.timers.peek().map(|&Reverse((due, _))| due)
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = self.elapsed();
+            let Some(&Reverse(key)) = self.timers.peek() else {
+                return;
+            };
+            if key.0 > now {
+                return;
+            }
+            self.timers.pop();
+            let Some(tag) = self.timer_tags.remove(&key) else {
+                continue;
+            };
+            let neighbors = self.neighbor_ids(None);
+            let mut ctx = Context::external(now, self.me, &neighbors, &mut self.rng);
+            self.server.on_timer(tag, &mut ctx);
+            let actions = ctx.take_actions();
+            self.apply(self.me, actions);
+        }
+    }
+
+    /// Receives and dispatches at most one datagram, waiting up to
+    /// `wait`. Malformed frames are counted and dropped; the protocol
+    /// only ever sees codec-clean messages.
+    fn recv_one(&mut self, wait: std::time::Duration) -> bool {
+        self.set_socket_timeout(wait);
+        let (len, from_addr) = match self.socket.recv_from(&mut self.recv_buf) {
+            Ok(hit) => hit,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return false;
+            }
+            Err(e) => {
+                // Transient socket errors (e.g. ICMP-induced
+                // ECONNREFUSED on Linux) must not kill the server.
+                eprintln!("tempod: recv error (ignored): {e}");
+                return false;
+            }
+        };
+        let now = self.elapsed();
+        match decode(&self.recv_buf[..len]) {
+            Ok(msg) => {
+                let from = self.node_for(from_addr);
+                let neighbors = self.neighbor_ids(Some(from));
+                let mut ctx = Context::external(now, self.me, &neighbors, &mut self.rng);
+                self.server.on_message(from, msg, &mut ctx);
+                let actions = ctx.take_actions();
+                self.apply(self.me, actions);
+            }
+            Err(e) => self.server.note_malformed_frame(now, len, e),
+        }
+        true
+    }
+
+    fn set_socket_timeout(&self, wait: std::time::Duration) {
+        // A zero timeout means "block forever" to the OS; clamp up.
+        let wait = wait.max(std::time::Duration::from_millis(1));
+        // The seam trait has no set_read_timeout (mocks don't need
+        // one); the real socket path goes through this downcast-free
+        // hook instead.
+        self.socket.configure_read_timeout(wait);
+    }
+}
+
+impl<S: DatagramSocket> Transport<Message> for UdpRuntime<S> {
+    fn now(&self) -> Timestamp {
+        self.elapsed()
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        debug_assert_eq!(from, self.me, "UdpRuntime hosts exactly one actor");
+        let Some(addr) = self.addr_of(to) else {
+            return;
+        };
+        let frame = encode(&msg);
+        if let Err(e) = self.socket.send_to(&frame, addr) {
+            // Unreliable delivery is part of the model; a failed send
+            // is a lost message, not a crash.
+            eprintln!("tempod: send to {addr} failed (dropped): {e}");
+        }
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: Duration, tag: u64) {
+        debug_assert_eq!(node, self.me, "UdpRuntime hosts exactly one actor");
+        let due = self.elapsed() + delay.max(Duration::ZERO);
+        let key = (due, self.next_timer_seq);
+        self.next_timer_seq += 1;
+        self.timers.push(Reverse(key));
+        self.timer_tags.insert(key, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+
+    use tempo_clocks::{DriftModel, SimClock};
+    use tempo_core::DriftRate;
+    use tempo_service::{ServerConfig, Strategy};
+
+    use crate::store::FileStore;
+    use tempo_service::StableStore;
+
+    fn server(offset: f64, initial_error: f64) -> TimeServer {
+        TimeServer::new(
+            SimClock::builder()
+                .initial_value(Timestamp::from_secs(offset))
+                .drift(DriftModel::Constant(0.0))
+                .build(),
+            config(initial_error),
+        )
+    }
+
+    fn config(initial_error: f64) -> ServerConfig {
+        ServerConfig::new(Strategy::Mm, DriftRate::new(1e-4))
+            .resync_period(Duration::from_secs(0.1))
+            .collect_window(Duration::from_secs(0.05))
+            .initial_error(Duration::from_secs(initial_error))
+            .quorum(1)
+    }
+
+    fn loopback_pair() -> (UdpSocket, UdpSocket, Vec<std::net::SocketAddr>) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![a.local_addr().unwrap(), b.local_addr().unwrap()];
+        (a, b, addrs)
+    }
+
+    #[test]
+    fn two_runtimes_synchronise_over_loopback() {
+        // `a` is the good clock (tight error); `b` starts 20 ms off
+        // with a loose error, inside MM consistency, so rule MM-2
+        // makes `b` adopt from `a` — the asymmetry MM needs, since it
+        // only ever adopts a strictly better estimate.
+        let (sock_a, sock_b, addrs) = loopback_pair();
+        let mut a = UdpRuntime::new(server(0.00, 0.005), sock_a, 0, addrs.clone(), 1);
+        let mut b = UdpRuntime::new(server(0.02, 0.05), sock_b, 1, addrs, 1);
+        a.start();
+        b.start();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            // Alternate the two event loops in one thread; short waits
+            // keep either side from starving the other.
+            a.poll(std::time::Duration::from_millis(2));
+            b.poll(std::time::Duration::from_millis(2));
+            if a.server().is_active()
+                && b.server().is_active()
+                && a.server().stats().replies > 0
+                && b.server().stats().resets > 0
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "pair never synchronised");
+        }
+        // Both servers' intervals must contain a common instant: with
+        // zero drift and symmetric offsets, their estimates differ by
+        // at most the two claimed errors (plus in-flight rtt, bounded
+        // here by loopback latencies well under a millisecond).
+        let now_a = a.elapsed();
+        let est_a = a.server_mut().current_estimate(now_a);
+        let now_b = b.elapsed();
+        let est_b = b.server_mut().current_estimate(now_b);
+        let skew =
+            (est_a.time().as_secs() - now_a.as_secs()) - (est_b.time().as_secs() - now_b.as_secs());
+        let budget = est_a.error().as_secs() + est_b.error().as_secs() + 0.005;
+        assert!(
+            skew.abs() <= budget,
+            "skew {skew} exceeds error budget {budget}"
+        );
+    }
+
+    #[test]
+    fn run_exits_gracefully_on_shutdown_signal_and_flushes_the_store() {
+        crate::signal::reset();
+        let mut path = std::env::temp_dir();
+        path.push(format!("tempo-runtime-shutdown-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let store: Box<dyn StableStore> = Box::new(FileStore::open(&path).unwrap());
+        let server = TimeServer::with_store(
+            SimClock::builder().drift(DriftModel::Constant(0.0)).build(),
+            config(0.01),
+            store,
+        );
+        let (sock, _other, addrs) = loopback_pair();
+        let mut rt = UdpRuntime::new(server, sock, 0, addrs, 1);
+        // The constructor persisted the initial state; lose the file
+        // so only the shutdown flush can bring it back.
+        std::fs::remove_file(&path).unwrap();
+        let stopper = std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            crate::signal::request_shutdown();
+        });
+        let started = Instant::now();
+        rt.run(|_| false);
+        stopper.join().unwrap();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "run did not stop on the signal"
+        );
+        assert!(
+            FileStore::open(&path).unwrap().load().is_some(),
+            "graceful shutdown did not flush the persisted state"
+        );
+        let _ = std::fs::remove_file(&path);
+        crate::signal::reset();
+    }
+
+    #[test]
+    fn malformed_datagrams_are_counted_not_crashing() {
+        let (sock, attacker, addrs) = loopback_pair();
+        let target = addrs[0];
+        let mut rt = UdpRuntime::new(server(0.0, 0.01), sock, 0, addrs, 1);
+        rt.start();
+        // Garbage of several shapes: empty-ish, truncated header,
+        // right magic wrong checksum, pure noise.
+        attacker.send_to(&[0x7e], target).unwrap();
+        attacker.send_to(&[0x7e, 0x30, 0x01], target).unwrap();
+        attacker.send_to(&[0xff; 64], target).unwrap();
+        attacker
+            .send_to(&[0x7e, 0x30, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], target)
+            .unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while rt.server().stats().malformed_frames < 4 {
+            rt.poll(std::time::Duration::from_millis(5));
+            assert!(
+                Instant::now() < deadline,
+                "saw only {} malformed frames",
+                rt.server().stats().malformed_frames
+            );
+        }
+    }
+
+    #[test]
+    fn transient_client_addresses_get_stable_ids_and_replies() {
+        let (sock, client, addrs) = loopback_pair();
+        let target = addrs[0];
+        let mut rt = UdpRuntime::new(server(0.0, 0.01), sock, 0, addrs, 1);
+        rt.start();
+        let frame = encode(&Message::TimeRequest {
+            request_id: 99,
+            attempt: 0,
+        });
+        client.send_to(&frame, target).unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+            .unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        let mut buf = [0u8; 512];
+        loop {
+            rt.poll(std::time::Duration::from_millis(5));
+            if let Ok((len, _)) = client.recv_from(&mut buf) {
+                let msg = decode(&buf[..len]).expect("well-formed reply");
+                match msg {
+                    Message::TimeReply { request_id, .. }
+                    | Message::Uninitialized { request_id } => assert_eq!(request_id, 99),
+                    Message::TimeRequest { .. } => panic!("server should not request from clients"),
+                }
+                break;
+            }
+            assert!(Instant::now() < deadline, "no reply to the client request");
+        }
+    }
+}

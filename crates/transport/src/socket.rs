@@ -1,0 +1,76 @@
+//! The socket seam: everything above this trait is testable without a
+//! network, and everything below it (including fault injection) is
+//! swappable without touching the protocol.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// An unreliable, unordered datagram endpoint.
+///
+/// Semantically this is exactly the network of the paper's §2: messages
+/// may be lost, duplicated, delayed, and reordered, and anything larger
+/// than a frame may arrive truncated or corrupted. Implementations:
+/// [`std::net::UdpSocket`] (production), [`crate::FaultyTransport`]
+/// (production socket plus *injected* §2 misbehaviour), and in-memory
+/// mocks (tests).
+///
+/// Sends take `&self` — datagram sockets are naturally shareable, and
+/// the fault decorator's flusher thread needs to send from a clone.
+pub trait DatagramSocket: Send + Sync + std::fmt::Debug + 'static {
+    /// Sends one datagram to `addr`. A short send is not an error at
+    /// this layer; the receiver's codec rejects the truncated frame.
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize>;
+
+    /// Receives one datagram, returning its length and origin.
+    /// Implementations should honour a read timeout so callers can
+    /// interleave timer processing (a blocked `recv_from` returns
+    /// `WouldBlock`/`TimedOut`).
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)>;
+
+    /// The local address this endpoint is bound to.
+    fn local_addr(&self) -> io::Result<SocketAddr>;
+
+    /// Bounds how long the next `recv_from` may block. Mocks that
+    /// never block can keep the no-op default; the real socket maps
+    /// this to `set_read_timeout`.
+    fn configure_read_timeout(&self, wait: std::time::Duration) {
+        let _ = wait;
+    }
+}
+
+impl DatagramSocket for UdpSocket {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        UdpSocket::send_to(self, buf, addr)
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        UdpSocket::recv_from(self, buf)
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        UdpSocket::local_addr(self)
+    }
+
+    fn configure_read_timeout(&self, wait: std::time::Duration) {
+        let _ = self.set_read_timeout(Some(wait));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_socket_satisfies_the_trait() {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b_addr = DatagramSocket::local_addr(&b).unwrap();
+        DatagramSocket::send_to(&a, b"ping", b_addr).unwrap();
+        b.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let (len, from) = DatagramSocket::recv_from(&b, &mut buf).unwrap();
+        assert_eq!(&buf[..len], b"ping");
+        assert_eq!(from, DatagramSocket::local_addr(&a).unwrap());
+    }
+}

@@ -1,0 +1,252 @@
+//! Durable stable storage: the file-backed [`StableStore`] that lets a
+//! SIGKILLed `tempod` rehydrate `(r_i, ε_i)` on relaunch.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use tempo_core::{Duration, Timestamp};
+use tempo_service::{PersistedState, StableStore};
+
+/// A [`StableStore`] persisting to a single file.
+///
+/// Writes are atomic in the crash sense: the state is written to a
+/// sibling temporary file, fsynced, then renamed over the target, so
+/// a crash at any instant leaves either the old record or the new one
+/// — never a torn write. The format is a single line of three
+/// hex-encoded IEEE-754 bit patterns (`reset_clock inherited_error
+/// reset_at`, all in seconds), which round-trips the `f64`-backed
+/// [`Timestamp`]/[`Duration`] exactly.
+#[derive(Debug)]
+pub struct FileStore {
+    path: PathBuf,
+    /// Last state written or loaded, so `load` needs no re-read and
+    /// `flush` can re-persist after a wipe-less shutdown.
+    cached: Option<PersistedState>,
+}
+
+impl FileStore {
+    /// Opens (or prepares to create) the store at `path`, reading any
+    /// surviving record — the durable-restart path.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file exists but cannot be read or parsed; a
+    /// missing file is simply an empty store.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let cached = match File::open(&path) {
+            Ok(mut file) => {
+                let mut text = String::new();
+                file.read_to_string(&mut text)?;
+                Some(parse_record(&text).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {e}", path.display()),
+                    )
+                })?)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        Ok(FileStore { path, cached })
+    }
+
+    /// The backing file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_record(&self, state: PersistedState) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(encode_record(state).as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, &self.path)?;
+        // Persist the rename itself where the platform allows
+        // directory fsync; failure here is not a torn write.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+fn encode_record(state: PersistedState) -> String {
+    format!(
+        "{:016x} {:016x} {:016x}\n",
+        state.reset_clock.as_secs().to_bits(),
+        state.inherited_error.as_secs().to_bits(),
+        state.reset_at.as_secs().to_bits(),
+    )
+}
+
+fn parse_record(text: &str) -> Result<PersistedState, String> {
+    let mut fields = text.split_whitespace().map(|word| {
+        u64::from_str_radix(word, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad hex field `{word}`"))
+    });
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .ok_or_else(|| format!("missing field `{name}`"))?
+            .and_then(|v| {
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(format!("field `{name}` is not finite"))
+                }
+            })
+    };
+    let reset_clock = next("reset_clock")?;
+    let inherited_error = next("inherited_error")?;
+    let reset_at = next("reset_at")?;
+    Ok(PersistedState {
+        reset_clock: Timestamp::from_secs(reset_clock),
+        inherited_error: Duration::from_secs(inherited_error),
+        reset_at: Timestamp::from_secs(reset_at),
+    })
+}
+
+impl StableStore for FileStore {
+    fn persist(&mut self, state: PersistedState) {
+        // StableStore is infallible by contract (the simulator's
+        // stores cannot fail); a disk error here degrades durability,
+        // not correctness, so it is reported and survived — the server
+        // keeps running on its in-memory state.
+        if let Err(e) = self.write_record(state) {
+            eprintln!(
+                "tempo-transport: failed to persist state to {}: {e}",
+                self.path.display()
+            );
+        }
+        self.cached = Some(state);
+    }
+
+    fn load(&self) -> Option<PersistedState> {
+        self.cached
+    }
+
+    fn wipe(&mut self) {
+        let _ = fs::remove_file(&self.path);
+        self.cached = None;
+    }
+
+    fn flush(&mut self) {
+        // persist() already fsyncs, but a flush after a wipe-less run
+        // re-writes the record in case the medium ate it (and is the
+        // graceful-shutdown hook tempod relies on).
+        if let Some(state) = self.cached {
+            if let Err(e) = self.write_record(state) {
+                eprintln!(
+                    "tempo-transport: failed to flush state to {}: {e}",
+                    self.path.display()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(r: f64, eps: f64, at: f64) -> PersistedState {
+        PersistedState {
+            reset_clock: Timestamp::from_secs(r),
+            inherited_error: Duration::from_secs(eps),
+            reset_at: Timestamp::from_secs(at),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tempo-filestore-{name}-{}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let path = temp_path("roundtrip");
+        let written = state(123.456789, 0.001234, 123.5);
+        {
+            let mut store = FileStore::open(&path).unwrap();
+            assert_eq!(store.load(), None);
+            store.persist(written);
+        }
+        let reopened = FileStore::open(&path).unwrap();
+        assert_eq!(reopened.load(), Some(written));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exact_bits_survive_even_awkward_values() {
+        let path = temp_path("bits");
+        // A value with no short decimal representation.
+        let written = state(1.0 / 3.0, f64::MIN_POSITIVE, 1e9 + 1.0 / 7.0);
+        {
+            let mut store = FileStore::open(&path).unwrap();
+            store.persist(written);
+        }
+        assert_eq!(FileStore::open(&path).unwrap().load(), Some(written));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persist_overwrites() {
+        let path = temp_path("overwrite");
+        let mut store = FileStore::open(&path).unwrap();
+        store.persist(state(1.0, 0.5, 1.0));
+        store.persist(state(2.0, 0.25, 2.0));
+        assert_eq!(store.load(), Some(state(2.0, 0.25, 2.0)));
+        assert_eq!(
+            FileStore::open(&path).unwrap().load(),
+            Some(state(2.0, 0.25, 2.0))
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wipe_is_durable_amnesia() {
+        let path = temp_path("wipe");
+        let mut store = FileStore::open(&path).unwrap();
+        store.persist(state(1.0, 0.5, 1.0));
+        store.wipe();
+        assert_eq!(store.load(), None);
+        assert_eq!(FileStore::open(&path).unwrap().load(), None);
+    }
+
+    #[test]
+    fn corrupt_record_is_an_error_not_a_panic() {
+        let path = temp_path("corrupt");
+        fs::write(&path, "not hex at all\n").unwrap();
+        assert!(FileStore::open(&path).is_err());
+        fs::write(&path, "deadbeef\n").unwrap();
+        assert!(FileStore::open(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_rewrites_a_lost_file() {
+        let path = temp_path("flush");
+        let mut store = FileStore::open(&path).unwrap();
+        store.persist(state(3.0, 0.1, 3.0));
+        fs::remove_file(&path).unwrap();
+        store.flush();
+        assert_eq!(
+            FileStore::open(&path).unwrap().load(),
+            Some(state(3.0, 0.1, 3.0))
+        );
+        let _ = fs::remove_file(&path);
+    }
+}
