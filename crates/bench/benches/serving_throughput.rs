@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the serving read path: seqlock snapshot reads
+//! (quiet and under publish contention), the MM-1 serve computation,
+//! and the batched wire encoding the front answers with.
+//!
+//! The end-to-end socket numbers live in `tempod --bench-serve`
+//! (BENCH_8.json); this bench pins the per-operation costs that make
+//! the million-QPS budget: a snapshot read must stay in the tens of
+//! nanoseconds, and a batch frame must amortise encoding to well
+//! under the single-frame cost per message.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tempo_core::{
+    ClockSnapshot, DriftRate, Duration, SnapshotCell, SnapshotReader, TimeEstimate, Timestamp,
+};
+use tempo_service::wire::{decode_batch, encode, encode_batch_into, encode_into};
+use tempo_service::Message;
+
+fn snapshot() -> ClockSnapshot {
+    ClockSnapshot {
+        reset_clock: Timestamp::from_secs(1_000.0),
+        inherited_error: Duration::from_millis(10.0),
+        drift_bound: DriftRate::new(1e-4),
+        base_clock: Timestamp::from_secs(1_000.25),
+        base_real: Timestamp::from_secs(0.25),
+        epoch: 3,
+        serving: true,
+    }
+}
+
+fn bench_snapshot_path(c: &mut Criterion) {
+    let cell = Arc::new(SnapshotCell::new());
+    cell.publish(&snapshot());
+    let reader = SnapshotReader::new(Arc::clone(&cell));
+
+    c.bench_function("snapshot_read", |b| {
+        b.iter(|| black_box(reader.read()).unwrap());
+    });
+    c.bench_function("snapshot_serve", |b| {
+        let now = Timestamp::from_secs(7.5);
+        b.iter(|| reader.serve(black_box(now)).unwrap());
+    });
+
+    // The contended case: a publisher hammering the cell while we
+    // read. Reads retry on seq changes, so this is the worst-case
+    // per-read cost the front ever pays.
+    c.bench_function("snapshot_read_under_publishes", |b| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut snap = snapshot();
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    k += 1;
+                    snap.base_real = Timestamp::from_secs(0.25 + k as f64 * 1e-6);
+                    cell.publish(&snap);
+                }
+            })
+        };
+        b.iter(|| black_box(reader.read()).unwrap());
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+}
+
+fn bench_wire_path(c: &mut Criterion) {
+    let reply = Message::TimeReply {
+        request_id: 42,
+        received_at: Timestamp::from_secs(1_234.567),
+        estimate: TimeEstimate::new(Timestamp::from_secs(1_234.567), Duration::from_millis(12.0)),
+    };
+
+    // The front reuses one output buffer per loop turn; the baseline
+    // allocates per frame. The delta is the zero-copy win.
+    c.bench_function("wire_encode_alloc", |b| {
+        b.iter(|| encode(black_box(&reply)));
+    });
+    c.bench_function("wire_encode_into_reused", |b| {
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            out.clear();
+            encode_into(black_box(&reply), &mut out);
+            black_box(out.len())
+        });
+    });
+
+    let mut group = c.benchmark_group("batch_frames");
+    for count in [1usize, 8, 64] {
+        let replies: Vec<Message> = (0..count as u64)
+            .map(|id| Message::TimeReply {
+                request_id: id,
+                received_at: Timestamp::from_secs(1_234.0 + id as f64),
+                estimate: TimeEstimate::new(
+                    Timestamp::from_secs(1_234.0 + id as f64),
+                    Duration::from_millis(12.0),
+                ),
+            })
+            .collect();
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_batch_into", count),
+            &replies,
+            |b, replies| {
+                let mut out = Vec::with_capacity(64 * replies.len());
+                b.iter(|| {
+                    out.clear();
+                    encode_batch_into(black_box(replies), &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        let mut frame = Vec::new();
+        encode_batch_into(&replies, &mut frame);
+        group.bench_with_input(
+            BenchmarkId::new("decode_batch", count),
+            &frame,
+            |b, frame| {
+                b.iter(|| decode_batch(black_box(frame)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_path, bench_wire_path);
+criterion_main!(benches);

@@ -28,7 +28,9 @@
 //!   [Marzullo 83] (the ancestor of NTP's clock-select),
 //! * [`ntp`] — an RFC-5905-style selection built on the same sweep,
 //! * [`consistency`] — pairwise consistency and consistency groups (§5),
-//! * [`consonance`] — the same machinery applied to clock *rates* (§5).
+//! * [`consonance`] — the same machinery applied to clock *rates* (§5),
+//! * [`snapshot`] — the seqlock-published `(r, ε, δ)` serving snapshot
+//!   behind the lock-free read path.
 //!
 //! All functions here are pure: they map an observed set of replies to a
 //! decision. Driving them over a simulated network is the job of the
@@ -78,9 +80,11 @@ pub mod marzullo;
 pub mod nanos;
 pub mod ntp;
 pub mod offset;
+pub mod snapshot;
 pub mod sync;
 pub mod time;
 
 pub use estimate::{ErrorState, TimeEstimate};
 pub use interval::TimeInterval;
+pub use snapshot::{ClockSnapshot, SnapshotCell, SnapshotReader};
 pub use time::{DriftRate, Duration, Timestamp};

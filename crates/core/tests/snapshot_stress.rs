@@ -1,0 +1,99 @@
+//! Seqlock stress: eight reader threads hammer a [`SnapshotCell`]
+//! while a writer republishes as fast as it can for about a second.
+//! Every snapshot any reader ever observes must be *internally
+//! consistent* — all fields from one generation, proven by redundant
+//! relationships the writer bakes into each payload — and the
+//! publication sequence must never appear to run backwards.
+//!
+//! Run in release mode (CI wraps it in a timeout): optimised code
+//! interleaves far more aggressively, which is exactly what the
+//! memory-ordering argument in `snapshot.rs` must survive.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use tempo_core::{ClockSnapshot, DriftRate, Duration, SnapshotCell, SnapshotReader, Timestamp};
+
+/// Builds the generation-`g` payload. Every field is a distinct
+/// function of `g`, so any cross-generation mix of words breaks at
+/// least one of the relationships `check` verifies.
+fn payload(g: u64) -> ClockSnapshot {
+    let base = g as f64;
+    ClockSnapshot {
+        reset_clock: Timestamp::from_secs(base * 3.0),
+        inherited_error: Duration::from_secs(base * 0.5 + 0.25),
+        drift_bound: DriftRate::new(if g.is_multiple_of(2) { 1e-4 } else { 2e-4 }),
+        base_clock: Timestamp::from_secs(base * 3.0 + 1.0),
+        base_real: Timestamp::from_secs(base * 7.0),
+        epoch: (g % 1000) as u32,
+        serving: !g.is_multiple_of(3),
+    }
+}
+
+/// Asserts that `snap` is exactly some generation's payload.
+fn check(snap: &ClockSnapshot) {
+    let g = (snap.reset_clock.as_secs() / 3.0).round() as u64;
+    let expected = payload(g);
+    assert_eq!(
+        *snap, expected,
+        "torn read escaped: observed {snap:?}, generation {g} publishes {expected:?}"
+    );
+}
+
+#[test]
+fn eight_readers_never_observe_a_torn_snapshot() {
+    let cell = Arc::new(SnapshotCell::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..8 {
+        let reader = SnapshotReader::new(Arc::clone(&cell));
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut seen: u64 = 0;
+            let mut last_generation = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let before = reader.generation();
+                if let Some(snap) = reader.read() {
+                    check(&snap);
+                    seen += 1;
+                }
+                let after = reader.generation();
+                assert!(
+                    after >= before && before >= last_generation,
+                    "publication sequence ran backwards: {last_generation} → {before} → {after}"
+                );
+                last_generation = after;
+            }
+            seen
+        }));
+    }
+
+    // The writer republishes back-to-back for ~1 s: tens of millions of
+    // generations in release mode, every one a chance to tear.
+    let deadline = Instant::now() + StdDuration::from_secs(1);
+    let mut g: u64 = 0;
+    while Instant::now() < deadline {
+        // A burst per clock check keeps the Instant overhead off the
+        // write path without letting the loop run unbounded.
+        for _ in 0..256 {
+            g += 1;
+            cell.publish(&payload(g));
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_reads = 0u64;
+    for handle in readers {
+        total_reads += handle
+            .join()
+            .expect("reader panicked (torn read or regression)");
+    }
+    assert_eq!(cell.generation(), g);
+    assert!(
+        total_reads > 10_000,
+        "readers starved: only {total_reads} reads against {g} generations"
+    );
+    // The cell still round-trips cleanly after the storm.
+    assert_eq!(cell.read(), Some(payload(g)));
+}

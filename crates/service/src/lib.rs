@@ -71,6 +71,6 @@ pub use fault::{RestartSchedule, ServerFault, ServerFaultKind};
 pub use health::{HealthConfig, HealthTracker, PeerState};
 pub use message::Message;
 pub use node::ServiceNode;
-pub use rate::RateMonitor;
+pub use rate::{AdmissionControl, RateMonitor};
 pub use server::{Lifecycle, ServerSample, ServerStats, TimeServer};
 pub use store::{MemoryStore, PersistedState, StableStore};

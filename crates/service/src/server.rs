@@ -8,6 +8,7 @@
 //! used to drive that clock, exactly as on real hardware.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,8 +19,9 @@ use tempo_core::sync::baseline::baseline_round;
 use tempo_core::sync::im::{im_round, ImOutcome};
 use tempo_core::sync::mm::{mm_decide, MmOutcome};
 use tempo_core::sync::{Reset, TimedReply};
-use tempo_core::{marzullo, ErrorState, TimeEstimate, TimeInterval};
+use tempo_core::{marzullo, ClockSnapshot, ErrorState, SnapshotCell, SnapshotReader};
 use tempo_core::{Duration, Timestamp};
+use tempo_core::{TimeEstimate, TimeInterval};
 use tempo_net::{Actor, Context, NodeId};
 use tempo_telemetry::{Bus, EventKind as TelemetryKind, HealthState, RejectCause, TelemetryEvent};
 
@@ -278,6 +280,12 @@ pub struct TimeServer {
     /// server's state, until the first adoption that passes the §5
     /// consistency screen declares it stabilized again.
     corrupted_at: Option<Timestamp>,
+    /// The seqlock-published serving snapshot: every reset/adoption and
+    /// every lifecycle transition republishes `(r_i, ε_i, δ_i)` plus an
+    /// affine `(base clock, base real)` pair here, so [`SnapshotReader`]
+    /// handles answer time requests without touching this actor (see
+    /// `tempo_core::snapshot` and DESIGN.md §Serving path).
+    snapshot: Arc<SnapshotCell>,
 }
 
 impl TimeServer {
@@ -361,7 +369,7 @@ impl TimeServer {
                 reset_at: clock.last_real(),
             });
         }
-        TimeServer {
+        let mut server = TimeServer {
             clock,
             state,
             config,
@@ -388,7 +396,13 @@ impl TimeServer {
             boot_rounds: 0,
             recent_estimates: HashMap::new(),
             corrupted_at: None,
-        }
+            snapshot: Arc::new(SnapshotCell::new()),
+        };
+        // First publication: the payload exists from birth, flagged
+        // not-serving until the join.
+        let at = server.clock.last_real();
+        server.publish_snapshot(at);
+        server
     }
 
     /// Wires the server onto a telemetry [`Bus`]. Call before the
@@ -478,6 +492,35 @@ impl TimeServer {
     pub fn current_estimate(&mut self, now: Timestamp) -> TimeEstimate {
         let reading = self.reading(now);
         self.state.estimate_at(reading)
+    }
+
+    /// A cloneable, lock-free handle onto the published serving
+    /// snapshot. Reader threads answer `⟨C, E⟩` queries through it
+    /// without ever touching this actor — the million-QPS read path.
+    #[must_use]
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        SnapshotReader::new(Arc::clone(&self.snapshot))
+    }
+
+    /// Republishes the serving snapshot from the current MM-1 state.
+    ///
+    /// Called at every site that changes what a read would return:
+    /// construction, join/leave, every adopted reset (both apply
+    /// modes), state corruption, crash, and post-restart promotion.
+    /// `now` anchors the affine `(base clock, base real)` pair that
+    /// detached serving threads extrapolate along at rate 1.
+    fn publish_snapshot(&mut self, now: Timestamp) {
+        let base_clock = self.reading(now);
+        let snapshot = ClockSnapshot {
+            reset_clock: self.state.last_reset(),
+            inherited_error: self.state.inherited_error(),
+            drift_bound: self.config.drift_bound,
+            base_clock,
+            base_real: now,
+            epoch: self.epoch,
+            serving: self.is_active(),
+        };
+        self.snapshot.publish(&snapshot);
     }
 
     /// Takes a metrics snapshot (simulation-only observability).
@@ -619,6 +662,9 @@ impl TimeServer {
                     });
             }
         }
+        // The serving front sees the adoption as soon as the sync core
+        // does: republish before anything else can observe the state.
+        self.publish_snapshot(now);
         // Every reset reaches stable storage, so a durable restart can
         // rehydrate the freshest `(r_i, ε_i)` pair.
         self.store.persist(PersistedState {
@@ -660,6 +706,7 @@ impl TimeServer {
     fn join(&mut self, ctx: &mut Context<'_, Message>) {
         self.active = true;
         let now = ctx.now();
+        self.publish_snapshot(now);
         if self.bus.enabled(TelemetryKind::Join) {
             let clock = self.reading(now);
             self.bus.emit(TelemetryEvent::Join {
@@ -1194,6 +1241,10 @@ impl TimeServer {
         self.pending.clear();
         self.round_replies.clear();
         self.corrupted_at = Some(now);
+        // The front serves whatever the actor would: garbage state is
+        // published too (the §5 stabilization exit will republish the
+        // clean adoption the same way).
+        self.publish_snapshot(now);
         self.bus.emit_with(TelemetryKind::StateCorrupted, || {
             TelemetryEvent::StateCorrupted {
                 at: now,
@@ -1220,6 +1271,8 @@ impl TimeServer {
         self.degraded = false;
         self.stats.crashes += 1;
         let at = ctx.now();
+        // Down: the front must refuse on our behalf immediately.
+        self.publish_snapshot(at);
         self.bus.emit_with(TelemetryKind::ServerCrashed, || {
             TelemetryEvent::ServerCrashed {
                 at,
@@ -1295,6 +1348,9 @@ impl TimeServer {
     fn promote(&mut self, rounds: u32, ctx: &mut Context<'_, Message>) {
         self.lifecycle = Lifecycle::Active;
         let now = ctx.now();
+        // Back in service (rehydrated or bootstrapped state already in
+        // place): reopen the serving front under the new epoch.
+        self.publish_snapshot(now);
         if self.bus.enabled(TelemetryKind::BootstrapCompleted) {
             let clock = self.reading(now);
             let error = self.state.error_at(clock);
@@ -1821,6 +1877,7 @@ impl Actor for TimeServer {
                 self.recovering = false;
                 self.degraded = false;
                 let at = ctx.now();
+                self.publish_snapshot(at);
                 self.bus
                     .emit_with(TelemetryKind::Leave, || TelemetryEvent::Leave {
                         at,

@@ -22,6 +22,26 @@
 //! ```
 //!
 //! Requests and uninitialized refusals are 14 bytes, replies 38.
+//!
+//! ## Batch frames
+//!
+//! The serving front answers bursts of requests with one datagram per
+//! *batch* of replies (PUP gateways did the same aggregation for
+//! routing tables). A batch frame is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic 0x7E30
+//! 2       1     message type 4 (batch)
+//! 3       1     count n (1–255)
+//! 4       …     n complete inner frames, each with its own checksum
+//! last 2        outer checksum over everything before it
+//! ```
+//!
+//! Inner frames are byte-identical to their stand-alone encodings, so
+//! batching is transparent: decoding a batch and decoding its frames
+//! one at a time yield the same messages (`wire_properties.rs` pins
+//! this as a property).
 
 use std::fmt;
 
@@ -33,9 +53,14 @@ const MAGIC: u16 = 0x7E30;
 const TYPE_REQUEST: u8 = 1;
 const TYPE_REPLY: u8 = 2;
 const TYPE_UNINIT: u8 = 3;
+const TYPE_BATCH: u8 = 4;
 const REQUEST_LEN: usize = 14;
 const REPLY_LEN: usize = 38;
 const UNINIT_LEN: usize = 14;
+/// Batch header: magic + type + count.
+const BATCH_HEADER_LEN: usize = 4;
+/// Most inner frames one batch can carry (the count is a byte).
+pub const MAX_BATCH: usize = 255;
 
 /// Why a packet failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +150,16 @@ fn checksum(bytes: &[u8]) -> u16 {
 #[must_use]
 pub fn encode(msg: &Message) -> Vec<u8> {
     let mut out = Vec::with_capacity(REPLY_LEN);
+    encode_into(msg, &mut out);
+    out
+}
+
+/// Encodes a message by appending to `out` — the allocation-free form
+/// the serving front uses on its per-thread reply buffers (and the
+/// batch encoder uses for inner frames). The bytes appended are
+/// exactly [`encode`]'s output.
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
+    let start = out.len();
     out.extend_from_slice(&MAGIC.to_be_bytes());
     match *msg {
         Message::TimeRequest {
@@ -153,9 +188,139 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(&request_id.to_be_bytes());
         }
     }
-    let ck = checksum(&out);
+    let ck = checksum(&out[start..]);
     out.extend_from_slice(&ck.to_be_bytes());
+}
+
+/// Encodes a batch of messages as one self-checking frame (see the
+/// module docs for the layout). Inner frames are byte-identical to
+/// their stand-alone [`encode`] form.
+///
+/// # Panics
+///
+/// Panics on an empty batch or more than [`MAX_BATCH`] messages — the
+/// caller owns the aggregation loop and must split at the cap.
+#[must_use]
+pub fn encode_batch(msgs: &[Message]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(BATCH_HEADER_LEN + msgs.len() * REPLY_LEN + 2);
+    encode_batch_into(msgs, &mut out);
     out
+}
+
+/// [`encode_batch`] as a buffer append — the serving front's reply
+/// path reuses one buffer per thread. The bytes appended are exactly
+/// [`encode_batch`]'s output.
+///
+/// # Panics
+///
+/// As [`encode_batch`]: empty batches and more than [`MAX_BATCH`]
+/// messages are the caller's bug.
+pub fn encode_batch_into(msgs: &[Message], out: &mut Vec<u8>) {
+    assert!(
+        !msgs.is_empty(),
+        "a batch frame carries at least one message"
+    );
+    assert!(msgs.len() <= MAX_BATCH, "batch count is a single byte");
+    let start = out.len();
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(TYPE_BATCH);
+    out.push(msgs.len() as u8);
+    for msg in msgs {
+        encode_into(msg, out);
+    }
+    let ck = checksum(&out[start..]);
+    out.extend_from_slice(&ck.to_be_bytes());
+}
+
+/// Whether a received frame declares itself a batch (so the caller
+/// routes it to [`decode_batch`] instead of [`decode`]). Purely a
+/// dispatch hint: full validation happens in the decoder.
+#[must_use]
+pub fn is_batch_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 3 && bytes[..2] == MAGIC.to_be_bytes() && bytes[2] == TYPE_BATCH
+}
+
+/// The encoded length an inner frame of type `kind` declares, if the
+/// type is known.
+fn inner_len(kind: u8) -> Option<usize> {
+    match kind {
+        TYPE_REQUEST => Some(REQUEST_LEN),
+        TYPE_REPLY => Some(REPLY_LEN),
+        TYPE_UNINIT => Some(UNINIT_LEN),
+        _ => None,
+    }
+}
+
+/// Decodes a batch frame into its messages, in order.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first defect: any shortfall
+/// anywhere — mid-header, mid-inner-frame, or into the outer checksum —
+/// is [`DecodeError::Truncated`] (pinned at every byte boundary by
+/// `wire_properties.rs`); excess bytes after the declared frames are
+/// [`DecodeError::BadLength`]; a non-batch type byte is
+/// [`DecodeError::UnknownType`]; inner-frame defects surface as the
+/// inner [`decode`]'s error.
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<Message>, DecodeError> {
+    if bytes.len() < BATCH_HEADER_LEN {
+        return Err(DecodeError::Truncated { len: bytes.len() });
+    }
+    let magic = u16::from_be_bytes([bytes[0], bytes[1]]);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic { found: magic });
+    }
+    if bytes[2] != TYPE_BATCH {
+        return Err(DecodeError::UnknownType { found: bytes[2] });
+    }
+    let count = usize::from(bytes[3]);
+    if count == 0 {
+        // A batch that declares no frames is a framing error, not a
+        // short read: no amount of further bytes makes it valid.
+        return Err(DecodeError::BadLength {
+            kind: TYPE_BATCH,
+            len: bytes.len(),
+        });
+    }
+    // Walk the declared inner frames to find the batch's total extent.
+    // Type bytes sit at fixed offsets, so the walk is deterministic for
+    // every prefix of a valid frame: any shortfall is a truncation.
+    let mut bounds = Vec::with_capacity(count);
+    let mut offset = BATCH_HEADER_LEN;
+    for _ in 0..count {
+        if offset + 3 > bytes.len() {
+            return Err(DecodeError::Truncated { len: bytes.len() });
+        }
+        let Some(len) = inner_len(bytes[offset + 2]) else {
+            return Err(DecodeError::UnknownType {
+                found: bytes[offset + 2],
+            });
+        };
+        if offset + len > bytes.len() {
+            return Err(DecodeError::Truncated { len: bytes.len() });
+        }
+        bounds.push((offset, offset + len));
+        offset += len;
+    }
+    let total = offset + 2;
+    if bytes.len() < total {
+        return Err(DecodeError::Truncated { len: bytes.len() });
+    }
+    if bytes.len() > total {
+        return Err(DecodeError::BadLength {
+            kind: TYPE_BATCH,
+            len: bytes.len(),
+        });
+    }
+    let (body, ck_bytes) = bytes.split_at(total - 2);
+    let declared = u16::from_be_bytes([ck_bytes[0], ck_bytes[1]]);
+    if checksum(body) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    bounds
+        .into_iter()
+        .map(|(start, end)| decode(&bytes[start..end]))
+        .collect()
 }
 
 /// Decodes a packet.
@@ -428,5 +593,133 @@ mod tests {
     fn error_display() {
         assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
         assert!(DecodeError::Truncated { len: 3 }.to_string().contains('3'));
+    }
+
+    // ----- batch frames -----
+
+    fn mixed_batch() -> Vec<Message> {
+        vec![
+            reply(1, 100.0, 0.5),
+            Message::TimeRequest {
+                request_id: 2,
+                attempt: 1,
+            },
+            Message::Uninitialized { request_id: 3 },
+            reply(4, -5.25, 0.0),
+        ]
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let msgs = mixed_batch();
+        let bytes = encode_batch(&msgs);
+        assert_eq!(bytes[2], TYPE_BATCH);
+        assert_eq!(bytes[3], 4);
+        assert_eq!(decode_batch(&bytes).unwrap(), msgs);
+    }
+
+    #[test]
+    fn batch_inner_frames_are_standalone_encodings() {
+        let msgs = mixed_batch();
+        let bytes = encode_batch(&msgs);
+        let mut offset = BATCH_HEADER_LEN;
+        for msg in &msgs {
+            let single = encode(msg);
+            assert_eq!(
+                &bytes[offset..offset + single.len()],
+                &single[..],
+                "inner frame differs from stand-alone encoding"
+            );
+            offset += single.len();
+        }
+        assert_eq!(offset + 2, bytes.len());
+    }
+
+    #[test]
+    fn singleton_batch_roundtrip() {
+        let msgs = vec![reply(77, 1.5, 0.25)];
+        assert_eq!(decode_batch(&encode_batch(&msgs)).unwrap(), msgs);
+    }
+
+    #[test]
+    fn batch_truncation_rejected_at_every_boundary() {
+        let bytes = encode_batch(&mixed_batch());
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_batch(&bytes[..cut]),
+                Err(DecodeError::Truncated { len: cut }),
+                "cut at {cut} of a {}-byte batch",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_corruption_is_detected() {
+        let bytes = encode_batch(&mixed_batch());
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xA5;
+            assert!(
+                decode_batch(&corrupted).is_err(),
+                "flip at byte {i} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_trailing_garbage_rejected() {
+        let mut bytes = encode_batch(&mixed_batch());
+        bytes.push(0);
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(DecodeError::BadLength {
+                kind: TYPE_BATCH,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_count_batch_rejected() {
+        let mut bytes = encode_batch(&[Message::Uninitialized { request_id: 1 }]);
+        bytes[3] = 0;
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(DecodeError::BadLength {
+                kind: TYPE_BATCH,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_batch_frame_rejected_by_decode_batch() {
+        let single = encode(&reply(5, 10.0, 0.1));
+        assert_eq!(
+            decode_batch(&single),
+            Err(DecodeError::UnknownType { found: TYPE_REPLY })
+        );
+        // And the single-frame decoder refuses batch frames in turn.
+        let batch = encode_batch(&[reply(5, 10.0, 0.1)]);
+        assert_eq!(
+            decode(&batch),
+            Err(DecodeError::UnknownType { found: TYPE_BATCH })
+        );
+    }
+
+    #[test]
+    fn encode_into_appends_exactly_encode() {
+        let mut buf = vec![0xAB, 0xCD];
+        let msg = reply(9, 42.0, 0.01);
+        encode_into(&msg, &mut buf);
+        assert_eq!(&buf[..2], &[0xAB, 0xCD]);
+        assert_eq!(&buf[2..], &encode(&msg)[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn empty_batch_panics() {
+        let _ = encode_batch(&[]);
     }
 }

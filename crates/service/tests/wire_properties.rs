@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use tempo_core::{Duration, TimeEstimate, Timestamp};
-use tempo_service::wire::{decode, encode, DecodeError};
+use tempo_service::wire::{decode, decode_batch, encode, encode_batch, encode_into, DecodeError};
 use tempo_service::Message;
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -122,5 +122,94 @@ proptest! {
         if let Ok(decoded) = decode(&bytes) {
             prop_assert_eq!(encode(&decoded), bytes);
         }
+    }
+
+    // ----- batch frames (the serving front's aggregated replies) -----
+
+    /// Batch encode → decode is the identity for any message sequence,
+    /// and batching is *transparent*: the inner frames are byte-for-byte
+    /// the stand-alone encodings, so decoding them one at a time yields
+    /// exactly the same messages in the same order.
+    #[test]
+    fn batch_equals_one_at_a_time(msgs in prop::collection::vec(arb_message(), 1..24)) {
+        let bytes = encode_batch(&msgs);
+        let decoded = decode_batch(&bytes);
+        prop_assert_eq!(decoded.as_ref(), Ok(&msgs));
+        // Walk the inner frames exactly as a one-at-a-time decoder
+        // would, comparing against individual encodings.
+        let mut offset = 4; // magic + type + count
+        for msg in &msgs {
+            let single = encode(msg);
+            let inner = &bytes[offset..offset + single.len()];
+            prop_assert_eq!(inner, &single[..], "inner frame ≠ stand-alone encoding");
+            prop_assert_eq!(decode(inner), Ok(*msg));
+            offset += single.len();
+        }
+        prop_assert_eq!(offset + 2, bytes.len(), "only the outer checksum may follow");
+    }
+
+    /// `encode_into` is `encode` as a buffer append, at any prefix.
+    #[test]
+    fn encode_into_matches_encode(
+        msg in arb_message(),
+        prefix in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut buf = prefix.clone();
+        encode_into(&msg, &mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&buf[prefix.len()..], &encode(&msg)[..]);
+    }
+
+    /// Truncating a batch frame anywhere — mid-header, at an inner
+    /// frame boundary, mid-inner-frame, or into the outer checksum —
+    /// is rejected *as a truncation* at every byte boundary.
+    #[test]
+    fn batch_truncation_detected(
+        msgs in prop::collection::vec(arb_message(), 1..12),
+        cut_seed in any::<usize>(),
+    ) {
+        let bytes = encode_batch(&msgs);
+        let cut = cut_seed % bytes.len();
+        prop_assert_eq!(
+            decode_batch(&bytes[..cut]),
+            Err(DecodeError::Truncated { len: cut })
+        );
+    }
+
+    /// Any single-byte corruption of a batch frame is rejected (or, at
+    /// the impossible limit, decodes back to the identical sequence).
+    #[test]
+    fn batch_single_byte_corruption_detected(
+        msgs in prop::collection::vec(arb_message(), 1..12),
+        idx_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_batch(&msgs);
+        let idx = idx_seed % bytes.len();
+        bytes[idx] ^= flip;
+        if let Ok(other) = decode_batch(&bytes) {
+            prop_assert_eq!(other, msgs, "corruption accepted as a different batch");
+        }
+    }
+
+    /// Decoding arbitrary bytes as a batch never panics; a success
+    /// re-encodes to the same bytes.
+    #[test]
+    fn batch_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(msgs) = decode_batch(&bytes) {
+            prop_assert_eq!(encode_batch(&msgs), bytes);
+        }
+    }
+
+    /// A batch with trailing garbage is rejected: the declared count
+    /// and inner types fix the total length exactly.
+    #[test]
+    fn batch_trailing_garbage_rejected(
+        msgs in prop::collection::vec(arb_message(), 1..8),
+        tail in prop::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let mut bytes = encode_batch(&msgs);
+        bytes.extend_from_slice(&tail);
+        prop_assert!(decode_batch(&bytes).is_err());
     }
 }

@@ -1,0 +1,456 @@
+//! The serving-throughput benchmark behind `tempod --bench-serve`:
+//! the repo's first measurable point on the BENCH trajectory.
+//!
+//! One publisher runs a real [`crate::UdpRuntime`] on loopback (the
+//! sync actor, polling its protocol socket); pipelined closed-loop
+//! client threads then hammer four serving configurations in turn:
+//!
+//! 1. `sync_actor` — single-request frames go to the protocol socket
+//!    and funnel through the single-threaded actor event loop (the
+//!    pre-split path, the baseline; the protocol codec has no batch
+//!    type, so one request per datagram is all it can do);
+//! 2. `snapshot_front_1|4|8` — *batch* frames (`window` requests per
+//!    datagram) go to a dedicated [`crate::ServeFront`] socket served
+//!    by 1, 4, or 8 reader threads straight from the seqlock-published
+//!    snapshot, one batch reply per batch request.
+//!
+//! Each client keeps a window of work in flight — pipelined single
+//! requests against the actor, pipelined request batches against the
+//! fronts — timestamps every send, and records the round-trip of
+//! every reply; a receive timeout writes the in-flight window off as
+//! lost and refills it, so a dropped datagram (overflowed socket
+//! buffer under load) never wedges the loop. Requests/sec is
+//! replies-received over wall time — honest goodput, not offered
+//! load — and latency percentiles come from the merged per-request
+//! samples.
+//!
+//! The report serialises to the `BENCH_8.json` schema documented in
+//! EXPERIMENTS.md.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use tempo_clocks::{DriftModel, SimClock};
+use tempo_core::{DriftRate, Duration, SnapshotReader, Timestamp};
+use tempo_service::wire::{decode, decode_batch, encode, encode_batch_into};
+use tempo_service::{Message, ServerConfig, Strategy, TimeServer};
+
+use crate::serve::{ServeFront, ServeOptions};
+use crate::UdpRuntime;
+
+/// Benchmark shape.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Seconds of measurement per configuration.
+    pub duration: f64,
+    /// Client threads driving load.
+    pub clients: usize,
+    /// Pipelined requests in flight per client.
+    pub window: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            duration: 2.0,
+            clients: 8,
+            window: 8,
+        }
+    }
+}
+
+/// One configuration's measured result.
+#[derive(Debug, Clone)]
+pub struct ConfigReport {
+    /// Configuration name (`sync_actor`, `snapshot_front_N`).
+    pub label: String,
+    /// Serving threads (0 for the sync-actor baseline).
+    pub threads: usize,
+    /// Replies received per second of wall time (goodput).
+    pub requests_per_sec: f64,
+    /// Median round-trip, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile round-trip, microseconds.
+    pub p99_us: f64,
+    /// Total replies received.
+    pub replies: u64,
+    /// Requests written off by client-side receive timeouts.
+    pub lost: u64,
+}
+
+/// The publisher half: a real runtime polling its protocol socket in
+/// a background thread, exporting the snapshot reader for the fronts.
+struct Publisher {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    /// Protocol (sync actor) address — the baseline target.
+    addr: SocketAddr,
+    reader: SnapshotReader,
+    epoch: Instant,
+}
+
+impl Publisher {
+    fn spawn() -> Publisher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stopped = Arc::clone(&stop);
+        let (tx, rx) = mpsc::channel();
+        // The runtime is built *inside* the thread (the server's
+        // telemetry bus is deliberately not Send); only the cloneable
+        // reader handle and the time epoch come back out.
+        let handle = std::thread::Builder::new()
+            .name("tempo-bench-publisher".into())
+            .spawn(move || {
+                let clock = SimClock::builder()
+                    .initial_value(Timestamp::from_secs(1000.0))
+                    .drift(DriftModel::Constant(0.0))
+                    .build();
+                let config = ServerConfig::new(Strategy::Mm, DriftRate::new(1e-4))
+                    .resync_period(Duration::from_secs(1.0))
+                    .collect_window(Duration::from_secs(0.25))
+                    .initial_error(Duration::from_secs(0.01));
+                let server = TimeServer::new(clock, config);
+                let socket = UdpSocket::bind("127.0.0.1:0").expect("bind publisher socket");
+                let addr = socket.local_addr().expect("publisher addr");
+                // A single-node cluster: no peers to sync against, so
+                // the actor's only datagram work is answering clients —
+                // the cleanest possible baseline.
+                let mut rt = UdpRuntime::new(server, socket, 0, vec![addr], 7);
+                rt.start();
+                tx.send((addr, rt.server().snapshot_reader(), rt.clock_epoch()))
+                    .expect("hand out reader");
+                while !stopped.load(Ordering::Relaxed) {
+                    rt.poll(std::time::Duration::from_millis(1));
+                }
+                rt.shutdown();
+            })
+            .expect("spawn publisher");
+        let (addr, reader, epoch) = rx.recv().expect("publisher never started");
+        Publisher {
+            stop,
+            handle,
+            addr,
+            reader,
+            epoch,
+        }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
+}
+
+/// One pipelined closed-loop client. Returns (latencies µs, lost).
+fn client_loop(
+    target: SocketAddr,
+    deadline: Instant,
+    thread_id: u64,
+    window: usize,
+) -> (Vec<f64>, u64) {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
+    socket
+        .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+        .expect("client read timeout");
+    let mut next_id = thread_id << 32;
+    let mut in_flight: HashMap<u64, Instant> = HashMap::with_capacity(window * 2);
+    let mut latencies: Vec<f64> = Vec::with_capacity(1 << 16);
+    let mut lost = 0u64;
+    let mut buf = [0u8; 512];
+    let send_one = |in_flight: &mut HashMap<u64, Instant>, next_id: &mut u64| {
+        let frame = encode(&Message::TimeRequest {
+            request_id: *next_id,
+            attempt: 0,
+        });
+        if socket.send_to(&frame, target).is_ok() {
+            in_flight.insert(*next_id, Instant::now());
+        }
+        *next_id += 1;
+    };
+    for _ in 0..window {
+        send_one(&mut in_flight, &mut next_id);
+    }
+    while Instant::now() < deadline {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                if let Ok(msg) = decode(&buf[..len]) {
+                    let id = match msg {
+                        Message::TimeReply { request_id, .. }
+                        | Message::Uninitialized { request_id } => request_id,
+                        Message::TimeRequest { .. } => continue,
+                    };
+                    if let Some(sent) = in_flight.remove(&id) {
+                        latencies.push(sent.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+                send_one(&mut in_flight, &mut next_id);
+            }
+            Err(_) => {
+                // The whole window is presumed dropped (socket-buffer
+                // overflow under load): write it off and refill, so
+                // the pipeline never wedges on a lost datagram.
+                lost += in_flight.len() as u64;
+                in_flight.clear();
+                for _ in 0..window {
+                    send_one(&mut in_flight, &mut next_id);
+                }
+            }
+        }
+    }
+    (latencies, lost)
+}
+
+/// Request batches a client keeps in flight against a batch-capable
+/// target. Shallow enough that loss write-offs stay cheap, deep
+/// enough that the pipeline never drains between replies.
+const BATCH_DEPTH: usize = 4;
+
+/// One pipelined closed-loop *batch* client: `BATCH_DEPTH` batches of
+/// `window` requests in flight, one datagram per batch. Only valid
+/// against a `ServeFront` — the protocol codec rejects batch frames.
+/// Returns (latencies µs, lost).
+fn batch_client_loop(
+    target: SocketAddr,
+    deadline: Instant,
+    thread_id: u64,
+    window: usize,
+) -> (Vec<f64>, u64) {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
+    socket
+        .set_read_timeout(Some(std::time::Duration::from_millis(20)))
+        .expect("client read timeout");
+    let mut next_id = thread_id << 32;
+    // Batches are keyed by their first request id: replies preserve
+    // request order, so a reply batch's first id names its batch.
+    let mut in_flight: HashMap<u64, (Instant, usize)> = HashMap::with_capacity(BATCH_DEPTH * 2);
+    let mut latencies: Vec<f64> = Vec::with_capacity(1 << 16);
+    let mut lost = 0u64;
+    let mut buf = [0u8; 16384];
+    let mut requests: Vec<Message> = Vec::with_capacity(window);
+    let mut frame: Vec<u8> = Vec::with_capacity(64 + 16 * window);
+    let mut send_batch = |in_flight: &mut HashMap<u64, (Instant, usize)>, next_id: &mut u64| {
+        let first = *next_id;
+        requests.clear();
+        for _ in 0..window {
+            requests.push(Message::TimeRequest {
+                request_id: *next_id,
+                attempt: 0,
+            });
+            *next_id += 1;
+        }
+        frame.clear();
+        encode_batch_into(&requests, &mut frame);
+        if socket.send_to(&frame, target).is_ok() {
+            in_flight.insert(first, (Instant::now(), window));
+        }
+    };
+    for _ in 0..BATCH_DEPTH {
+        send_batch(&mut in_flight, &mut next_id);
+    }
+    while Instant::now() < deadline {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                if let Ok(replies) = decode_batch(&buf[..len]) {
+                    let first = replies.first().and_then(|m| match m {
+                        Message::TimeReply { request_id, .. }
+                        | Message::Uninitialized { request_id } => Some(*request_id),
+                        Message::TimeRequest { .. } => None,
+                    });
+                    if let Some((sent, expected)) = first.and_then(|id| in_flight.remove(&id)) {
+                        let us = sent.elapsed().as_secs_f64() * 1e6;
+                        for _ in 0..replies.len() {
+                            latencies.push(us);
+                        }
+                        lost += expected.saturating_sub(replies.len()) as u64;
+                    }
+                }
+                send_batch(&mut in_flight, &mut next_id);
+            }
+            Err(_) => {
+                lost += in_flight.values().map(|(_, n)| *n as u64).sum::<u64>();
+                in_flight.clear();
+                for _ in 0..BATCH_DEPTH {
+                    send_batch(&mut in_flight, &mut next_id);
+                }
+            }
+        }
+    }
+    (latencies, lost)
+}
+
+/// Drives `opts.clients` pipelined clients at `target` for
+/// `opts.duration` seconds and folds their samples into one report.
+/// `batch` selects the batch-frame client (fronts only).
+fn measure(
+    label: &str,
+    threads: usize,
+    target: SocketAddr,
+    opts: &BenchOptions,
+    batch: bool,
+) -> ConfigReport {
+    let deadline = Instant::now() + std::time::Duration::from_secs_f64(opts.duration);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let window = opts.window;
+            std::thread::Builder::new()
+                .name(format!("tempo-bench-client-{c}"))
+                .spawn(move || {
+                    if batch {
+                        batch_client_loop(target, deadline, c as u64 + 1, window)
+                    } else {
+                        client_loop(target, deadline, c as u64 + 1, window)
+                    }
+                })
+                .expect("spawn client")
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut lost = 0u64;
+    for h in handles {
+        let (mut l, dropped) = h.join().expect("client thread panicked");
+        latencies.append(&mut l);
+        lost += dropped;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+    ConfigReport {
+        label: label.to_string(),
+        threads,
+        requests_per_sec: latencies.len() as f64 / elapsed,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        replies: latencies.len() as u64,
+        lost,
+    }
+}
+
+/// Runs the full benchmark: the sync-actor baseline, then 1-, 4-, and
+/// 8-thread snapshot fronts, all against one live publisher.
+#[must_use]
+pub fn run(opts: &BenchOptions) -> Vec<ConfigReport> {
+    assert!(
+        (1..=tempo_service::wire::MAX_BATCH).contains(&opts.window),
+        "window must fit a batch frame (1..=255)"
+    );
+    let publisher = Publisher::spawn();
+    // Let the publisher join and publish its first serving snapshot.
+    let wait_deadline = Instant::now() + std::time::Duration::from_secs(5);
+    while !publisher.reader.read().is_some_and(|s| s.serving) {
+        assert!(
+            Instant::now() < wait_deadline,
+            "publisher never reached the serving state"
+        );
+        std::thread::yield_now();
+    }
+    let mut reports = Vec::with_capacity(4);
+    reports.push(measure("sync_actor", 0, publisher.addr, opts, false));
+    for threads in [1usize, 4, 8] {
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind serve socket");
+        let front = ServeFront::spawn(
+            socket,
+            publisher.reader.clone(),
+            publisher.epoch,
+            &ServeOptions {
+                threads,
+                admission: None,
+            },
+        )
+        .expect("spawn serving front");
+        reports.push(measure(
+            &format!("snapshot_front_{threads}"),
+            threads,
+            front.local_addr(),
+            opts,
+            true,
+        ));
+        front.stop();
+    }
+    publisher.stop();
+    reports
+}
+
+/// Serialises reports to the `BENCH_8.json` document (hand-rolled —
+/// the workspace carries no JSON dependency).
+#[must_use]
+pub fn to_json(opts: &BenchOptions, reports: &[ConfigReport]) -> String {
+    let baseline = reports
+        .iter()
+        .find(|r| r.threads == 0)
+        .map_or(f64::NAN, |r| r.requests_per_sec);
+    let four = reports
+        .iter()
+        .find(|r| r.threads == 4)
+        .map_or(f64::NAN, |r| r.requests_per_sec);
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"benchmark\": \"serving_throughput\",\n");
+    out.push_str(&format!(
+        "  \"duration_secs\": {}, \"clients\": {}, \"window\": {},\n",
+        opts.duration, opts.clients, opts.window
+    ));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"threads\": {}, \"requests_per_sec\": {:.1}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"replies\": {}, \"lost\": {}}}{}\n",
+            r.label,
+            r.threads,
+            r.requests_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.replies,
+            r.lost,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_4_thread_vs_sync_actor\": {:.3}\n}}\n",
+        four / baseline
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_all_four_configs() {
+        let opts = BenchOptions {
+            duration: 0.15,
+            clients: 2,
+            window: 2,
+        };
+        let reports = run(&opts);
+        assert_eq!(reports.len(), 4);
+        let labels: Vec<&str> = reports.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "sync_actor",
+                "snapshot_front_1",
+                "snapshot_front_4",
+                "snapshot_front_8"
+            ]
+        );
+        for r in &reports {
+            assert!(r.replies > 0, "{}: no replies at all", r.label);
+            assert!(r.requests_per_sec > 0.0);
+            assert!(r.p50_us.is_finite() && r.p99_us >= r.p50_us);
+        }
+        let json = to_json(&opts, &reports);
+        assert!(json.contains("\"benchmark\": \"serving_throughput\""));
+        assert!(json.contains("snapshot_front_8"));
+        assert!(json.contains("speedup_4_thread_vs_sync_actor"));
+    }
+}

@@ -30,7 +30,10 @@ use tempo_core::{DriftRate, Duration, Timestamp};
 use tempo_service::{MemoryStore, RetryPolicy, ServerConfig, StableStore, Strategy, TimeServer};
 use tempo_telemetry::json::event_line;
 use tempo_telemetry::{Bus, EventKind, Observer, TelemetryEvent};
-use tempo_transport::{signal, FaultPlan, FaultyTransport, FileStore, UdpRuntime};
+use tempo_transport::bench_serve::{self, BenchOptions};
+use tempo_transport::{
+    signal, FaultPlan, FaultyTransport, FileStore, ServeFront, ServeOptions, UdpRuntime,
+};
 
 const USAGE: &str = "\
 tempod — one node of the tempo time service over UDP
@@ -64,6 +67,22 @@ OPTIONS:
     --telemetry-out P   write telemetry JSONL to P
     --duration SECS     exit (gracefully) after SECS; omit to run until signalled
     --report            print a final sample line to stdout on exit
+
+SERVING FRONT (the lock-free read path):
+    --serve ADDR        also bind ADDR and answer time requests from the
+                        seqlock snapshot, off the sync actor's socket
+    --serve-threads N   reader threads on the serve socket        [1]
+    --serve-admit R:B   admission token bucket: R req/s sustained,
+                        bursts of B (omit: admit everything)
+
+BENCHMARK MODE (no cluster flags needed):
+    --bench-serve       run the serving-throughput benchmark on loopback
+                        (sync actor vs 1/4/8-thread snapshot fronts),
+                        write BENCH_8.json, and exit
+    --bench-duration S  seconds measured per configuration        [2]
+    --bench-clients N   client threads driving load               [8]
+    --bench-window W    pipelined requests per client             [8]
+    --bench-out PATH    where the JSON report goes    [BENCH_8.json]
 ";
 
 #[derive(Debug)]
@@ -87,6 +106,12 @@ struct Options {
     telemetry_out: Option<String>,
     duration: Option<f64>,
     report: bool,
+    serve: Option<SocketAddr>,
+    serve_threads: usize,
+    serve_admit: Option<(f64, f64)>,
+    bench_serve: bool,
+    bench: BenchOptions,
+    bench_out: String,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -113,11 +138,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         telemetry_out: None,
         duration: None,
         report: false,
+        serve: None,
+        serve_threads: 1,
+        serve_admit: None,
+        bench_serve: false,
+        bench: BenchOptions::default(),
+        bench_out: "BENCH_8.json".to_string(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--report" {
             opts.report = true;
+            continue;
+        }
+        if flag == "--bench-serve" {
+            opts.bench_serve = true;
             continue;
         }
         let mut value = || {
@@ -144,9 +179,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--fault-seed" => opts.fault_seed = parse(&value()?, "--fault-seed")?,
             "--telemetry-out" => opts.telemetry_out = Some(value()?),
             "--duration" => opts.duration = Some(parse(&value()?, "--duration")?),
+            "--serve" => opts.serve = Some(parse_addr(&value()?)?),
+            "--serve-threads" => opts.serve_threads = parse(&value()?, "--serve-threads")?,
+            "--serve-admit" => opts.serve_admit = Some(parse_admit(&value()?)?),
+            "--bench-duration" => opts.bench.duration = parse(&value()?, "--bench-duration")?,
+            "--bench-clients" => opts.bench.clients = parse(&value()?, "--bench-clients")?,
+            "--bench-window" => opts.bench.window = parse(&value()?, "--bench-window")?,
+            "--bench-out" => opts.bench_out = value()?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if opts.bench_serve {
+        // Benchmark mode is self-contained on loopback: the cluster
+        // flags are not required (and ignored when present).
+        if opts.bench.duration <= 0.0 || opts.bench.clients == 0 {
+            return Err("--bench-duration/--bench-clients must be positive".into());
+        }
+        if !(1..=255).contains(&opts.bench.window) {
+            return Err("--bench-window must be 1..=255 (one batch frame)".into());
+        }
+        return Ok(opts);
+    }
+    if opts.serve_threads == 0 {
+        return Err("--serve-threads must be at least 1".into());
     }
     opts.id = id.ok_or("--id is required")?;
     opts.listen = listen.ok_or("--listen is required")?;
@@ -180,6 +236,18 @@ fn parse_addr(value: &str) -> Result<SocketAddr, String> {
     value
         .parse()
         .map_err(|_| format!("bad socket address `{value}`"))
+}
+
+fn parse_admit(value: &str) -> Result<(f64, f64), String> {
+    let (rate, burst) = value
+        .split_once(':')
+        .ok_or_else(|| format!("--serve-admit wants RATE:BURST, got `{value}`"))?;
+    let rate: f64 = parse(rate, "--serve-admit rate")?;
+    let burst: f64 = parse(burst, "--serve-admit burst")?;
+    if !rate.is_finite() || rate <= 0.0 || !burst.is_finite() || burst < 1.0 {
+        return Err("--serve-admit needs rate > 0 and burst >= 1".into());
+    }
+    Ok((rate, burst))
 }
 
 fn parse_strategy(value: &str) -> Result<Strategy, String> {
@@ -217,6 +285,9 @@ impl Drop for JsonlSink {
 }
 
 fn run(opts: Options) -> Result<(), String> {
+    if opts.bench_serve {
+        return run_bench(&opts);
+    }
     // With an epoch, the OS wall clock plays the hardware clock: it
     // keeps running while the process is dead, so a relaunch against
     // the same --state rehydrates into a *continued* clock and the
@@ -274,15 +345,88 @@ fn run(opts: Options) -> Result<(), String> {
         Some(plan) => {
             let faulty = FaultyTransport::new(socket, plan, opts.fault_seed);
             let mut rt = UdpRuntime::new(server, faulty, opts.id, opts.peers.clone(), opts.seed);
+            let front = spawn_front(&opts, rt.server().snapshot_reader(), rt.clock_epoch())?;
             rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
+            stop_front(front);
             report(&opts, &mut rt);
         }
         None => {
             let mut rt = UdpRuntime::new(server, socket, opts.id, opts.peers.clone(), opts.seed);
+            let front = spawn_front(&opts, rt.server().snapshot_reader(), rt.clock_epoch())?;
             rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
+            stop_front(front);
             report(&opts, &mut rt);
         }
     }
+    Ok(())
+}
+
+/// Bind and start the lock-free serving front when `--serve` was given.
+fn spawn_front(
+    opts: &Options,
+    reader: tempo_core::SnapshotReader,
+    epoch: std::time::Instant,
+) -> Result<Option<ServeFront>, String> {
+    let Some(addr) = opts.serve else {
+        return Ok(None);
+    };
+    let socket = UdpSocket::bind(addr).map_err(|e| e.to_string())?;
+    let front = ServeFront::spawn(
+        socket,
+        reader,
+        epoch,
+        &ServeOptions {
+            threads: opts.serve_threads,
+            admission: opts.serve_admit,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "tempod: serving front on {} ({} thread{})",
+        front.local_addr(),
+        opts.serve_threads,
+        if opts.serve_threads == 1 { "" } else { "s" },
+    );
+    Ok(Some(front))
+}
+
+fn stop_front(front: Option<ServeFront>) {
+    if let Some(front) = front {
+        let stats = front.stop();
+        eprintln!(
+            "tempod: front served {} (refused {}, rejected {}, malformed {}, batches {})",
+            stats.served, stats.refused, stats.rejected, stats.malformed, stats.batches,
+        );
+    }
+}
+
+/// `--bench-serve`: measure the sync actor against 1/4/8-thread
+/// snapshot fronts on loopback and write the JSON report.
+fn run_bench(opts: &Options) -> Result<(), String> {
+    eprintln!(
+        "tempod: serving-throughput benchmark ({}s per config, {} clients, window {})",
+        opts.bench.duration, opts.bench.clients, opts.bench.window,
+    );
+    let reports = bench_serve::run(&opts.bench);
+    let baseline = reports
+        .iter()
+        .find(|r| r.threads == 0)
+        .map(|r| r.requests_per_sec);
+    for r in &reports {
+        println!(
+            "{:<18} {:>10.0} req/s   p50 {:>7.1}us   p99 {:>8.1}us   ({} replies, {} lost)",
+            r.label, r.requests_per_sec, r.p50_us, r.p99_us, r.replies, r.lost,
+        );
+    }
+    if let (Some(base), Some(four)) = (baseline, reports.iter().find(|r| r.threads == 4)) {
+        println!(
+            "speedup (4-thread front vs sync actor): {:.2}x",
+            four.requests_per_sec / base,
+        );
+    }
+    let json = bench_serve::to_json(&opts.bench, &reports);
+    std::fs::write(&opts.bench_out, &json).map_err(|e| e.to_string())?;
+    eprintln!("tempod: wrote {}", opts.bench_out);
     Ok(())
 }
 

@@ -20,6 +20,10 @@
 //!   the codec, on real datagrams — the robustness hammer.
 //! * [`UdpRuntime`] — owns a `TimeServer`, a socket, the peer table,
 //!   and a wall-clock timer wheel; pumps receive/decode/dispatch.
+//! * [`ServeFront`] — the lock-free read path: N threads on a shared
+//!   serve socket answering time requests straight from the actor's
+//!   seqlock-published snapshot, with batched replies and an optional
+//!   admission tier.
 //! * [`UdpTimeClient`] — a blocking client that queries a cluster and
 //!   returns rtt-adjusted readings.
 //! * [`FileStore`] — a durable [`tempo_service::StableStore`] (atomic
@@ -32,9 +36,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bench_serve;
 mod client;
 mod fault;
 mod runtime;
+mod serve;
 pub mod signal;
 mod socket;
 mod store;
@@ -42,5 +48,6 @@ mod store;
 pub use client::{ClusterReading, ServerReading, UdpTimeClient};
 pub use fault::{FaultPlan, FaultyTransport};
 pub use runtime::UdpRuntime;
+pub use serve::{ServeFront, ServeOptions, ServeStats};
 pub use socket::DatagramSocket;
 pub use store::FileStore;

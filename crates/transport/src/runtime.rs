@@ -126,6 +126,14 @@ impl<S: DatagramSocket> UdpRuntime<S> {
         Timestamp::from_secs(self.started_at.elapsed().as_secs_f64())
     }
 
+    /// The instant this runtime's real-time axis calls zero. A
+    /// [`crate::ServeFront`] measuring "now" against this instant is
+    /// on the same axis as the snapshots the driven server publishes.
+    #[must_use]
+    pub fn clock_epoch(&self) -> Instant {
+        self.started_at
+    }
+
     fn addr_of(&self, node: NodeId) -> Option<SocketAddr> {
         let i = node.index();
         if i < self.peers.len() {

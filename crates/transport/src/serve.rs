@@ -1,0 +1,467 @@
+//! The multi-threaded serving front: the fast half of the
+//! sync-core / serving-front split.
+//!
+//! The paper's read operation is a pure function of the last published
+//! `(r, ε)` pair, so it does not need the sync actor at all —
+//! [`ServeFront`] spawns N threads that share a dedicated UDP socket
+//! (each thread owns a `try_clone`d handle; the kernel distributes
+//! datagrams among concurrent receivers), answer `TimeRequest`s
+//! straight from the actor's seqlock-published
+//! [`tempo_core::ClockSnapshot`], and never touch the protocol event
+//! loop. The sync runtime keeps its own socket: serving threads can
+//! never steal a peer's protocol datagram.
+//!
+//! Clients may send single request frames (answered with single reply
+//! frames) or batch frames of up to 255 requests (answered with one
+//! batch frame of replies — see `tempo_service::wire`'s batch layout).
+//! Reply encoding appends to one reusable per-thread buffer, so the
+//! steady-state reply path allocates nothing.
+//!
+//! An optional admission tier — [`tempo_service::AdmissionControl`],
+//! one token bucket per thread with a `1/N` share of the global rate —
+//! shaves overload *before* any decode work happens, keeping the tier
+//! itself off the shared path.
+
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tempo_core::{SnapshotReader, Timestamp};
+use tempo_service::wire::{decode, decode_batch, encode_batch_into, encode_into, is_batch_frame};
+use tempo_service::{AdmissionControl, Message};
+
+/// How the serving front is shaped.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Reader threads sharing the serve socket.
+    pub threads: usize,
+    /// Optional admission tier: global `(rate, burst)` in requests/s
+    /// and requests, split evenly across the threads.
+    pub admission: Option<(f64, f64)>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 1,
+            admission: None,
+        }
+    }
+}
+
+/// Shared live counters, aggregated across the reader threads.
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    refused: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// A point-in-time view of the front's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with a `TimeReply`.
+    pub served: u64,
+    /// Requests answered with `Uninitialized` (publisher not serving).
+    pub refused: u64,
+    /// Requests dropped by the admission tier.
+    pub rejected: u64,
+    /// Datagrams that failed the wire codec.
+    pub malformed: u64,
+    /// Batch frames processed.
+    pub batches: u64,
+}
+
+/// Handle to a running serving front; dropping it without
+/// [`ServeFront::stop`] detaches the threads (they stop at the next
+/// timeout tick once the handle's stop flag drops to them — `stop` is
+/// the orderly way out).
+#[derive(Debug)]
+pub struct ServeFront {
+    threads: Vec<std::thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    local_addr: std::net::SocketAddr,
+}
+
+impl ServeFront {
+    /// Spawns the reader threads on `socket`.
+    ///
+    /// * `reader` — the sync core's published snapshot (see
+    ///   `TimeServer::snapshot_reader`).
+    /// * `epoch` — the instant the *publisher's* real-time axis calls
+    ///   zero (the runtime's construction instant, see
+    ///   `UdpRuntime::clock_epoch`): serving threads measure "now" on
+    ///   the same axis the snapshot's affine base was published on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if cloning or configuring the shared
+    /// socket fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options.threads` is zero.
+    pub fn spawn(
+        socket: UdpSocket,
+        reader: SnapshotReader,
+        epoch: Instant,
+        options: &ServeOptions,
+    ) -> std::io::Result<ServeFront> {
+        assert!(options.threads > 0, "a serving front needs a thread");
+        let local_addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let mut threads = Vec::with_capacity(options.threads);
+        for i in 0..options.threads {
+            // Each thread owns a cloned handle onto the same bound
+            // socket; concurrent recv_from calls race for datagrams,
+            // which is exactly the fan-out we want.
+            let socket = socket.try_clone()?;
+            socket.set_read_timeout(Some(std::time::Duration::from_millis(5)))?;
+            let reader = reader.clone();
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let admission = options.admission.map(|(rate, burst)| {
+                let share = options.threads as f64;
+                AdmissionControl::new(rate / share, (burst / share).max(1.0))
+            });
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tempo-serve-{i}"))
+                    .spawn(move || serve_loop(&socket, &reader, epoch, &stop, &counters, admission))
+                    .expect("spawn serving thread"),
+            );
+        }
+        Ok(ServeFront {
+            threads,
+            stop,
+            counters,
+            local_addr,
+        })
+    }
+
+    /// The serve socket's bound address (clients dial this, not the
+    /// sync runtime's protocol port).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counters (monotone; callable while the front runs).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            malformed: self.counters.malformed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the reader threads and returns the final counters.
+    pub fn stop(self) -> ServeStats {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        ServeStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            malformed: self.counters.malformed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One request answered from the snapshot: a `TimeReply` when the
+/// publisher serves, an `Uninitialized` refusal otherwise — mirroring
+/// the actor's own behaviour in those lifecycle states.
+fn respond(reader: &SnapshotReader, request_id: u64, now: Timestamp) -> Message {
+    match reader.serve(now) {
+        Some(estimate) => Message::TimeReply {
+            request_id,
+            // The actor replies with its reading at receipt; the
+            // snapshot's estimate time *is* that reading.
+            received_at: estimate.time(),
+            estimate,
+        },
+        None => Message::Uninitialized { request_id },
+    }
+}
+
+/// The per-thread receive/answer loop.
+fn serve_loop(
+    socket: &UdpSocket,
+    reader: &SnapshotReader,
+    epoch: Instant,
+    stop: &AtomicBool,
+    counters: &Counters,
+    mut admission: Option<AdmissionControl>,
+) {
+    let mut buf = [0u8; 16 * 1024];
+    let mut out: Vec<u8> = Vec::with_capacity(4 + 255 * 38 + 2);
+    let mut replies: Vec<Message> = Vec::with_capacity(64);
+    while !stop.load(Ordering::Relaxed) {
+        let (len, from) = match socket.recv_from(&mut buf) {
+            Ok(hit) => hit,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => continue,
+        };
+        let now = Timestamp::from_secs(epoch.elapsed().as_secs_f64());
+        if let Some(a) = admission.as_mut() {
+            if !a.admit(now) {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        out.clear();
+        if is_batch_frame(&buf[..len]) {
+            match decode_batch(&buf[..len]) {
+                Ok(msgs) => {
+                    replies.clear();
+                    for msg in msgs {
+                        if let Message::TimeRequest { request_id, .. } = msg {
+                            replies.push(respond(reader, request_id, now));
+                        }
+                    }
+                    if replies.is_empty() {
+                        continue;
+                    }
+                    counters.batches.fetch_add(1, Ordering::Relaxed);
+                    note_replies(counters, &replies);
+                    encode_batch_into(&replies, &mut out);
+                }
+                Err(_) => {
+                    counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        } else {
+            match decode(&buf[..len]) {
+                Ok(Message::TimeRequest { request_id, .. }) => {
+                    let reply = respond(reader, request_id, now);
+                    note_replies(counters, std::slice::from_ref(&reply));
+                    encode_into(&reply, &mut out);
+                }
+                // Replies/refusals aimed at a serve port are nonsense;
+                // drop silently like any UDP service would.
+                Ok(_) => continue,
+                Err(_) => {
+                    counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+        let _ = socket.send_to(&out, from);
+    }
+}
+
+/// Counts a reply set into the served/refused counters.
+fn note_replies(counters: &Counters, replies: &[Message]) {
+    let mut served = 0;
+    let mut refused = 0;
+    for r in replies {
+        match r {
+            Message::TimeReply { .. } => served += 1,
+            Message::Uninitialized { .. } => refused += 1,
+            Message::TimeRequest { .. } => {}
+        }
+    }
+    if served > 0 {
+        counters.served.fetch_add(served, Ordering::Relaxed);
+    }
+    if refused > 0 {
+        counters.refused.fetch_add(refused, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use tempo_core::{ClockSnapshot, DriftRate, Duration, SnapshotCell};
+
+    fn published_reader(serving: bool) -> SnapshotReader {
+        let cell = SnapshotCell::new();
+        cell.publish(&ClockSnapshot {
+            reset_clock: Timestamp::from_secs(100.0),
+            inherited_error: Duration::from_secs(0.01),
+            drift_bound: DriftRate::new(1e-4),
+            base_clock: Timestamp::from_secs(100.0),
+            base_real: Timestamp::from_secs(0.0),
+            epoch: 0,
+            serving,
+        });
+        SnapshotReader::new(Arc::new(cell))
+    }
+
+    fn front(serving: bool, options: &ServeOptions) -> (ServeFront, UdpSocket) {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let front =
+            ServeFront::spawn(socket, published_reader(serving), Instant::now(), options).unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+            .unwrap();
+        (front, client)
+    }
+
+    fn request(id: u64) -> Message {
+        Message::TimeRequest {
+            request_id: id,
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn single_request_gets_a_snapshot_reply() {
+        let (front, client) = front(true, &ServeOptions::default());
+        let addr = front.local_addr();
+        let mut buf = [0u8; 512];
+        client
+            .send_to(&tempo_service::wire::encode(&request(7)), addr)
+            .unwrap();
+        let (len, _) = client.recv_from(&mut buf).expect("reply");
+        match decode(&buf[..len]).unwrap() {
+            Message::TimeReply {
+                request_id,
+                received_at,
+                estimate,
+            } => {
+                assert_eq!(request_id, 7);
+                assert_eq!(received_at, estimate.time());
+                // The published base is C=100 at real 0; the reply is
+                // moments later.
+                assert!(estimate.time() >= Timestamp::from_secs(100.0));
+                assert!(estimate.time() < Timestamp::from_secs(101.0));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let stats = front.stop();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.malformed, 0);
+    }
+
+    #[test]
+    fn not_serving_publisher_refuses() {
+        let (front, client) = front(false, &ServeOptions::default());
+        let addr = front.local_addr();
+        let mut buf = [0u8; 512];
+        client
+            .send_to(&tempo_service::wire::encode(&request(9)), addr)
+            .unwrap();
+        let (len, _) = client.recv_from(&mut buf).expect("refusal");
+        assert_eq!(
+            decode(&buf[..len]).unwrap(),
+            Message::Uninitialized { request_id: 9 }
+        );
+        let stats = front.stop();
+        assert_eq!(stats.refused, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn batch_of_requests_gets_one_batch_of_replies() {
+        let (front, client) = front(true, &ServeOptions::default());
+        let addr = front.local_addr();
+        let requests: Vec<Message> = (0..5).map(request).collect();
+        client
+            .send_to(&tempo_service::wire::encode_batch(&requests), addr)
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        let (len, _) = client.recv_from(&mut buf).expect("batch reply");
+        let replies = decode_batch(&buf[..len]).expect("well-formed batch");
+        assert_eq!(replies.len(), 5);
+        for (i, r) in replies.iter().enumerate() {
+            match r {
+                Message::TimeReply { request_id, .. } => assert_eq!(*request_id, i as u64),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let stats = front.stop();
+        assert_eq!(stats.served, 5);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn garbage_is_counted_and_dropped() {
+        let (front, client) = front(true, &ServeOptions::default());
+        let addr = front.local_addr();
+        client.send_to(&[0xFF; 32], addr).unwrap();
+        client.send_to(&[0x7E, 0x30, 4, 1, 0], addr).unwrap(); // truncated batch
+        client
+            .send_to(&tempo_service::wire::encode(&request(1)), addr)
+            .unwrap();
+        let mut buf = [0u8; 512];
+        let _ = client
+            .recv_from(&mut buf)
+            .expect("the valid request still served");
+        let stats = front.stop();
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn admission_tier_shaves_a_burst() {
+        let options = ServeOptions {
+            threads: 1,
+            admission: Some((50.0, 5.0)),
+        };
+        let (front, client) = front(true, &options);
+        let addr = front.local_addr();
+        let frame = tempo_service::wire::encode(&request(1));
+        for _ in 0..60 {
+            client.send_to(&frame, addr).unwrap();
+        }
+        // Collect replies until the socket drains.
+        let mut buf = [0u8; 512];
+        let mut answered = 0u64;
+        while client.recv_from(&mut buf).is_ok() {
+            answered += 1;
+        }
+        let stats = front.stop();
+        assert_eq!(stats.served, answered);
+        assert!(stats.rejected > 0, "the burst must overflow the bucket");
+        assert_eq!(stats.served + stats.rejected, 60);
+        assert!(
+            stats.served >= 5,
+            "the burst allowance admits at least the bucket"
+        );
+    }
+
+    #[test]
+    fn four_threads_share_one_socket() {
+        let options = ServeOptions {
+            threads: 4,
+            admission: None,
+        };
+        let (front, client) = front(true, &options);
+        let addr = front.local_addr();
+        let frame = tempo_service::wire::encode(&request(3));
+        let total = 200u64;
+        let mut buf = [0u8; 512];
+        let mut answered = 0u64;
+        for _ in 0..total {
+            client.send_to(&frame, addr).unwrap();
+            if client.recv_from(&mut buf).is_ok() {
+                answered += 1;
+            }
+        }
+        let stats = front.stop();
+        assert_eq!(stats.served, answered);
+        // Closed loop: every request is answered (UDP on loopback with
+        // one frame in flight does not drop).
+        assert_eq!(answered, total);
+    }
+}
