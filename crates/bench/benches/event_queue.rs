@@ -1,10 +1,12 @@
 //! Throughput of the discrete-event simulator core.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 use tempo_core::{Duration, Timestamp};
-use tempo_net::{Actor, Context, DelayModel, NetConfig, NodeId, Topology, World};
+use tempo_net::{Actor, Context, DelayModel, EventQueue, NetConfig, NodeId, Topology, World};
 
 /// Endless ping-pong between every pair of neighbours.
 struct Pinger;
@@ -51,6 +53,66 @@ fn bench_event_queue(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Head-to-head on the raw scheduler: the timing wheel the engine
+    // uses vs the `BinaryHeap` it replaced, under a steady pending set
+    // (each pop feeds a push one horizon ahead — the hot-loop shape of
+    // a resync timer), plus the wheel's O(1) handle cancellation, which
+    // a heap cannot offer without lazy deletion.
+    let spread = |i: usize| Timestamp::from_secs(i as f64 * 1e-3);
+    for pending in [1_000usize, 10_000, 100_000] {
+        let horizon = Duration::from_secs(pending as f64 * 1e-3);
+        let mut group = c.benchmark_group("queue_churn");
+        group.throughput(criterion::Throughput::Elements(pending as u64));
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    let mut heap: BinaryHeap<Reverse<(Timestamp, u64)>> = (0..pending)
+                        .map(|i| Reverse((spread(i), i as u64)))
+                        .collect();
+                    for seq in 0..pending as u64 {
+                        let Reverse((at, _)) = heap.pop().expect("queue stays full");
+                        heap.push(Reverse((at + horizon, seq)));
+                    }
+                    black_box(heap.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("timing_wheel", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    let mut queue = EventQueue::new();
+                    for i in 0..pending {
+                        queue.push(spread(i), i);
+                    }
+                    for _ in 0..pending {
+                        let (at, i) = queue.pop().expect("queue stays full");
+                        queue.push(at + horizon, i);
+                    }
+                    black_box(queue.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("timing_wheel_cancel", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    let mut queue = EventQueue::new();
+                    let handles: Vec<_> = (0..pending).map(|i| queue.push(spread(i), i)).collect();
+                    for handle in handles {
+                        queue.cancel(handle).expect("handle is live");
+                    }
+                    black_box(queue.len())
+                });
+            },
+        );
+        group.finish();
+    }
 
     c.bench_function("timer_wheel_10k", |b| {
         struct TimerLoop;

@@ -6,6 +6,8 @@
 //! experiments fig3 thm8                      # run selected experiments
 //! experiments fuzz --seeds 0..64 \
 //!             --horizon-secs 60              # oracle-gated fuzz sweep
+//! experiments scale10k --n 100,1000,10000 \
+//!             --bench-out BENCH_9.json       # sharded-engine scale sweep
 //! experiments --telemetry-out runs.jsonl …   # export every run's telemetry
 //! experiments validate-telemetry runs.jsonl  # schema-check an export
 //! ```
@@ -77,6 +79,62 @@ fn run_fuzz(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses `scale10k` subcommand flags. Defaults: the full
+/// 100/1,000/10,000 sweep, no JSON export.
+fn parse_scale10k_args(args: &[String]) -> Result<(Vec<usize>, Option<String>), String> {
+    let mut sizes = vec![100, 1_000, 10_000];
+    let mut bench_out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--n" => {
+                sizes = value
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad size '{s}': {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if sizes.is_empty() || sizes.iter().any(|n| !n.is_multiple_of(20)) {
+                    return Err(format!(
+                        "--n wants comma-separated multiples of 20, got '{value}'"
+                    ));
+                }
+            }
+            "--bench-out" => bench_out = Some(value.clone()),
+            other => return Err(format!("unknown scale10k flag '{other}'")),
+        }
+    }
+    Ok((sizes, bench_out))
+}
+
+fn run_scale10k(args: &[String]) -> ExitCode {
+    let (sizes, bench_out) = match parse_scale10k_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("scale10k: {message}");
+            eprintln!("usage: experiments scale10k [--n N,N,...] [--bench-out FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = tempo_sim::experiments::scale10k_sized(&sizes);
+    println!("{outcome}");
+    if let Some(path) = bench_out {
+        if let Err(e) = std::fs::write(&path, outcome.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if outcome.reproduces_shape() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_validate(args: &[String]) -> ExitCode {
     let [path] = args else {
         eprintln!("usage: experiments validate-telemetry FILE");
@@ -136,6 +194,12 @@ fn main() -> ExitCode {
     // catalogue selection (the bare name still works via the catalogue).
     if args.first().is_some_and(|a| a == "fuzz") && args.len() > 1 {
         return run_fuzz(&args[1..]);
+    }
+
+    // Likewise `scale10k`: flags make it a subcommand, the bare name
+    // still selects the catalogue's full sweep.
+    if args.first().is_some_and(|a| a == "scale10k") && args.len() > 1 {
+        return run_scale10k(&args[1..]);
     }
 
     let selected: Vec<&catalog::Experiment> = if args.is_empty() {

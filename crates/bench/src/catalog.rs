@@ -145,6 +145,11 @@ pub fn all() -> Vec<Experiment> {
             artifact: "E19 — Byzantine tiers + self-stabilization, f-tolerance oracle",
             run: || Box::new(ex::byzantine()),
         },
+        Experiment {
+            name: "scale10k",
+            artifact: "E20 — 10,000-server deployments on the sharded engine",
+            run: || Box::new(ex::scale10k()),
+        },
     ]
 }
 
@@ -155,11 +160,11 @@ mod tests {
     #[test]
     fn catalogue_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 22);
+        assert_eq!(experiments.len(), 23);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 22, "names must be unique");
+        assert_eq!(names.len(), 23, "names must be unique");
     }
 
     #[test]

@@ -75,6 +75,7 @@
 
 mod delay;
 mod node;
+mod queue;
 mod topology;
 mod trace;
 mod transport;
@@ -82,6 +83,7 @@ mod world;
 
 pub use delay::DelayModel;
 pub use node::NodeId;
+pub use queue::{EventQueue, TimerHandle};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};
 pub use transport::{node_rng, ActorAction, Transport};

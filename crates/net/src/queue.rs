@@ -1,0 +1,592 @@
+//! A hierarchical timing-wheel priority queue.
+//!
+//! This is the shared ordered-timer abstraction behind the simulator's
+//! event loop ([`crate::World`]), the UDP runtime's wall-clock timers,
+//! and the fault injector's delayed-datagram flusher — one
+//! implementation replacing the three independent `BinaryHeap`s those
+//! layers used to carry.
+//!
+//! # Design
+//!
+//! Three wheel levels of 256 slots each over a 1 ms tick quantum:
+//! level 0 spans 256 ms at tick resolution, level 1 spans ~65 s, and
+//! level 2 spans ~4.66 h. Entries beyond the level-2 horizon park in a
+//! small overflow heap (cold path — simulation timers are seconds, not
+//! hours). Each slot is an intrusive singly-linked list through a slab
+//! of entries, so the steady state allocates nothing: pushed values
+//! live inline in recycled slab entries, and slot membership costs one
+//! `u32` link.
+//!
+//! Within a tick, entries are drained into a scratch batch and sorted
+//! by `(time, seq)` — `seq` is a monotone insertion counter — so pops
+//! observe exactly the total order a `(time, seq)`-keyed binary heap
+//! would produce. That equivalence is what lets the simulator swap the
+//! heap out without perturbing a single event, and it is pinned by the
+//! randomized differential tests below and by the seed-swept telemetry
+//! goldens in `tempo-sim`.
+//!
+//! Entries may be cancelled through the [`TimerHandle`] returned by
+//! [`EventQueue::push`]. Cancellation is lazy: the slab entry is marked
+//! dead immediately (the value is returned) but stays parked in its
+//! slot until the wheel would have delivered it, at which point it is
+//! reclaimed. A generation counter per slab entry makes stale handles
+//! harmless.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tempo_core::Timestamp;
+
+/// Slots per wheel level.
+const SLOTS: usize = 256;
+/// `u64` words in a slot-occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Null link in the entry slab.
+const NIL: u32 = u32::MAX;
+/// Seconds per level-0 tick.
+const QUANTUM: f64 = 1e-3;
+/// Tick spans covered by each level.
+const L0_SPAN: u64 = 256;
+const L1_SPAN: u64 = 256 * 256;
+const L2_SPAN: u64 = 256 * 256 * 256;
+
+/// A handle to a pending entry, returned by [`EventQueue::push`] and
+/// redeemable once via [`EventQueue::cancel`]. Handles are cheap,
+/// copyable, and safe to hold after the entry fires — cancellation of
+/// an already-popped (or already-cancelled) entry returns `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    idx: u32,
+    gen: u32,
+}
+
+struct Entry<T> {
+    time: Timestamp,
+    seq: u64,
+    /// Bumped every time the slab slot is reclaimed; guards handles.
+    gen: u32,
+    /// Next entry in the slot list (while parked) or free list.
+    next: u32,
+    /// `None` marks a cancelled (or reclaimed) entry.
+    value: Option<T>,
+}
+
+/// A monotone-time event queue ordered by `(time, insertion order)`.
+///
+/// Semantics match a `BinaryHeap` keyed on `(time, seq)`: pops are
+/// globally time-ordered, and entries pushed for the same instant pop
+/// in insertion order. Entries scheduled in the past (relative to the
+/// last pop) fire immediately, still time-ordered among themselves.
+pub struct EventQueue<T> {
+    entries: Vec<Entry<T>>,
+    free_head: u32,
+    /// `heads[level][slot]`: first entry of the slot's intrusive list.
+    heads: [[u32; SLOTS]; 3],
+    /// Occupancy bitmaps mirroring `heads` for fast next-slot scans.
+    occupied: [[u64; WORDS]; 3],
+    /// Entries beyond the level-2 horizon (cold path).
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// The wheel's current tick; never retreats.
+    cursor: u64,
+    /// The drained current-tick batch, sorted descending by
+    /// `(time, seq)` so the minimum pops from the end.
+    batch: Vec<(Timestamp, u64, u32)>,
+    /// Tick the batch was drained for.
+    batch_tick: u64,
+    /// Live (un-popped, un-cancelled) entries.
+    len: usize,
+    /// Insertion counter; the deterministic tiebreak.
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len)
+            .field("cursor", &self.cursor)
+            .field("slab", &self.entries.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn tick_of(time: Timestamp) -> u64 {
+    let secs = time.as_secs();
+    debug_assert!(
+        secs >= 0.0,
+        "event queue times are non-negative, got {secs}"
+    );
+    (secs / QUANTUM) as u64
+}
+
+fn next_occupied(words: &[u64; WORDS], from: usize) -> Option<usize> {
+    let mut w = from / 64;
+    let mut mask = !0u64 << (from % 64);
+    while w < WORDS {
+        let bits = words[w] & mask;
+        if bits != 0 {
+            return Some(w * 64 + bits.trailing_zeros() as usize);
+        }
+        w += 1;
+        mask = !0;
+    }
+    None
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue with its cursor at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            entries: Vec::new(),
+            free_head: NIL,
+            heads: [[NIL; SLOTS]; 3],
+            occupied: [[0; WORDS]; 3],
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            batch: Vec::new(),
+            batch_tick: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Live entries (pushed, not yet popped or cancelled).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no live entries remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `value` for `time`. Returns a handle redeemable via
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, time: Timestamp, value: T) -> TimerHandle {
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = self.alloc(time, seq, value);
+        self.len += 1;
+        let tick = tick_of(time);
+        if !self.batch.is_empty() && tick <= self.batch_tick {
+            // The wheel is mid-drain on this tick (or the entry is
+            // past due): merge straight into the live batch, keeping
+            // the descending (time, seq) order.
+            let e = (time, seq);
+            let pos = self.batch.partition_point(|&(t, s, _)| (t, s) > e);
+            self.batch.insert(pos, (time, seq, idx));
+        } else {
+            self.place(idx);
+        }
+        TimerHandle {
+            idx,
+            gen: self.entries[idx as usize].gen,
+        }
+    }
+
+    /// The time of the next entry, or `None` when empty. Takes `&mut`
+    /// because finding the next entry may advance the wheel.
+    pub fn peek_time(&mut self) -> Option<Timestamp> {
+        if self.fill_batch() {
+            self.batch.last().map(|&(t, _, _)| t)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the earliest entry (ties broken by
+    /// insertion order).
+    pub fn pop(&mut self) -> Option<(Timestamp, T)> {
+        if !self.fill_batch() {
+            return None;
+        }
+        let (time, _, idx) = self.batch.pop().expect("fill_batch returned true");
+        let value = self.entries[idx as usize]
+            .value
+            .take()
+            .expect("fill_batch leaves a live entry in front");
+        self.release(idx);
+        self.len -= 1;
+        Some((time, value))
+    }
+
+    /// Cancels a pending entry, returning its value. `None` when the
+    /// entry already fired or was already cancelled.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<T> {
+        let e = self.entries.get_mut(handle.idx as usize)?;
+        if e.gen != handle.gen {
+            return None;
+        }
+        let value = e.value.take()?;
+        self.len -= 1;
+        Some(value)
+    }
+
+    fn alloc(&mut self, time: Timestamp, seq: u64, value: T) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let e = &mut self.entries[idx as usize];
+            self.free_head = e.next;
+            e.time = time;
+            e.seq = seq;
+            e.next = NIL;
+            e.value = Some(value);
+            idx
+        } else {
+            assert!(self.entries.len() < NIL as usize, "event queue slab full");
+            self.entries.push(Entry {
+                time,
+                seq,
+                gen: 0,
+                next: NIL,
+                value: Some(value),
+            });
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        let e = &mut self.entries[idx as usize];
+        debug_assert!(e.value.is_none(), "releasing a live entry");
+        e.gen = e.gen.wrapping_add(1);
+        e.next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Parks `idx` in the wheel level covering its delay from the
+    /// cursor. Past-due entries clamp to the cursor tick; the batch
+    /// sort by true `(time, seq)` keeps pops correctly ordered anyway.
+    fn place(&mut self, idx: u32) {
+        let tick = tick_of(self.entries[idx as usize].time).max(self.cursor);
+        let delta = tick - self.cursor;
+        let (level, slot) = if delta < L0_SPAN {
+            (0, (tick & 0xFF) as usize)
+        } else if delta < L1_SPAN {
+            (1, ((tick >> 8) & 0xFF) as usize)
+        } else if delta < L2_SPAN {
+            (2, ((tick >> 16) & 0xFF) as usize)
+        } else {
+            let seq = self.entries[idx as usize].seq;
+            self.overflow.push(Reverse((tick, seq, idx)));
+            return;
+        };
+        self.entries[idx as usize].next = self.heads[level][slot];
+        self.heads[level][slot] = idx;
+        self.occupied[level][slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// Drains level-0 slot `slot` (all of whose entries share `tick`)
+    /// into the batch, sorted descending by `(time, seq)`.
+    fn drain_slot(&mut self, slot: usize, tick: u64) {
+        debug_assert!(self.batch.is_empty());
+        let mut head = std::mem::replace(&mut self.heads[0][slot], NIL);
+        self.occupied[0][slot / 64] &= !(1u64 << (slot % 64));
+        while head != NIL {
+            let e = &self.entries[head as usize];
+            let next = e.next;
+            if e.value.is_some() {
+                self.batch.push((e.time, e.seq, head));
+            } else {
+                self.release(head);
+            }
+            head = next;
+        }
+        self.batch
+            .sort_unstable_by_key(|&(time, seq, _)| Reverse((time, seq)));
+        self.batch_tick = tick;
+    }
+
+    /// Re-places every entry of a level-1/2 slot one level down.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut head = std::mem::replace(&mut self.heads[level][slot], NIL);
+        self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+        while head != NIL {
+            let next = std::mem::replace(&mut self.entries[head as usize].next, NIL);
+            if self.entries[head as usize].value.is_some() {
+                self.place(head);
+            } else {
+                self.release(head);
+            }
+            head = next;
+        }
+    }
+
+    fn wheel_is_empty(&self) -> bool {
+        self.occupied
+            .iter()
+            .all(|level| level.iter().all(|&w| w == 0))
+    }
+
+    /// Ensures the batch front is a live entry, advancing the wheel as
+    /// needed. Returns `false` when the queue is empty.
+    fn fill_batch(&mut self) -> bool {
+        loop {
+            // Skip cancelled entries parked at the batch front.
+            while let Some(&(_, _, idx)) = self.batch.last() {
+                if self.entries[idx as usize].value.is_some() {
+                    return true;
+                }
+                self.batch.pop();
+                self.release(idx);
+            }
+            if self.len == 0 {
+                return false;
+            }
+            // Next occupied level-0 slot within the current window.
+            let from = (self.cursor & 0xFF) as usize;
+            if let Some(slot) = next_occupied(&self.occupied[0], from) {
+                let tick = (self.cursor & !0xFF) + slot as u64;
+                debug_assert!(tick >= self.cursor);
+                self.cursor = tick;
+                self.drain_slot(slot, tick);
+                continue;
+            }
+            // Everything lives in the overflow heap: jump straight to
+            // its first entry's level-2 rotation boundary.
+            if self.wheel_is_empty() {
+                let &Reverse((tick, _, _)) = self
+                    .overflow
+                    .peek()
+                    .expect("len > 0 with an empty wheel means overflow entries");
+                let boundary = tick - tick % L2_SPAN;
+                debug_assert!(boundary > self.cursor);
+                self.cursor = boundary;
+                self.pull_overflow();
+                continue;
+            }
+            // Advance one level-0 window, cascading parents whose
+            // boundaries we cross.
+            let new_win = (self.cursor & !0xFF) + L0_SPAN;
+            self.cursor = new_win;
+            if new_win.is_multiple_of(L2_SPAN) {
+                self.pull_overflow();
+            }
+            if new_win.is_multiple_of(L1_SPAN) {
+                self.cascade(2, ((new_win >> 16) & 0xFF) as usize);
+            }
+            self.cascade(1, ((new_win >> 8) & 0xFF) as usize);
+        }
+    }
+
+    /// Moves overflow entries now within the level-2 horizon into the
+    /// wheel. Called when the cursor lands on a level-2 rotation
+    /// boundary.
+    fn pull_overflow(&mut self) {
+        while let Some(&Reverse((tick, _, _))) = self.overflow.peek() {
+            debug_assert!(tick >= self.cursor);
+            if tick - self.cursor >= L2_SPAN {
+                break;
+            }
+            let Reverse((_, _, idx)) = self.overflow.pop().expect("peeked");
+            if self.entries[idx as usize].value.is_some() {
+                self.place(idx);
+            } else {
+                self.release(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order_with_insertion_tiebreak() {
+        let mut q = EventQueue::new();
+        q.push(ts(0.3), "c");
+        q.push(ts(0.1), "a1");
+        q.push(ts(0.2), "b");
+        q.push(ts(0.1), "a2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, ["a1", "a2", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_different_times_sort_by_time() {
+        // 1 ms quantum: 0.0001 and 0.0007 share tick 0.
+        let mut q = EventQueue::new();
+        q.push(ts(0.0007), 2);
+        q.push(ts(0.0001), 1);
+        assert_eq!(q.pop(), Some((ts(0.0001), 1)));
+        assert_eq!(q.pop(), Some((ts(0.0007), 2)));
+    }
+
+    #[test]
+    fn push_during_drain_joins_current_batch() {
+        let mut q = EventQueue::new();
+        q.push(ts(1.0), 1);
+        q.push(ts(1.0001), 3);
+        assert_eq!(q.pop(), Some((ts(1.0), 1)));
+        // Same tick as the live batch; earlier than the batch front.
+        q.push(ts(1.00005), 2);
+        assert_eq!(q.pop(), Some((ts(1.00005), 2)));
+        assert_eq!(q.pop(), Some((ts(1.0001), 3)));
+    }
+
+    #[test]
+    fn past_due_entries_fire_immediately_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ts(5.0), "future");
+        assert_eq!(q.peek_time(), Some(ts(5.0))); // advances the cursor
+        q.push(ts(1.0), "late1");
+        q.push(ts(2.0), "late2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, ["late1", "late2", "future"]);
+    }
+
+    #[test]
+    fn spans_all_levels_and_overflow() {
+        let mut q = EventQueue::new();
+        // level 0 (< 256 ms), level 1 (< 65.5 s), level 2 (< 4.66 h),
+        // overflow (beyond).
+        q.push(ts(20_000.0), 4); // overflow (~5.5 h)
+        q.push(ts(0.05), 1);
+        q.push(ts(30.0), 2);
+        q.push(ts(3_600.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery_and_returns_value() {
+        let mut q = EventQueue::new();
+        let h = q.push(ts(1.0), "x");
+        q.push(ts(2.0), "y");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(h), Some("x"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancel(h), None, "double cancel");
+        assert_eq!(q.pop(), Some((ts(2.0), "y")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_handle_after_pop_is_harmless() {
+        let mut q = EventQueue::new();
+        let h = q.push(ts(0.5), 1);
+        assert_eq!(q.pop(), Some((ts(0.5), 1)));
+        // The slab slot may be recycled by the next push; the stale
+        // handle must not cancel the new entry.
+        let _h2 = q.push(ts(1.0), 2);
+        assert_eq!(q.cancel(h), None);
+        assert_eq!(q.pop(), Some((ts(1.0), 2)));
+    }
+
+    #[test]
+    fn cancel_entry_already_in_batch() {
+        let mut q = EventQueue::new();
+        let _ = q.push(ts(1.0), 1);
+        let h = q.push(ts(1.0002), 2);
+        q.push(ts(1.0004), 3);
+        assert_eq!(q.peek_time(), Some(ts(1.0))); // drains the tick
+        assert_eq!(q.cancel(h), Some(2));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, [1, 3]);
+    }
+
+    #[test]
+    fn slab_recycles_instead_of_growing() {
+        let mut q = EventQueue::new();
+        for round in 0..100 {
+            for k in 0..10 {
+                q.push(ts(round as f64 + 0.001 * k as f64), k);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.entries.len() <= 10,
+            "slab grew to {} for 10 concurrent entries",
+            q.entries.len()
+        );
+    }
+
+    /// The differential test: against a reference `BinaryHeap` keyed
+    /// `(time, seq)`, over a randomized push/pop/cancel workload whose
+    /// delays span every wheel level and include exact ties.
+    #[test]
+    fn matches_reference_heap_under_random_workload() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut wheel = EventQueue::new();
+            let mut heap: BinaryHeap<Reverse<(Timestamp, u64, u32)>> = BinaryHeap::new();
+            let mut live = std::collections::HashMap::new(); // seq -> handle
+            let mut now = 0.0f64;
+            let mut seq = 0u64;
+            for _ in 0..4000 {
+                match rng.random_range(0..10) {
+                    // push (weighted)
+                    0..=5 => {
+                        let delay = match rng.random_range(0..8) {
+                            0 => 0.0, // exact tie with `now`
+                            1..=4 => rng.random_range(0.0..0.2),
+                            5 | 6 => rng.random_range(0.0..40.0),
+                            _ => rng.random_range(0.0..200.0),
+                        };
+                        let t = ts(now + delay);
+                        let h = wheel.push(t, seq as u32);
+                        heap.push(Reverse((t, seq, seq as u32)));
+                        live.insert(seq, h);
+                        seq += 1;
+                    }
+                    // pop
+                    6..=8 => {
+                        let got = wheel.pop();
+                        let want = heap.pop().map(|Reverse((t, _, v))| (t, v));
+                        assert_eq!(got, want, "seed {seed}");
+                        if let Some((t, v)) = got {
+                            now = t.as_secs();
+                            live.remove(&u64::from(v));
+                        }
+                    }
+                    // cancel a random live entry
+                    _ => {
+                        if let Some(&k) = live.keys().next() {
+                            let h = live.remove(&k).unwrap();
+                            assert_eq!(wheel.cancel(h), Some(k as u32), "seed {seed}");
+                            heap.retain(|&Reverse((_, s, _))| s != k);
+                        }
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len(), "seed {seed}");
+            }
+            // Drain the rest.
+            loop {
+                let got = wheel.pop();
+                let want = heap.pop().map(|Reverse((t, _, v))| (t, v));
+                assert_eq!(got, want, "seed {seed} drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        for k in 0..50 {
+            q.push(ts(0.013 * f64::from(k % 7)), k);
+        }
+        while let Some(t) = q.peek_time() {
+            let (pt, _) = q.pop().unwrap();
+            assert_eq!(t, pt);
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -1,6 +1,17 @@
 //! The discrete-event world: actors, context, and the event loop.
+//!
+//! The engine is built for scale: events live in per-component
+//! hierarchical timing wheels ([`EventQueue`]) instead of one global
+//! `BinaryHeap`, dispatch recycles a single action buffer so the hot
+//! loop is allocation-free, and each connected component of the
+//! topology owns an independent deterministic RNG stream. Because
+//! component streams never interact, a component executes identically
+//! whether it runs inside a combined world or alone in a sub-world
+//! built with [`World::new_labeled`] — the property the sharded runner
+//! in `tempo-sim` relies on to parallelise independent consistency
+//! groups without changing a single byte of telemetry.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
@@ -11,9 +22,18 @@ use tempo_telemetry::{Bus, DropCause, EventKind as TelemetryKind, TelemetryEvent
 
 use crate::delay::DelayModel;
 use crate::node::NodeId;
+use crate::queue::EventQueue;
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
 use crate::transport::{ActorAction, Transport};
+
+/// Mixes a component's smallest *global label* into the world seed so
+/// every connected component draws delays/loss/duplication from its own
+/// stream. A component whose smallest label is 0 gets the plain seed,
+/// which keeps connected (single-component) worlds byte-identical to
+/// the historical single-RNG engine — the `transport_equivalence`
+/// goldens pin exactly that.
+const COMPONENT_SEED_SALT: u64 = 0xD1B5_4A32_D192_ED03;
 
 /// A protocol participant driven by the [`World`].
 ///
@@ -42,6 +62,8 @@ pub trait Actor {
 pub struct Context<'a, M> {
     now: Timestamp,
     me: NodeId,
+    label: usize,
+    labels: &'a [usize],
     neighbors: &'a [NodeId],
     rng: &'a mut StdRng,
     actions: Vec<ActorAction<M>>,
@@ -54,6 +76,8 @@ impl<'a, M> Context<'a, M> {
     /// the actor's callbacks with this context, then drains the
     /// queued actions with [`Context::take_actions`] and executes
     /// them via [`Transport::apply`](crate::Transport::apply).
+    ///
+    /// The [`label`](Context::label) defaults to `me.index()`.
     #[must_use]
     pub fn external(
         now: Timestamp,
@@ -64,6 +88,8 @@ impl<'a, M> Context<'a, M> {
         Context {
             now,
             me,
+            label: me.index(),
+            labels: &[],
             neighbors,
             rng,
             actions: Vec::new(),
@@ -85,10 +111,33 @@ impl<'a, M> Context<'a, M> {
         self.now
     }
 
-    /// This actor's node id.
+    /// This actor's node id *within its world* — the id messages are
+    /// addressed by.
     #[must_use]
     pub fn me(&self) -> NodeId {
         self.me
+    }
+
+    /// This actor's *global* label: its stable identity across sharded
+    /// sub-worlds. Equal to [`me()`](Context::me)`.index()` unless the
+    /// world was built with [`World::new_labeled`]. Telemetry and any
+    /// externally visible identity should use this, never `me()`.
+    #[must_use]
+    pub fn label(&self) -> usize {
+        self.label
+    }
+
+    /// The *global* label of any local node — the identity to report
+    /// a peer under in telemetry or identity-keyed protocol logic.
+    /// Identity (`node.index()`) unless the world was built with
+    /// [`World::new_labeled`]; external drivers (real transports) run
+    /// unlabelled, where local and global ids coincide.
+    #[must_use]
+    pub fn label_of(&self, node: NodeId) -> usize {
+        self.labels
+            .get(node.index())
+            .copied()
+            .unwrap_or(node.index())
     }
 
     /// This actor's neighbours in the topology.
@@ -139,7 +188,7 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// This actor's private deterministic RNG (seeded from the world
-    /// seed and the node id).
+    /// seed and the node's global label).
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -148,6 +197,9 @@ impl<'a, M> Context<'a, M> {
 /// A scheduled communication outage: while active, messages between
 /// nodes in different groups are dropped. Nodes absent from every group
 /// are isolated entirely during the partition.
+///
+/// Groups are expressed in *global label* space (identical to node-id
+/// space unless the world was built with [`World::new_labeled`]).
 #[derive(Debug, Clone)]
 pub struct Partition {
     /// Start of the outage (inclusive).
@@ -174,6 +226,11 @@ impl Partition {
 
 /// Network configuration: default delay, loss, per-link overrides, and
 /// partitions.
+///
+/// Link overrides, loss overrides, and partitions name nodes by their
+/// *global label* (identical to node-id space unless the world was
+/// built with [`World::new_labeled`]), so one config describes the
+/// same network whether a component runs combined or sharded.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Default one-way delay model for every link.
@@ -337,11 +394,19 @@ pub struct NetStats {
     pub timers_fired: usize,
 }
 
-/// A pending event in the queue.
-struct Event<M> {
-    time: Timestamp,
-    seq: u64,
-    kind: EventKind<M>,
+impl NetStats {
+    /// Sums two stat blocks — used when merging per-shard results.
+    #[must_use]
+    pub fn merged(self, other: NetStats) -> NetStats {
+        NetStats {
+            sent: self.sent + other.sent,
+            delivered: self.delivered + other.delivered,
+            lost: self.lost + other.lost,
+            duplicated: self.duplicated + other.duplicated,
+            partitioned: self.partitioned + other.partitioned,
+            timers_fired: self.timers_fired + other.timers_fired,
+        }
+    }
 }
 
 enum EventKind<M> {
@@ -349,46 +414,34 @@ enum EventKind<M> {
     Timer { node: NodeId, tag: u64 },
 }
 
-// Order events by (time, seq); seq is unique, giving a total order that
-// makes the heap deterministic.
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-impl<M> std::fmt::Debug for Event<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Event(t={}, seq={})", self.time, self.seq)
-    }
-}
-
 /// The simulation driver: owns the actors, the clock of *real* time,
-/// and the event queue.
-#[derive(Debug)]
+/// and the per-component event queues.
 pub struct World<A: Actor> {
     actors: Vec<A>,
     topology: Topology,
     config: NetConfig,
-    queue: BinaryHeap<Event<A::Msg>>,
+    /// Global label of each local node (identity unless built via
+    /// [`World::new_labeled`]).
+    labels: Vec<usize>,
+    /// Connected-component rank of each node (components ordered by
+    /// their smallest node).
+    comp_of: Vec<u32>,
+    /// One timing-wheel event queue per connected component. Events
+    /// within a component are totally ordered by `(time, push seq)`;
+    /// components are interleaved by the scheduler below.
+    queues: Vec<EventQueue<EventKind<A::Msg>>>,
+    /// One network RNG per component, seeded from the component's
+    /// smallest global label — so a component's delay/loss/duplication
+    /// stream is the same whether it runs combined or sharded.
+    net_rngs: Vec<StdRng>,
+    /// Cross-component scheduler: a min-heap of `(head time, comp)`.
+    /// Same-time heads run in component-rank order — the canonical
+    /// interleaving the sharded merge reproduces.
+    sched: BinaryHeap<Reverse<(Timestamp, u32)>>,
+    /// The key currently armed in `sched` per component (stale heap
+    /// entries are skipped when they don't match).
+    armed_at: Vec<Option<Timestamp>>,
     now: Timestamp,
-    seq: u64,
-    net_rng: StdRng,
     node_rngs: Vec<StdRng>,
     stats: NetStats,
     trace: Option<Trace>,
@@ -400,6 +453,23 @@ pub struct World<A: Actor> {
     /// Largest one-way delay actually scheduled so far (FIFO queueing
     /// included) — the empirical half of the paper's `ξ`.
     max_observed_delay: Duration,
+    /// Recycled action buffer: dispatch never allocates.
+    scratch: Vec<ActorAction<A::Msg>>,
+}
+
+impl<A: Actor> std::fmt::Debug for World<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.actors.len())
+            .field("components", &self.queues.len())
+            .field(
+                "pending",
+                &self.queues.iter().map(EventQueue::len).sum::<usize>(),
+            )
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<A: Actor> World<A> {
@@ -430,33 +500,94 @@ impl<A: Actor> World<A> {
         seed: u64,
         bus: Bus,
     ) -> Self {
+        let labels = (0..actors.len()).collect();
+        Self::new_labeled(actors, topology, config, seed, bus, labels)
+    }
+
+    /// Builds a *sub-world*: local node `i` carries the global label
+    /// `labels[i]`. All deterministic derivations — per-node RNGs, the
+    /// per-component network RNG, telemetry identities, and
+    /// [`NetConfig`] lookups (partitions, link overrides) — use
+    /// labels, so a connected component extracted with
+    /// [`Topology::induced`] and run here behaves byte-identically to
+    /// the same component inside the full world. This is the seam the
+    /// sharded runner in `tempo-sim` is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of actors differs from the topology size
+    /// or from the number of labels.
+    #[must_use]
+    pub fn new_labeled(
+        actors: Vec<A>,
+        topology: Topology,
+        config: NetConfig,
+        seed: u64,
+        bus: Bus,
+        labels: Vec<usize>,
+    ) -> Self {
         assert_eq!(
             actors.len(),
             topology.len(),
             "actor count must match topology size"
         );
-        let node_rngs = (0..actors.len())
-            .map(|i| {
-                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
+        assert_eq!(
+            labels.len(),
+            actors.len(),
+            "label count must match actor count"
+        );
+        let node_rngs = labels
+            .iter()
+            .map(|&l| {
+                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(l as u64 + 1)))
             })
             .collect();
+        let comps = topology.components();
+        let mut comp_of = vec![0u32; actors.len()];
+        let mut net_rngs = Vec::with_capacity(comps.len());
+        for (rank, members) in comps.iter().enumerate() {
+            for &n in members {
+                comp_of[n.index()] = u32::try_from(rank).expect("component rank fits u32");
+            }
+            let min_label = members
+                .iter()
+                .map(|n| labels[n.index()])
+                .min()
+                .expect("components are non-empty") as u64;
+            net_rngs.push(StdRng::seed_from_u64(
+                seed ^ COMPONENT_SEED_SALT.wrapping_mul(min_label),
+            ));
+        }
+        let queues = (0..comps.len()).map(|_| EventQueue::new()).collect();
+        let armed_at = vec![None; comps.len()];
         let mut world = World {
             actors,
             topology,
             config,
-            queue: BinaryHeap::new(),
+            labels,
+            comp_of,
+            queues,
+            net_rngs,
+            sched: BinaryHeap::new(),
+            armed_at,
             now: Timestamp::ZERO,
-            seq: 0,
-            net_rng: StdRng::seed_from_u64(seed),
             node_rngs,
             stats: NetStats::default(),
             trace: None,
             bus,
             link_horizon: std::collections::HashMap::new(),
             max_observed_delay: Duration::ZERO,
+            scratch: Vec::new(),
         };
-        for i in 0..world.actors.len() {
-            world.dispatch_start(NodeId::new(i));
+        // Start order groups nodes by component (components ordered by
+        // smallest node, nodes ascending within each): identical to
+        // 0..n for a connected topology, and identical to starting
+        // each component in its own sub-world otherwise — the
+        // invariant the sharded engine relies on.
+        for members in &comps {
+            for &n in members {
+                world.dispatch_start(n);
+            }
         }
         world
     }
@@ -499,10 +630,20 @@ impl<A: Actor> World<A> {
         &self.topology
     }
 
+    /// The global label of a local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn label_of(&self, node: NodeId) -> usize {
+        self.labels[node.index()]
+    }
+
     /// `true` when no events remain.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.queues.iter().all(EventQueue::is_empty)
     }
 
     /// Starts recording network events into a bounded [`Trace`]
@@ -527,15 +668,52 @@ impl<A: Actor> World<A> {
         }
     }
 
+    /// The `(time, component)` of the next event across all
+    /// components, without popping it. Skips stale scheduler entries.
+    fn next_ready(&mut self) -> Option<(Timestamp, u32)> {
+        if self.queues.len() == 1 {
+            return self.queues[0].peek_time().map(|t| (t, 0));
+        }
+        while let Some(&Reverse((t, c))) = self.sched.peek() {
+            if self.armed_at[c as usize] == Some(t) {
+                return Some((t, c));
+            }
+            let _ = self.sched.pop();
+        }
+        None
+    }
+
+    /// Registers component `comp`'s current head in the scheduler
+    /// unless it is already armed at that key. Called after any push
+    /// that may have lowered the head; superseded entries are left in
+    /// the heap and skipped as stale by [`next_ready`](Self::next_ready).
+    fn arm(&mut self, comp: u32) {
+        let c = comp as usize;
+        if let Some(head) = self.queues[c].peek_time() {
+            if self.armed_at[c].is_none_or(|t| head < t) {
+                self.armed_at[c] = Some(head);
+                self.sched.push(Reverse((head, comp)));
+            }
+        }
+    }
+
     /// Processes the single next event, if any. Returns `false` when the
     /// queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
+        let Some((_, comp)) = self.next_ready() else {
             return false;
         };
-        debug_assert!(event.time >= self.now, "event queue went backwards");
-        self.now = event.time;
-        match event.kind {
+        let c = comp as usize;
+        if self.queues.len() > 1 {
+            let _ = self.sched.pop();
+            self.armed_at[c] = None;
+        }
+        let (time, kind) = self.queues[c]
+            .pop()
+            .expect("scheduled component has an event");
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        match kind {
             EventKind::Deliver { from, to, msg } => {
                 self.stats.delivered += 1;
                 self.record(TraceEvent::Deliver {
@@ -546,8 +724,8 @@ impl<A: Actor> World<A> {
                 self.bus
                     .emit_with(TelemetryKind::MsgRecv, || TelemetryEvent::MsgRecv {
                         at: self.now,
-                        from: from.index(),
-                        to: to.index(),
+                        from: self.labels[from.index()],
+                        to: self.labels[to.index()],
                     });
                 self.dispatch_message(to, from, msg);
             }
@@ -561,11 +739,14 @@ impl<A: Actor> World<A> {
                 self.bus
                     .emit_with(TelemetryKind::TimerFired, || TelemetryEvent::TimerFired {
                         at: self.now,
-                        node: node.index(),
+                        node: self.labels[node.index()],
                         tag,
                     });
                 self.dispatch_timer(node, tag);
             }
+        }
+        if self.queues.len() > 1 {
+            self.arm(comp);
         }
         true
     }
@@ -574,8 +755,8 @@ impl<A: Actor> World<A> {
     /// `until`. Events scheduled at exactly `until` are processed; on
     /// return, `now() == until` (even if the queue drained early).
     pub fn run_until(&mut self, until: Timestamp) {
-        while let Some(event) = self.queue.peek() {
-            if event.time > until {
+        while let Some((t, _)) = self.next_ready() {
+            if t > until {
                 break;
             }
             let _ = self.step();
@@ -608,16 +789,21 @@ impl<A: Actor> World<A> {
         self.run_until(until);
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
-    }
-
     /// Samples a delay for one copy of a message and enqueues its
     /// delivery (respecting the per-link FIFO horizon when enabled).
     fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        let delay = self.config.delay_for(from, to).sample(&mut self.net_rng);
+        let comp = self.comp_of[from.index()];
+        debug_assert_eq!(
+            comp,
+            self.comp_of[to.index()],
+            "messages cannot cross components"
+        );
+        let gf = NodeId::new(self.labels[from.index()]);
+        let gt = NodeId::new(self.labels[to.index()]);
+        let delay = self
+            .config
+            .delay_for(gf, gt)
+            .sample(&mut self.net_rngs[comp as usize]);
         let mut deliver_at = self.now + delay;
         if self.config.fifo_links {
             if let Some(&horizon) = self.link_horizon.get(&(from, to)) {
@@ -626,70 +812,89 @@ impl<A: Actor> World<A> {
             self.link_horizon.insert((from, to), deliver_at);
         }
         self.max_observed_delay = self.max_observed_delay.max(deliver_at - self.now);
-        let seq = self.next_seq();
-        self.queue.push(Event {
-            time: deliver_at,
-            seq,
-            kind: EventKind::Deliver { from, to, msg },
-        });
+        let _ = self.queues[comp as usize].push(deliver_at, EventKind::Deliver { from, to, msg });
+        if self.queues.len() > 1 {
+            self.arm(comp);
+        }
     }
 
     fn dispatch_start(&mut self, node: NodeId) {
-        let actions = {
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
             let mut ctx = Context {
                 now: self.now,
                 me: node,
+                label: self.labels[node.index()],
+                labels: &self.labels,
                 neighbors: self.topology.neighbors(node),
                 rng: &mut self.node_rngs[node.index()],
-                actions: Vec::new(),
+                actions,
             };
             self.actors[node.index()].on_start(&mut ctx);
-            ctx.actions
-        };
-        self.apply_actions(node, actions);
+            actions = ctx.actions;
+        }
+        self.apply_actions(node, &mut actions);
+        self.scratch = actions;
     }
 
     fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: A::Msg) {
-        let actions = {
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
             let mut ctx = Context {
                 now: self.now,
                 me: node,
+                label: self.labels[node.index()],
+                labels: &self.labels,
                 neighbors: self.topology.neighbors(node),
                 rng: &mut self.node_rngs[node.index()],
-                actions: Vec::new(),
+                actions,
             };
             self.actors[node.index()].on_message(from, msg, &mut ctx);
-            ctx.actions
-        };
-        self.apply_actions(node, actions);
+            actions = ctx.actions;
+        }
+        self.apply_actions(node, &mut actions);
+        self.scratch = actions;
     }
 
     fn dispatch_timer(&mut self, node: NodeId, tag: u64) {
-        let actions = {
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
             let mut ctx = Context {
                 now: self.now,
                 me: node,
+                label: self.labels[node.index()],
+                labels: &self.labels,
                 neighbors: self.topology.neighbors(node),
                 rng: &mut self.node_rngs[node.index()],
-                actions: Vec::new(),
+                actions,
             };
             self.actors[node.index()].on_timer(tag, &mut ctx);
-            ctx.actions
-        };
-        self.apply_actions(node, actions);
+            actions = ctx.actions;
+        }
+        self.apply_actions(node, &mut actions);
+        self.scratch = actions;
     }
 
-    fn apply_actions(&mut self, from: NodeId, actions: Vec<ActorAction<A::Msg>>) {
-        Transport::apply(self, from, actions);
+    /// Executes the actor's queued actions in order — the same
+    /// action→pipeline mapping as [`Transport::apply`], kept inline so
+    /// the hot loop recycles one scratch buffer instead of allocating
+    /// a fresh `Vec` per callback.
+    fn apply_actions(&mut self, from: NodeId, actions: &mut Vec<ActorAction<A::Msg>>) {
+        for action in actions.drain(..) {
+            match action {
+                ActorAction::Send { to, msg } => Transport::send(self, from, to, msg),
+                ActorAction::Timer { delay, tag } => Transport::set_timer(self, from, delay, tag),
+            }
+        }
     }
 }
 
 /// The simulator *is* a [`Transport`]: sends run the delay / loss /
-/// duplication / partition pipeline against the world's deterministic
-/// RNG, timers go into the event queue. Action order maps one-to-one
-/// onto RNG draw order, so routing through this trait is
-/// byte-identical to the pre-trait pipeline (pinned by the
-/// `transport_equivalence` goldens in `tempo-sim`).
+/// duplication / partition pipeline against the owning component's
+/// deterministic RNG, timers go into the component's event queue.
+/// Action order maps one-to-one onto RNG draw order, so routing through
+/// this trait is byte-identical to the pre-trait pipeline (pinned by
+/// the `transport_equivalence` goldens in `tempo-sim`).
 impl<A: Actor> Transport<A::Msg> for World<A> {
     fn now(&self) -> Timestamp {
         self.now
@@ -697,6 +902,8 @@ impl<A: Actor> Transport<A::Msg> for World<A> {
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
         self.stats.sent += 1;
+        let gf = NodeId::new(self.labels[from.index()]);
+        let gt = NodeId::new(self.labels[to.index()]);
         self.record(TraceEvent::Send {
             at: self.now,
             from,
@@ -705,14 +912,14 @@ impl<A: Actor> Transport<A::Msg> for World<A> {
         self.bus
             .emit_with(TelemetryKind::MsgSend, || TelemetryEvent::MsgSend {
                 at: self.now,
-                from: from.index(),
-                to: to.index(),
+                from: gf.index(),
+                to: gt.index(),
             });
         if self
             .config
             .partitions
             .iter()
-            .any(|p| p.blocks(self.now, from, to))
+            .any(|p| p.blocks(self.now, gf, gt))
         {
             self.stats.partitioned += 1;
             self.record(TraceEvent::Partitioned {
@@ -723,14 +930,15 @@ impl<A: Actor> Transport<A::Msg> for World<A> {
             self.bus
                 .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
                     at: self.now,
-                    from: from.index(),
-                    to: to.index(),
+                    from: gf.index(),
+                    to: gt.index(),
                     cause: DropCause::Partition,
                 });
             return;
         }
-        let loss = self.config.loss_for(from, to);
-        if loss > 0.0 && self.net_rng.random::<f64>() < loss {
+        let comp = self.comp_of[from.index()] as usize;
+        let loss = self.config.loss_for(gf, gt);
+        if loss > 0.0 && self.net_rngs[comp].random::<f64>() < loss {
             self.stats.lost += 1;
             self.record(TraceEvent::Lost {
                 at: self.now,
@@ -740,13 +948,15 @@ impl<A: Actor> Transport<A::Msg> for World<A> {
             self.bus
                 .emit_with(TelemetryKind::MsgDrop, || TelemetryEvent::MsgDrop {
                     at: self.now,
-                    from: from.index(),
-                    to: to.index(),
+                    from: gf.index(),
+                    to: gt.index(),
                     cause: DropCause::Loss,
                 });
             return;
         }
-        if self.config.duplication > 0.0 && self.net_rng.random::<f64>() < self.config.duplication {
+        if self.config.duplication > 0.0
+            && self.net_rngs[comp].random::<f64>() < self.config.duplication
+        {
             self.stats.duplicated += 1;
             self.record(TraceEvent::Duplicated {
                 at: self.now,
@@ -756,8 +966,8 @@ impl<A: Actor> Transport<A::Msg> for World<A> {
             self.bus.emit_with(TelemetryKind::MsgDuplicate, || {
                 TelemetryEvent::MsgDuplicate {
                     at: self.now,
-                    from: from.index(),
-                    to: to.index(),
+                    from: gf.index(),
+                    to: gt.index(),
                 }
             });
             self.schedule_delivery(from, to, msg.clone());
@@ -766,12 +976,11 @@ impl<A: Actor> Transport<A::Msg> for World<A> {
     }
 
     fn set_timer(&mut self, node: NodeId, delay: Duration, tag: u64) {
-        let seq = self.next_seq();
-        self.queue.push(Event {
-            time: self.now + delay,
-            seq,
-            kind: EventKind::Timer { node, tag },
-        });
+        let comp = self.comp_of[node.index()];
+        let _ = self.queues[comp as usize].push(self.now + delay, EventKind::Timer { node, tag });
+        if self.queues.len() > 1 {
+            self.arm(comp);
+        }
     }
 }
 
@@ -1278,6 +1487,255 @@ mod tests {
         };
         assert_eq!(run(), run());
         let _ = actors;
+    }
+}
+
+#[cfg(test)]
+mod component_tests {
+    use super::*;
+
+    fn ts(s: f64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    /// Broadcasts a value on start and records what it hears.
+    struct Gossip {
+        value: u32,
+        received: Vec<(NodeId, u32, Timestamp)>,
+    }
+
+    impl Actor for Gossip {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(self.value);
+        }
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.received.push((from, msg, ctx.now()));
+        }
+        fn on_timer(&mut self, _: u64, _: &mut Context<'_, u32>) {}
+    }
+
+    fn gossips(values: impl IntoIterator<Item = u32>) -> Vec<Gossip> {
+        values
+            .into_iter()
+            .map(|value| Gossip {
+                value,
+                received: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn jitter_net() -> NetConfig {
+        NetConfig::with_delay(DelayModel::Uniform {
+            min: dur(0.01),
+            max: dur(0.09),
+        })
+    }
+
+    #[test]
+    fn disjoint_cliques_gossip_stays_inside_cliques() {
+        let mut world = World::new(
+            gossips(0..6),
+            Topology::disjoint_cliques(2, 3),
+            jitter_net(),
+            5,
+        );
+        world.run_until(ts(1.0));
+        for (i, actor) in world.actors().iter().enumerate() {
+            assert_eq!(actor.received.len(), 2, "clique size 3 → 2 inbound");
+            let clique = i / 3;
+            for &(from, _, _) in &actor.received {
+                assert_eq!(from.index() / 3, clique, "message crossed a clique");
+            }
+        }
+        assert_eq!(world.stats().sent, 12);
+        assert_eq!(world.stats().delivered, 12);
+    }
+
+    #[test]
+    fn multi_component_runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut world = World::new(
+                gossips(0..8),
+                Topology::disjoint_cliques(4, 2),
+                jitter_net().loss(0.2),
+                seed,
+            );
+            world.run_until(ts(2.0));
+            let log: Vec<_> = world.actors().iter().map(|a| a.received.clone()).collect();
+            (log, world.stats())
+        };
+        assert_eq!(run(33), run(33));
+        assert_ne!(run(33).0, run(34).0);
+    }
+
+    #[test]
+    fn labeled_sub_world_matches_component_in_combined_world() {
+        // The determinism seam the sharded runner stands on: running
+        // one component of a disjoint topology in its own sub-world
+        // (with global labels) reproduces exactly what that component
+        // did inside the combined world.
+        let seed = 77;
+        let combined = {
+            let mut world = World::new(
+                gossips(0..6),
+                Topology::disjoint_cliques(2, 3),
+                jitter_net().loss(0.15).duplication(0.1),
+                seed,
+            );
+            world.run_until(ts(3.0));
+            let log: Vec<_> = world.actors().iter().map(|a| a.received.clone()).collect();
+            (log, world.stats())
+        };
+
+        let full = Topology::disjoint_cliques(2, 3);
+        let comps = full.components();
+        assert_eq!(comps.len(), 2);
+        let mut sub_logs: Vec<Vec<(NodeId, u32, Timestamp)>> = Vec::new();
+        let mut sub_stats = NetStats::default();
+        for members in &comps {
+            let labels: Vec<usize> = members.iter().map(|n| n.index()).collect();
+            let actors = gossips(labels.iter().map(|&l| u32::try_from(l).unwrap()));
+            let mut sub = World::new_labeled(
+                actors,
+                full.induced(members),
+                jitter_net().loss(0.15).duplication(0.1),
+                seed,
+                Bus::disabled(),
+                labels.clone(),
+            );
+            sub.run_until(ts(3.0));
+            // Translate local sender ids back to global for comparison.
+            for actor in sub.actors() {
+                sub_logs.push(
+                    actor
+                        .received
+                        .iter()
+                        .map(|&(from, msg, at)| (NodeId::new(labels[from.index()]), msg, at))
+                        .collect(),
+                );
+            }
+            sub_stats = sub_stats.merged(sub.stats());
+        }
+        assert_eq!(combined.0, sub_logs);
+        assert_eq!(combined.1, sub_stats);
+    }
+
+    #[test]
+    fn context_label_defaults_to_me_and_follows_labels() {
+        struct LabelCheck {
+            expect: usize,
+        }
+        impl Actor for LabelCheck {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                assert_eq!(ctx.label(), self.expect);
+            }
+            fn on_message(&mut self, _: NodeId, (): (), _: &mut Context<'_, ()>) {}
+            fn on_timer(&mut self, _: u64, _: &mut Context<'_, ()>) {}
+        }
+        let world = World::new(
+            vec![LabelCheck { expect: 0 }, LabelCheck { expect: 1 }],
+            Topology::full_mesh(2),
+            NetConfig::default(),
+            1,
+        );
+        assert_eq!(world.label_of(NodeId::new(0)), 0);
+        let labeled = World::new_labeled(
+            vec![LabelCheck { expect: 40 }, LabelCheck { expect: 41 }],
+            Topology::full_mesh(2),
+            NetConfig::default(),
+            1,
+            Bus::disabled(),
+            vec![40, 41],
+        );
+        assert_eq!(labeled.label_of(NodeId::new(1)), 41);
+    }
+
+    #[test]
+    fn labeled_world_emits_global_ids_on_the_bus() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tempo_telemetry::Observer;
+
+        #[derive(Default)]
+        struct Ids(Vec<(usize, usize)>);
+        impl Observer for Ids {
+            fn enabled(&self, kind: TelemetryKind) -> bool {
+                kind == TelemetryKind::MsgSend
+            }
+            fn observe(&mut self, event: &TelemetryEvent) {
+                if let TelemetryEvent::MsgSend { from, to, .. } = event {
+                    self.0.push((*from, *to));
+                }
+            }
+        }
+
+        let bus = Bus::new();
+        let ids = Rc::new(RefCell::new(Ids::default()));
+        bus.subscribe(ids.clone());
+        let mut world = World::new_labeled(
+            gossips([7, 8]),
+            Topology::full_mesh(2),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            3,
+            bus,
+            vec![7, 8],
+        );
+        world.run_until(ts(1.0));
+        assert_eq!(ids.borrow().0, vec![(7, 8), (8, 7)]);
+    }
+
+    #[test]
+    fn partition_groups_are_global_label_space() {
+        // Partition named in global ids must bite inside a labeled
+        // sub-world whose local ids are 0..n.
+        let partition = Partition {
+            from: ts(0.0),
+            until: ts(10.0),
+            groups: vec![vec![NodeId::new(40)], vec![NodeId::new(41)]],
+        };
+        let mut world = World::new_labeled(
+            gossips([1, 2]),
+            Topology::full_mesh(2),
+            NetConfig::with_delay(DelayModel::instant()).partition(partition),
+            1,
+            Bus::disabled(),
+            vec![40, 41],
+        );
+        world.run_until(ts(1.0));
+        assert_eq!(world.stats().partitioned, 2);
+        assert_eq!(world.stats().delivered, 0);
+    }
+
+    #[test]
+    fn same_time_heads_run_in_component_rank_order() {
+        // Constant delay: both cliques deliver at exactly t=0.01; the
+        // canonical interleaving is all of component 0's events first.
+        let mut order = Vec::new();
+        let mut world = World::new(
+            gossips(0..4),
+            Topology::disjoint_cliques(2, 2),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.01))),
+            1,
+        );
+        while world.step() {
+            order.push(world.now());
+        }
+        // Deliveries: nodes 0,1 (comp 0) then nodes 2,3 (comp 1) —
+        // observable through the actors' receive logs being complete
+        // and the run deterministic.
+        let firsts: Vec<_> = world
+            .actors()
+            .iter()
+            .map(|a| a.received.first().copied())
+            .collect();
+        assert!(firsts.iter().all(Option::is_some));
+        assert_eq!(order, vec![ts(0.01); 4]);
     }
 }
 

@@ -847,7 +847,7 @@ impl TimeServer {
             .emit_with(TelemetryKind::Timeout, || TelemetryEvent::Timeout {
                 at: now,
                 server: self.me,
-                peer: pending.peer.index(),
+                peer: ctx.label_of(pending.peer),
                 round: pending.round,
                 attempt: pending.attempt,
             });
@@ -869,7 +869,7 @@ impl TimeServer {
                 .emit_with(TelemetryKind::Retry, || TelemetryEvent::Retry {
                     at: now,
                     server: self.me,
-                    peer: pending.peer.index(),
+                    peer: ctx.label_of(pending.peer),
                     round: pending.round,
                     attempt: pending.attempt + 1,
                 });
@@ -885,7 +885,7 @@ impl TimeServer {
                     TelemetryEvent::HealthChanged {
                         at: now,
                         server: self.me,
-                        peer: pending.peer.index(),
+                        peer: ctx.label_of(pending.peer),
                         from: health_state(before),
                         to: health_state(after),
                     }
@@ -929,7 +929,7 @@ impl TimeServer {
                     TelemetryEvent::HealthChanged {
                         at,
                         server: self.me,
-                        peer: from.index(),
+                        peer: ctx.label_of(from),
                         from: health_state(before),
                         to: health_state(after),
                     }
@@ -1486,7 +1486,7 @@ impl TimeServer {
                     TelemetryEvent::HealthChanged {
                         at,
                         server: self.me,
-                        peer: from.index(),
+                        peer: ctx.label_of(from),
                         from: health_state(before),
                         to: health_state(after),
                     }
@@ -1691,7 +1691,10 @@ impl Actor for TimeServer {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
         self.started = true;
-        self.me = ctx.me().index();
+        // Global label, not the local node id: in a sharded sub-world
+        // this server's telemetry must carry its deployment-wide
+        // identity.
+        self.me = ctx.label();
         // Make sure the clock has seen time zero.
         let _ = self.clock.read(ctx.now());
         if self.config.join_after == Duration::ZERO {
@@ -1785,7 +1788,7 @@ impl Actor for TimeServer {
                         // clock is fast and the other half it is slow —
                         // the classic Byzantine split that a single
                         // shared lie cannot produce.
-                        let signed = if from.index().is_multiple_of(2) {
+                        let signed = if ctx.label_of(from).is_multiple_of(2) {
                             clock_skew
                         } else {
                             -clock_skew
@@ -1802,7 +1805,7 @@ impl Actor for TimeServer {
                         clique,
                         clock_skew,
                         error_shrink,
-                    }) if clique & (1u64 << from.index()) == 0 => {
+                    }) if clique & (1u64 << ctx.label_of(from)) == 0 => {
                         estimate = TimeEstimate::new(
                             estimate.time() + clock_skew,
                             estimate.error() * error_shrink,

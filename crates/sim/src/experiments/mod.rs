@@ -20,6 +20,7 @@ pub mod loss;
 pub mod recovery;
 pub mod restart;
 pub mod scale;
+pub mod scale10k;
 
 pub use ablations::{
     marzullo_ablation, screening_ablation, strategy_comparison, MarzulloAblation,
@@ -38,3 +39,4 @@ pub use loss::{loss_sweep, LossSweep};
 pub use recovery::{recovery, Recovery};
 pub use restart::{restart, Restart, RestartRow};
 pub use scale::{scale, Scale};
+pub use scale10k::{scale10k, scale10k_sized, QueueRow, Scale10k, Scale10kRow};

@@ -1,0 +1,457 @@
+//! Experiment E20 (extension) — the simulator at 10,000 servers.
+//!
+//! The paper's deployment covered "hundreds" of machines; its analysis
+//! is indifferent to scale. This experiment asks whether *our engine*
+//! is: a 10,000-server deployment built from 500 disjoint 20-server
+//! cliques, each carrying 5 % message loss, 1 % duplication, one
+//! crash–restart server, and one Byzantine liar, must complete a
+//! 60-simulated-second run in single-digit wall-clock seconds on the
+//! sharded engine — while staying *exactly* the run the single-threaded
+//! engine would have produced. At the small sizes the sweep re-runs
+//! each deployment single-threaded and compares every observable
+//! output, and arms the correctness oracle; at 10,000 only the sharded
+//! engine runs (the point of having it). A companion micro-section
+//! measures the timing-wheel [`EventQueue`] against the `BinaryHeap`
+//! it replaced, at 1 k / 10 k / 100 k pending timers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::Instant;
+
+use tempo_core::{Duration, Timestamp};
+use tempo_net::{DelayModel, EventQueue, Topology};
+use tempo_oracle::OracleConfig;
+use tempo_service::{HealthConfig, RetryPolicy, ServerFault, Strategy};
+
+use crate::metrics::RunResult;
+use crate::report::{secs, Table};
+use crate::scenario::{Scenario, ServerSpec};
+
+/// Servers per connected component.
+const CLIQUE: usize = 20;
+/// Local index (within each clique) of the crash–restart server.
+const CRASHER: usize = 1;
+/// Local index (within each clique) of the Byzantine liar.
+const LIAR: usize = 7;
+/// Resynchronization period (seconds).
+const TAU: f64 = 10.0;
+/// Simulated run length (seconds).
+const DURATION: f64 = 60.0;
+
+/// One deployment size's outcome.
+#[derive(Debug, Clone)]
+pub struct Scale10kRow {
+    /// Total servers.
+    pub n: usize,
+    /// Connected components (cliques of [`CLIQUE`]).
+    pub components: usize,
+    /// Wall-clock seconds for the sharded run.
+    pub sharded_secs: f64,
+    /// Wall-clock seconds for the single-threaded run, when it ran.
+    pub single_secs: Option<f64>,
+    /// Messages handed to the network.
+    pub messages: usize,
+    /// Timer events fired.
+    pub timers: usize,
+    /// Correctness violations among the non-faulty servers (must be 0).
+    pub honest_violations: usize,
+    /// Whether the armed oracle reported a clean run, when armed.
+    pub oracle_clean: Option<bool>,
+    /// Whether the sharded run matched the single-threaded run on every
+    /// observable output, when both ran.
+    pub deterministic: Option<bool>,
+}
+
+/// One pending-set size's queue micro-benchmark.
+#[derive(Debug, Clone)]
+pub struct QueueRow {
+    /// Timers resident in the queue throughout the measurement.
+    pub pending: usize,
+    /// Nanoseconds per pop+push pair on a `BinaryHeap`.
+    pub heap_churn_ns: f64,
+    /// Nanoseconds per pop+push pair on the timing wheel.
+    pub wheel_churn_ns: f64,
+    /// Nanoseconds per O(1) handle cancellation on the timing wheel.
+    pub wheel_cancel_ns: f64,
+}
+
+/// Results of E20.
+#[derive(Debug, Clone)]
+pub struct Scale10k {
+    /// Worker threads the sharded runs used.
+    pub threads: usize,
+    /// One row per deployment size.
+    pub rows: Vec<Scale10kRow>,
+    /// Timing-wheel vs binary-heap micro-benchmarks.
+    pub queue: Vec<QueueRow>,
+}
+
+/// Builds the fault-laden deployment: `n / 20` disjoint cliques, lossy
+/// duplicating links, and per clique one crash–restart server (odd
+/// cliques lose their state) and one liar whose advertised interval
+/// firmly excludes true time.
+fn deployment(n: usize, seed: u64, oracle: bool) -> Scenario {
+    assert!(
+        n.is_multiple_of(CLIQUE),
+        "deployment size must be a multiple of {CLIQUE}"
+    );
+    let mut scenario = Scenario::new(Strategy::MarzulloTolerant { max_faulty: 1 })
+        .topology(Topology::disjoint_cliques(n / CLIQUE, CLIQUE))
+        .delay(DelayModel::Uniform {
+            min: Duration::ZERO,
+            max: Duration::from_millis(20.0),
+        })
+        .loss(0.05)
+        .duplication(0.01)
+        .resync_period(Duration::from_secs(TAU))
+        .collect_window(Duration::from_secs(1.0))
+        .retry(RetryPolicy::Backoff {
+            timeout: Duration::from_millis(100.0),
+            max_retries: 3,
+            multiplier: 2.0,
+            jitter: 0.1,
+        })
+        .health(HealthConfig {
+            suspect_after: 2,
+            dead_after: 6,
+            probe_every: 3,
+        })
+        .quorum(3)
+        .duration(Duration::from_secs(DURATION))
+        .sample_interval(Duration::from_secs(TAU / 2.0))
+        .seed(seed);
+    if oracle {
+        // Crash–restart servers stay trusted (a crash is not a lie),
+        // so the lifecycle check times their bootstrap — and under 5 %
+        // loss a quorum-3 bootstrap can legitimately need more than
+        // safety()'s default 8 rounds. Double the allowance.
+        let mut config = OracleConfig::safety();
+        config.max_bootstrap_rounds = 16;
+        scenario = scenario.oracle(config);
+    }
+    for i in 0..n {
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let frac = 0.2 + 0.8 * ((i % CLIQUE) as f64) / CLIQUE as f64;
+        let mut spec = ServerSpec::honest(sign * frac * 1e-5, 1e-4);
+        match i % CLIQUE {
+            CRASHER => {
+                spec = spec.server_fault(ServerFault::crash_restart(
+                    Timestamp::from_secs(25.0),
+                    Duration::from_secs(10.0),
+                    (i / CLIQUE) % 2 == 1,
+                ));
+            }
+            LIAR => {
+                spec = spec.server_fault(ServerFault::lie_from(
+                    Timestamp::from_secs(15.0),
+                    Duration::from_secs(2.0),
+                    0.1,
+                ));
+            }
+            _ => {}
+        }
+        scenario = scenario.server(spec);
+    }
+    scenario
+}
+
+/// Every observable output the engine-equivalence contract covers.
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.samples == b.samples
+        && a.final_stats == b.final_stats
+        && a.net == b.net
+        && a.oracle == b.oracle
+        && a.dropped_events == b.dropped_events
+        && a.xi_witness == b.xi_witness
+}
+
+fn run_size(n: usize, seed: u64, threads: usize, check_single: bool, oracle: bool) -> Scale10kRow {
+    let scenario = deployment(n, seed, oracle);
+
+    let start = Instant::now();
+    let sharded = scenario.clone().sharded(threads).run();
+    let sharded_secs = start.elapsed().as_secs_f64();
+
+    let (single_secs, deterministic) = if check_single {
+        let start = Instant::now();
+        let single = scenario.run();
+        let elapsed = start.elapsed().as_secs_f64();
+        (Some(elapsed), Some(same_result(&single, &sharded)))
+    } else {
+        (None, None)
+    };
+
+    let honest_violations = sharded
+        .violations_per_server()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !matches!(i % CLIQUE, CRASHER | LIAR))
+        .map(|(_, &v)| v)
+        .sum();
+    Scale10kRow {
+        n,
+        components: n / CLIQUE,
+        sharded_secs,
+        single_secs,
+        messages: sharded.net.sent,
+        timers: sharded.net.timers_fired,
+        honest_violations,
+        oracle_clean: sharded
+            .oracle
+            .as_ref()
+            .map(tempo_oracle::OracleReport::is_clean),
+        deterministic,
+    }
+}
+
+/// Evenly spread timer deadlines for a pending set of `n`.
+fn spread(i: usize) -> Timestamp {
+    Timestamp::from_secs(i as f64 * 1e-3)
+}
+
+fn churn_heap(pending: usize, ops: usize) -> f64 {
+    let horizon = Duration::from_secs(pending as f64 * 1e-3);
+    let mut heap: BinaryHeap<Reverse<(Timestamp, u64)>> = (0..pending)
+        .map(|i| Reverse((spread(i), i as u64)))
+        .collect();
+    let start = Instant::now();
+    for seq in pending as u64..(pending + ops) as u64 {
+        let Reverse((at, _)) = heap.pop().expect("queue stays full");
+        heap.push(Reverse((at + horizon, seq)));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+fn churn_wheel(pending: usize, ops: usize) -> f64 {
+    let horizon = Duration::from_secs(pending as f64 * 1e-3);
+    let mut queue = EventQueue::new();
+    for i in 0..pending {
+        queue.push(spread(i), i);
+    }
+    let start = Instant::now();
+    for _ in 0..ops {
+        let (at, i) = queue.pop().expect("queue stays full");
+        queue.push(at + horizon, i);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+fn cancel_wheel(pending: usize) -> f64 {
+    let mut queue = EventQueue::new();
+    let handles: Vec<_> = (0..pending).map(|i| queue.push(spread(i), i)).collect();
+    let start = Instant::now();
+    for handle in handles {
+        queue.cancel(handle).expect("handle is live");
+    }
+    start.elapsed().as_secs_f64() * 1e9 / pending as f64
+}
+
+/// Measures heap-vs-wheel churn and wheel cancellation at each pending
+/// size, doing `ops` pop+push pairs per measurement.
+fn queue_rows(sizes: &[usize], ops: usize) -> Vec<QueueRow> {
+    sizes
+        .iter()
+        .map(|&pending| QueueRow {
+            pending,
+            heap_churn_ns: churn_heap(pending, ops),
+            wheel_churn_ns: churn_wheel(pending, ops),
+            wheel_cancel_ns: cancel_wheel(pending),
+        })
+        .collect()
+}
+
+/// Runs E20 over the given deployment sizes (each a multiple of 20).
+/// Sizes up to 1,000 are re-run single-threaded and compared output for
+/// output; sizes up to 100 also arm the oracle.
+#[must_use]
+pub fn scale10k_sized(sizes: &[usize]) -> Scale10k {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let rows = sizes
+        .iter()
+        .enumerate()
+        .map(|(j, &n)| run_size(n, 2000 + j as u64, threads, n <= 1000, n <= 100))
+        .collect();
+    Scale10k {
+        threads,
+        rows,
+        queue: queue_rows(&[1_000, 10_000, 100_000], 200_000),
+    }
+}
+
+/// Runs E20: the full 100 / 1,000 / 10,000 sweep.
+#[must_use]
+pub fn scale10k() -> Scale10k {
+    scale10k_sized(&[100, 1_000, 10_000])
+}
+
+impl Scale10k {
+    /// The qualitative claim: every non-faulty server is correct at
+    /// every sample instant at every size, the sharded engine
+    /// reproduces the single-threaded run exactly wherever both ran,
+    /// and the oracle signs off wherever it was armed. Wall-clock
+    /// numbers are reported, not gated — machines differ.
+    #[must_use]
+    pub fn reproduces_shape(&self) -> bool {
+        !self.rows.is_empty()
+            && self.rows.iter().all(|r| {
+                r.honest_violations == 0
+                    && r.deterministic != Some(false)
+                    && r.oracle_clean != Some(false)
+            })
+            && self.rows.iter().any(|r| r.deterministic == Some(true))
+    }
+
+    /// Renders the results as a `BENCH_9.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), |v| format!("{v:.3}"));
+        let opt_bool = |v: Option<bool>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"scale10k\",\n");
+        out.push_str("  \"source\": \"experiments scale10k --bench-out\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"reproduces_shape\": {},\n",
+            self.reproduces_shape()
+        ));
+        out.push_str("  \"engine\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let speedup = r.single_secs.map(|s| s / r.sharded_secs.max(1e-9));
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"components\": {}, \"sharded_secs\": {:.3}, \
+                 \"single_secs\": {}, \"speedup\": {}, \"messages\": {}, \
+                 \"timers\": {}, \"honest_violations\": {}, \"oracle_clean\": {}, \
+                 \"deterministic\": {}}}{}\n",
+                r.n,
+                r.components,
+                r.sharded_secs,
+                opt(r.single_secs),
+                opt(speedup),
+                r.messages,
+                r.timers,
+                r.honest_violations,
+                opt_bool(r.oracle_clean),
+                opt_bool(r.deterministic),
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"event_queue\": [\n");
+        for (i, q) in self.queue.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pending\": {}, \"heap_churn_ns\": {:.1}, \
+                 \"wheel_churn_ns\": {:.1}, \"wheel_cancel_ns\": {:.1}}}{}\n",
+                q.pending,
+                q.heap_churn_ns,
+                q.wheel_churn_ns,
+                q.wheel_cancel_ns,
+                if i + 1 < self.queue.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Scale10k {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E20 — scale10k (cliques of {CLIQUE}, 5% loss, crash-restart + liar \
+             per clique, Marzullo f=1, {DURATION} s, {} threads)",
+            self.threads
+        )?;
+        let mut table = Table::new(vec![
+            "n", "comps", "sharded", "single", "msgs", "timers", "viol", "oracle", "det",
+        ]);
+        let flag = |v: Option<bool>| match v {
+            Some(true) => "yes".to_string(),
+            Some(false) => "NO".to_string(),
+            None => "-".to_string(),
+        };
+        for r in &self.rows {
+            table.row(vec![
+                r.n.to_string(),
+                r.components.to_string(),
+                secs(r.sharded_secs),
+                r.single_secs.map_or_else(|| "-".to_string(), secs),
+                r.messages.to_string(),
+                r.timers.to_string(),
+                r.honest_violations.to_string(),
+                flag(r.oracle_clean),
+                flag(r.deterministic),
+            ]);
+        }
+        write!(f, "{table}")?;
+        let mut queue = Table::new(vec!["pending", "heap ns/op", "wheel ns/op", "cancel ns"]);
+        for q in &self.queue {
+            queue.row(vec![
+                q.pending.to_string(),
+                format!("{:.0}", q.heap_churn_ns),
+                format!("{:.0}", q.wheel_churn_ns),
+                format!("{:.0}", q.wheel_cancel_ns),
+            ]);
+        }
+        write!(f, "{queue}")?;
+        writeln!(
+            f,
+            "reproduces the expected shape: {}",
+            self.reproduces_shape()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_deployment_is_safe_and_deterministic() {
+        let row = run_size(40, 77, 2, true, true);
+        assert_eq!(row.components, 2);
+        assert_eq!(row.honest_violations, 0);
+        assert_eq!(row.deterministic, Some(true));
+        assert_eq!(row.oracle_clean, Some(true));
+        assert!(row.messages > 0);
+        assert!(row.timers > 0);
+    }
+
+    #[test]
+    fn queue_rows_measure_both_engines() {
+        let rows = queue_rows(&[256], 512);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].heap_churn_ns > 0.0);
+        assert!(rows[0].wheel_churn_ns > 0.0);
+        assert!(rows[0].wheel_cancel_ns > 0.0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = Scale10k {
+            threads: 4,
+            rows: vec![Scale10kRow {
+                n: 40,
+                components: 2,
+                sharded_secs: 0.5,
+                single_secs: Some(1.0),
+                messages: 10,
+                timers: 20,
+                honest_violations: 0,
+                oracle_clean: None,
+                deterministic: Some(true),
+            }],
+            queue: vec![QueueRow {
+                pending: 1000,
+                heap_churn_ns: 50.0,
+                wheel_churn_ns: 30.0,
+                wheel_cancel_ns: 10.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"scale10k\""));
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"oracle_clean\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

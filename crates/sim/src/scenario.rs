@@ -6,19 +6,21 @@
 //! deterministically, returning a [`crate::metrics::RunResult`].
 
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::io::BufWriter;
 use std::path::PathBuf;
 use std::rc::Rc;
 
 use tempo_clocks::{DriftModel, Fault, SimClock};
 use tempo_core::{DriftRate, Duration, Timestamp};
-use tempo_net::{DelayModel, NetConfig, Partition, Topology, World};
+use tempo_net::{DelayModel, NetConfig, NetStats, NodeId, Partition, Topology, World};
 use tempo_oracle::{Oracle, OracleConfig, ServerView};
 use tempo_service::{
     ApplyMode, HealthConfig, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig,
-    ServerFault, Strategy, TimeServer,
+    ServerFault, ServerStats, Strategy, TimeServer,
 };
-use tempo_telemetry::{Bus, SampleSnapshot, TelemetryEvent};
+use tempo_telemetry::{Bus, Observer, SampleSnapshot, TelemetryEvent};
 
 use crate::metrics::RunResult;
 use crate::sinks::{JsonlSink, MetricsSink, OracleSink};
@@ -180,6 +182,14 @@ pub struct Scenario {
     /// [`crate::sinks::set_default_telemetry_out`] is used instead,
     /// in append mode.
     pub telemetry_out: Option<PathBuf>,
+    /// Worker-thread cap for component-sharded execution (`0`
+    /// disables sharding). When the topology splits into more than
+    /// one connected component, each component runs as an independent
+    /// sub-world on a pool of this many scoped threads and the
+    /// per-component telemetry streams are merged back into the
+    /// canonical single-threaded order, so every observable output is
+    /// byte-identical to the unsharded run.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -213,6 +223,7 @@ impl Scenario {
             seed: 0,
             oracle: None,
             telemetry_out: None,
+            shards: 0,
         }
     }
 
@@ -365,6 +376,16 @@ impl Scenario {
         self
     }
 
+    /// Enables component-sharded execution on up to `threads` worker
+    /// threads (`0` disables). Only takes effect when the topology has
+    /// more than one connected component; results are byte-identical
+    /// to the single-threaded run either way.
+    #[must_use]
+    pub fn sharded(mut self, threads: usize) -> Self {
+        self.shards = threads;
+        self
+    }
+
     /// How the oracle will view each server: its claimed bound, and
     /// whether the theorems apply to it — no clock fault, no Byzantine
     /// process fault, actual drift within the claim. A server with only
@@ -422,6 +443,12 @@ impl Scenario {
     /// is configured), and everything in the returned [`RunResult`]
     /// is reconstructed from the event stream those sinks saw.
     ///
+    /// When [`Scenario::sharded`] is enabled and the topology splits
+    /// into independent connected components, each component runs as
+    /// its own sub-world on a scoped worker thread and the streams
+    /// are merged back into the canonical order — the sinks (and
+    /// therefore the result) cannot tell the difference.
+    ///
     /// # Panics
     ///
     /// Panics if the scenario has no servers, the explicit topology
@@ -439,11 +466,21 @@ impl Scenario {
             .clone()
             .unwrap_or_else(|| Topology::full_mesh(n));
         assert_eq!(topology.len(), n, "topology size must match server count");
+        if self.shards > 0 {
+            let components = topology.components();
+            if components.len() > 1 {
+                return self.run_sharded(&topology, &components);
+            }
+        }
+        self.run_single(topology)
+    }
 
-        let bus = Bus::with_ring(RING_CAPACITY);
+    // Subscribes the standard sink set to `bus` (and writes the JSONL
+    // header). Both execution paths feed the exact same sinks.
+    fn attach_sinks(&self, bus: &Bus) -> SinkSet {
         let metrics = Rc::new(RefCell::new(MetricsSink::new()));
         bus.subscribe(Rc::clone(&metrics));
-        let oracle_sink = self.oracle.clone().map(|config| {
+        let oracle = self.oracle.clone().map(|config| {
             let sink = Rc::new(RefCell::new(OracleSink::new(Oracle::new(
                 self.seed,
                 config,
@@ -456,101 +493,383 @@ impl Scenario {
         if let Some(sink) = &jsonl {
             sink.borrow_mut().run_start(
                 self.seed,
-                n,
+                self.servers.len(),
                 &self.strategy.to_string(),
                 self.xi(),
                 self.resync_period,
             );
             bus.subscribe(Rc::clone(sink));
         }
-
-        let mut servers: Vec<TimeServer> = self
-            .servers
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let mut builder = SimClock::builder()
-                    .drift(spec.drift.clone())
-                    .initial_value(Timestamp::ZERO + spec.initial_offset)
-                    .seed(
-                        self.seed
-                            .wrapping_mul(0x5851_F42D_4C95_7F2D)
-                            .wrapping_add(i as u64),
-                    );
-                if let Some(fault) = spec.fault {
-                    builder = builder.fault(fault);
-                }
-                let mut config = ServerConfig::new(self.strategy, spec.claimed_bound)
-                    .resync_period(self.resync_period)
-                    .collect_window(self.collect_window)
-                    .initial_error(spec.initial_error)
-                    .recovery(self.recovery)
-                    .screening(self.screening)
-                    .apply(self.apply)
-                    .jitter(self.jitter)
-                    .retry(self.retry)
-                    .health(self.health)
-                    .quorum(self.quorum)
-                    .join_after(spec.join_after);
-                if let Some(leave) = spec.leave_after {
-                    config = config.leave_after(leave);
-                }
-                if let Some(fault) = spec.server_fault {
-                    config = config.fault(fault);
-                }
-                TimeServer::new(builder.build(), config)
-            })
-            .collect();
-        for server in &mut servers {
-            server.attach_bus(bus.clone());
+        SinkSet {
+            metrics,
+            oracle,
+            jsonl,
         }
+    }
 
+    /// Builds server `i` exactly as the combined world would: the
+    /// clock seed is derived from the *global* index, so a sub-world
+    /// hosting a subset of servers gets the same hardware.
+    fn build_server(&self, i: usize) -> TimeServer {
+        let spec = &self.servers[i];
+        let mut builder = SimClock::builder()
+            .drift(spec.drift.clone())
+            .initial_value(Timestamp::ZERO + spec.initial_offset)
+            .seed(
+                self.seed
+                    .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                    .wrapping_add(i as u64),
+            );
+        if let Some(fault) = spec.fault {
+            builder = builder.fault(fault);
+        }
+        let mut config = ServerConfig::new(self.strategy, spec.claimed_bound)
+            .resync_period(self.resync_period)
+            .collect_window(self.collect_window)
+            .initial_error(spec.initial_error)
+            .recovery(self.recovery)
+            .screening(self.screening)
+            .apply(self.apply)
+            .jitter(self.jitter)
+            .retry(self.retry)
+            .health(self.health)
+            .quorum(self.quorum)
+            .join_after(spec.join_after);
+        if let Some(leave) = spec.leave_after {
+            config = config.leave_after(leave);
+        }
+        if let Some(fault) = spec.server_fault {
+            config = config.fault(fault);
+        }
+        TimeServer::new(builder.build(), config)
+    }
+
+    fn net_config(&self) -> NetConfig {
         let mut net = NetConfig::with_delay(self.delay.clone()).loss(self.loss);
         if self.duplication > 0.0 {
             net = net.duplication(self.duplication);
         }
         net.partitions.extend(self.partitions.iter().cloned());
-        let mut world = World::new_with_bus(servers, topology, net, self.seed, bus.clone());
+        net
+    }
+
+    // Sampling is the measurement schedule, not observation: it must
+    // happen (clock reads advance slews) whether or not anything
+    // listens, so the snapshots are built eagerly.
+    fn sample_servers(t: Timestamp, actors: &mut [TimeServer]) -> Vec<SampleSnapshot> {
+        actors
+            .iter_mut()
+            .map(|s| {
+                let sample = s.sample(t);
+                SampleSnapshot {
+                    clock: sample.clock,
+                    error: sample.error,
+                    true_offset: sample.true_offset,
+                    correct: sample.correct,
+                    active: s.is_active(),
+                }
+            })
+            .collect()
+    }
+
+    /// The classic path: one world hosting every server.
+    fn run_single(&self, topology: Topology) -> RunResult {
+        let bus = Bus::with_ring(RING_CAPACITY);
+        let sinks = self.attach_sinks(&bus);
+
+        let mut servers: Vec<TimeServer> = (0..self.servers.len())
+            .map(|i| self.build_server(i))
+            .collect();
+        for server in &mut servers {
+            server.attach_bus(bus.clone());
+        }
+        let mut world =
+            World::new_with_bus(servers, topology, self.net_config(), self.seed, bus.clone());
 
         let end = Timestamp::ZERO + self.duration;
         world.run_sampled(end, self.sample_interval, |t, actors| {
-            // Sampling is the measurement schedule, not observation:
-            // it must happen (clock reads advance slews) whether or
-            // not anything listens, so the event is built eagerly.
-            let servers: Vec<SampleSnapshot> = actors
-                .iter_mut()
-                .map(|s| {
-                    let sample = s.sample(t);
-                    SampleSnapshot {
-                        clock: sample.clock,
-                        error: sample.error,
-                        true_offset: sample.true_offset,
-                        correct: sample.correct,
-                        active: s.is_active(),
-                    }
-                })
-                .collect();
-            bus.emit(TelemetryEvent::Sample { at: t, servers });
+            bus.emit(TelemetryEvent::Sample {
+                at: t,
+                servers: Self::sample_servers(t, actors),
+            });
         });
 
         let final_stats = world.actors().iter().map(|s| s.stats()).collect();
         let xi_witness = world.max_observed_delay() * 2.0;
-        let dropped_events = bus.dropped_events();
-        if let Some(sink) = &jsonl {
-            sink.borrow_mut()
-                .finish(dropped_events, xi_witness, &world.stats());
+        sinks.harvest(bus.dropped_events(), xi_witness, world.stats(), final_stats)
+    }
+
+    /// Runs one connected component as an independent sub-world and
+    /// records its raw telemetry stream for the deterministic merge.
+    fn run_shard(&self, topology: &Topology, members: &[NodeId], samples_only: bool) -> ShardRun {
+        let bus = Bus::new();
+        let recorder = Rc::new(RefCell::new(RecordingSink {
+            samples_only,
+            ..RecordingSink::default()
+        }));
+        bus.subscribe(Rc::clone(&recorder));
+
+        let mut servers: Vec<TimeServer> = members
+            .iter()
+            .map(|&node| self.build_server(node.index()))
+            .collect();
+        for server in &mut servers {
+            server.attach_bus(bus.clone());
         }
-        let report = oracle_sink.and_then(|sink| sink.borrow_mut().finish());
-        let samples = metrics.borrow_mut().take_rows();
+        let labels: Vec<usize> = members.iter().map(|m| m.index()).collect();
+        let mut world = World::new_labeled(
+            servers,
+            topology.induced(members),
+            self.net_config(),
+            self.seed,
+            bus.clone(),
+            labels,
+        );
+
+        let end = Timestamp::ZERO + self.duration;
+        world.run_sampled(end, self.sample_interval, |t, actors| {
+            bus.emit(TelemetryEvent::Sample {
+                at: t,
+                servers: Self::sample_servers(t, actors),
+            });
+        });
+
+        let final_stats = world.actors().iter().map(|s| s.stats()).collect();
+        let (events, seen) = {
+            let mut recorder = recorder.borrow_mut();
+            (std::mem::take(&mut recorder.events), recorder.seen)
+        };
+        ShardRun {
+            events: events.into(),
+            seen,
+            final_stats,
+            net: world.stats(),
+            max_observed_delay: world.max_observed_delay(),
+        }
+    }
+
+    /// Whether any attached sink consumes the full ordered event
+    /// stream. When none does, the sharded path merges only the
+    /// per-tick samples and reconstructs the ring-drop count
+    /// arithmetically.
+    fn wants_full_stream(&self) -> bool {
+        self.oracle.is_some()
+            || self.telemetry_out.is_some()
+            || crate::sinks::default_telemetry_out().is_some()
+    }
+
+    /// The sharded path: one sub-world per connected component on a
+    /// bounded pool of scoped threads, then a deterministic merge of
+    /// the recorded streams through the same sinks the single path
+    /// uses.
+    fn run_sharded(&self, topology: &Topology, components: &[Vec<NodeId>]) -> RunResult {
+        let n = self.servers.len();
+        let threads = self.shards.min(components.len());
+        let chunk = components.len().div_ceil(threads);
+        let full_stream = self.wants_full_stream();
+        let mut runs: Vec<Option<ShardRun>> = components.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (comps, outs) in components.chunks(chunk).zip(runs.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (members, out) in comps.iter().zip(outs.iter_mut()) {
+                        *out = Some(self.run_shard(topology, members, !full_stream));
+                    }
+                });
+            }
+        });
+        let mut shards: Vec<ShardRun> = runs
+            .into_iter()
+            .map(|r| r.expect("every component ran"))
+            .collect();
+
+        let bus = Bus::with_ring(RING_CAPACITY);
+        let sinks = self.attach_sinks(&bus);
+        let dropped = if full_stream {
+            for event in Self::merge_events(n, components, &mut shards) {
+                bus.emit(event);
+            }
+            bus.dropped_events()
+        } else {
+            // Only the stitched samples flow through the bus; the
+            // ring-drop count the single-threaded run would report is
+            // reconstructed from the exact per-shard event counts: the
+            // combined stream has every non-sample event, plus ONE
+            // deployment-wide sample per tick where each shard counted
+            // its own.
+            let ticks = shards.first().map_or(0, |s| s.events.len()) as u64;
+            let seen: u64 = shards.iter().map(|s| s.seen).sum();
+            let total = seen - ticks * (shards.len() as u64 - 1);
+            for event in Self::merge_events(n, components, &mut shards) {
+                bus.emit(event);
+            }
+            total.saturating_sub(RING_CAPACITY as u64)
+        };
+
+        let mut final_stats = vec![ServerStats::default(); n];
+        for (members, shard) in components.iter().zip(&shards) {
+            for (k, &node) in members.iter().enumerate() {
+                final_stats[node.index()] = shard.final_stats[k];
+            }
+        }
+        let net = shards
+            .iter()
+            .fold(NetStats::default(), |acc, s| acc.merged(s.net));
+        let max_delay = shards
+            .iter()
+            .map(|s| s.max_observed_delay)
+            .fold(Duration::ZERO, Duration::max);
+        let xi_witness = max_delay * 2.0;
+        sinks.harvest(dropped, xi_witness, net, final_stats)
+    }
+
+    /// K-way merges the per-shard streams into the exact emission
+    /// order of the combined single-threaded world: ascending time,
+    /// component rank breaking ties (the combined scheduler drains
+    /// same-time heads in rank order), with the per-tick [`Sample`]s
+    /// of every shard stitched into one deployment-wide snapshot that
+    /// sorts *after* same-instant events (`run_sampled` drains the
+    /// queue up to the tick before snapshotting).
+    ///
+    /// [`Sample`]: TelemetryEvent::Sample
+    fn merge_events(
+        n: usize,
+        components: &[Vec<NodeId>],
+        shards: &mut [ShardRun],
+    ) -> Vec<TelemetryEvent> {
+        let total: usize = shards.iter().map(|s| s.events.len()).sum();
+        let mut merged = Vec::with_capacity(total);
+        let key = |event: &TelemetryEvent, rank: usize| {
+            (
+                event.at(),
+                matches!(event, TelemetryEvent::Sample { .. }),
+                rank,
+            )
+        };
+        // One entry per non-empty shard: its head's key. A linear
+        // min-scan here is O(shards) per event, which at 500
+        // components dwarfs the simulation itself.
+        let mut heads: BinaryHeap<Reverse<(Timestamp, bool, usize)>> =
+            BinaryHeap::with_capacity(shards.len());
+        for (rank, shard) in shards.iter().enumerate() {
+            if let Some(event) = shard.events.front() {
+                heads.push(Reverse(key(event, rank)));
+            }
+        }
+        while let Some(Reverse((at, is_sample, rank))) = heads.pop() {
+            if !is_sample {
+                merged.push(shards[rank].events.pop_front().expect("head exists"));
+                if let Some(event) = shards[rank].events.front() {
+                    heads.push(Reverse(key(event, rank)));
+                }
+                continue;
+            }
+            // Every shard samples on the same schedule, so when the
+            // earliest head is a sample, *every* head is that tick's
+            // sample — the remaining heap entries all refer to it. Drop
+            // them, pop all the heads, re-index by global server id,
+            // and rebuild the heap from the new heads.
+            heads.clear();
+            let mut servers: Vec<Option<SampleSnapshot>> = vec![None; n];
+            for (members, shard) in components.iter().zip(shards.iter_mut()) {
+                let event = shard
+                    .events
+                    .pop_front()
+                    .expect("every shard samples every tick");
+                let TelemetryEvent::Sample {
+                    at: shard_at,
+                    servers: local,
+                } = event
+                else {
+                    panic!("expected a sample at the head of every shard stream");
+                };
+                assert_eq!(shard_at, at, "shards sample on the same schedule");
+                for (k, snapshot) in local.into_iter().enumerate() {
+                    servers[members[k].index()] = Some(snapshot);
+                }
+            }
+            for (rank, shard) in shards.iter().enumerate() {
+                if let Some(event) = shard.events.front() {
+                    heads.push(Reverse(key(event, rank)));
+                }
+            }
+            merged.push(TelemetryEvent::Sample {
+                at,
+                servers: servers
+                    .into_iter()
+                    .map(|s| s.expect("every server sampled"))
+                    .collect(),
+            });
+        }
+        merged
+    }
+}
+
+/// The sinks both execution paths report through.
+struct SinkSet {
+    metrics: Rc<RefCell<MetricsSink>>,
+    oracle: Option<Rc<RefCell<OracleSink>>>,
+    jsonl: Option<Rc<RefCell<JsonlSink>>>,
+}
+
+impl SinkSet {
+    /// Closes the sinks (JSONL footer, oracle report) and assembles
+    /// the [`RunResult`].
+    fn harvest(
+        self,
+        dropped_events: u64,
+        xi_witness: Duration,
+        net: NetStats,
+        final_stats: Vec<ServerStats>,
+    ) -> RunResult {
+        if let Some(sink) = &self.jsonl {
+            sink.borrow_mut().finish(dropped_events, xi_witness, &net);
+        }
+        let oracle = self.oracle.and_then(|sink| sink.borrow_mut().finish());
+        let samples = self.metrics.borrow_mut().take_rows();
         RunResult {
             samples,
             final_stats,
-            net: world.stats(),
-            oracle: report,
+            net,
+            oracle,
             dropped_events,
             xi_witness,
         }
     }
+}
+
+/// Captures a shard's raw event stream for the deterministic merge.
+/// Wants every kind, mirroring the ring-armed bus of the
+/// single-threaded path (whose mask is all-ones), so both paths build
+/// the same events. In `samples_only` mode it still *counts* every
+/// event (the count feeds the ring-drop accounting) but stores just
+/// the [`TelemetryEvent::Sample`]s — k-way merging millions of events
+/// nobody consumes is the dominant cost of a large sharded run.
+#[derive(Debug, Default)]
+struct RecordingSink {
+    events: Vec<TelemetryEvent>,
+    samples_only: bool,
+    seen: u64,
+}
+
+impl Observer for RecordingSink {
+    fn observe(&mut self, event: &TelemetryEvent) {
+        self.seen += 1;
+        if !self.samples_only || matches!(event, TelemetryEvent::Sample { .. }) {
+            self.events.push(event.clone());
+        }
+    }
+}
+
+/// Everything a component sub-world produced, carried back across the
+/// thread boundary as plain data.
+struct ShardRun {
+    events: VecDeque<TelemetryEvent>,
+    /// Every event the shard's bus materialized, including ones not in
+    /// `events`.
+    seen: u64,
+    final_stats: Vec<ServerStats>,
+    net: NetStats,
+    max_observed_delay: Duration,
 }
 
 #[cfg(test)]

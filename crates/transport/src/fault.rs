@@ -12,8 +12,6 @@
 //! simulator — and so the receive path exercises its malformed-frame
 //! handling against genuinely corrupt frames.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::{Arc, Condvar, Mutex};
@@ -22,6 +20,9 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use tempo_core::Timestamp;
+use tempo_net::EventQueue;
 
 use crate::socket::DatagramSocket;
 
@@ -128,34 +129,32 @@ impl FaultPlan {
     }
 }
 
-/// A datagram held back by the delay fault, ordered by due time (and
-/// an insertion sequence for a stable tiebreak).
-struct HeldDatagram {
-    seq: u64,
-    payload: Vec<u8>,
-    addr: SocketAddr,
-}
-
+/// Held datagrams, parked in the shared [`EventQueue`] timing wheel
+/// (which orders by due time with an insertion-sequence tiebreak) on a
+/// [`Timestamp`] axis anchored at `epoch`.
 struct FlusherState {
-    heap: BinaryHeap<Reverse<(Instant, u64)>>,
-    held: Vec<HeldDatagram>,
-    next_seq: u64,
+    queue: EventQueue<(Vec<u8>, SocketAddr)>,
+    epoch: Instant,
     shutdown: bool,
 }
 
 impl FlusherState {
-    fn pop_due(&mut self, now: Instant) -> Option<HeldDatagram> {
-        let &Reverse((due, seq)) = self.heap.peek()?;
-        if due > now {
-            return None;
-        }
-        self.heap.pop();
-        let idx = self.held.iter().position(|h| h.seq == seq)?;
-        Some(self.held.swap_remove(idx))
+    fn due_key(&self, due: Instant) -> Timestamp {
+        Timestamp::from_secs(due.saturating_duration_since(self.epoch).as_secs_f64())
     }
 
-    fn next_due(&self) -> Option<Instant> {
-        self.heap.peek().map(|&Reverse((due, _))| due)
+    fn pop_due(&mut self, now: Instant) -> Option<(Vec<u8>, SocketAddr)> {
+        let due = self.queue.peek_time()?;
+        if due > self.due_key(now) {
+            return None;
+        }
+        self.queue.pop().map(|(_, held)| held)
+    }
+
+    fn next_due(&mut self) -> Option<Instant> {
+        self.queue
+            .peek_time()
+            .map(|t| self.epoch + Duration::from_secs_f64(t.as_secs()))
     }
 }
 
@@ -191,9 +190,8 @@ impl<S: DatagramSocket> FaultyTransport<S> {
         let inner = Arc::new(inner);
         let state = Arc::new((
             Mutex::new(FlusherState {
-                heap: BinaryHeap::new(),
-                held: Vec::new(),
-                next_seq: 0,
+                queue: EventQueue::new(),
+                epoch: Instant::now(),
                 shutdown: false,
             }),
             Condvar::new(),
@@ -249,10 +247,8 @@ impl<S: DatagramSocket> FaultyTransport<S> {
             let due = Instant::now() + min + extra;
             let (lock, cvar) = &*self.state;
             let mut state = lock.lock().unwrap();
-            let seq = state.next_seq;
-            state.next_seq += 1;
-            state.heap.push(Reverse((due, seq)));
-            state.held.push(HeldDatagram { seq, payload, addr });
+            let key = state.due_key(due);
+            let _ = state.queue.push(key, (payload, addr));
             cvar.notify_one();
             return Ok(());
         }
@@ -268,11 +264,11 @@ fn flusher_loop<S: DatagramSocket>(socket: &Arc<S>, shared: &Arc<(Mutex<FlusherS
             return;
         }
         let now = Instant::now();
-        while let Some(held) = state.pop_due(now) {
+        while let Some((payload, addr)) = state.pop_due(now) {
             // Send without the lock so a slow send can't stall
             // `send_to` callers parking new datagrams.
             drop(state);
-            let _ = socket.send_to(&held.payload, held.addr);
+            let _ = socket.send_to(&payload, addr);
             state = lock.lock().unwrap();
             if state.shutdown {
                 return;

@@ -4,30 +4,28 @@
 //! The state machine is untouched: the runtime merely plays the
 //! [`Transport`] role that the simulator plays in tests. Simulated
 //! time becomes "seconds since process start" (a monotonic
-//! [`Instant`] base), `Context::set_timer` becomes a wall-clock heap
-//! drained between socket read timeouts, and `Context::send` becomes
-//! `encode` + `send_to`. Datagrams that fail the wire codec are
-//! dropped *audibly* via [`TimeServer::note_malformed_frame`] — the
-//! protocol never sees them.
+//! [`Instant`] base), `Context::set_timer` becomes a wall-clock
+//! [`EventQueue`] — the same timing wheel the simulator schedules
+//! with, so FIFO tie-breaking among simultaneous timers matches the
+//! simulator exactly — drained between socket read timeouts, and
+//! `Context::send` becomes `encode` + `send_to`. Datagrams that fail
+//! the wire codec are dropped *audibly* via
+//! [`TimeServer::note_malformed_frame`] — the protocol never sees
+//! them.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 
 use tempo_core::{Duration, Timestamp};
-use tempo_net::{node_rng, Actor, Context, NodeId, Transport};
+use tempo_net::{node_rng, Actor, Context, EventQueue, NodeId, Transport};
 use tempo_service::wire::{decode, encode};
 use tempo_service::{Message, TimeServer};
 
 use crate::signal;
 use crate::socket::DatagramSocket;
-
-/// Timer-heap ordering key: due time, then set order (FIFO among
-/// simultaneous timers, matching the simulator's tiebreak).
-type TimerKey = (Timestamp, u64);
 
 /// Drives a [`TimeServer`] over a real datagram socket.
 ///
@@ -47,9 +45,8 @@ pub struct UdpRuntime<S: DatagramSocket> {
     addr_to_node: HashMap<SocketAddr, NodeId>,
     /// Transient (client) address table: id = cluster_size + slot.
     transients: Vec<SocketAddr>,
-    timers: BinaryHeap<Reverse<TimerKey>>,
-    timer_tags: HashMap<TimerKey, u64>,
-    next_timer_seq: u64,
+    /// Pending wall-clock timers: due time → actor tag.
+    timers: EventQueue<u64>,
     started_at: Instant,
     rng: StdRng,
     recv_buf: [u8; 512],
@@ -99,9 +96,7 @@ impl<S: DatagramSocket> UdpRuntime<S> {
             peers,
             addr_to_node,
             transients: Vec::new(),
-            timers: BinaryHeap::new(),
-            timer_tags: HashMap::new(),
-            next_timer_seq: 0,
+            timers: EventQueue::new(),
             started_at: Instant::now(),
             rng: node_rng(seed, NodeId::new(me)),
             recv_buf: [0u8; 512],
@@ -218,23 +213,20 @@ impl<S: DatagramSocket> UdpRuntime<S> {
         self.server.flush_store();
     }
 
-    fn next_deadline(&self) -> Option<Timestamp> {
-        self.timers.peek().map(|&Reverse((due, _))| due)
+    fn next_deadline(&mut self) -> Option<Timestamp> {
+        self.timers.peek_time()
     }
 
     fn fire_due_timers(&mut self) {
         loop {
             let now = self.elapsed();
-            let Some(&Reverse(key)) = self.timers.peek() else {
+            let Some(due) = self.timers.peek_time() else {
                 return;
             };
-            if key.0 > now {
+            if due > now {
                 return;
             }
-            self.timers.pop();
-            let Some(tag) = self.timer_tags.remove(&key) else {
-                continue;
-            };
+            let (_, tag) = self.timers.pop().expect("peeked timer exists");
             let neighbors = self.neighbor_ids(None);
             let mut ctx = Context::external(now, self.me, &neighbors, &mut self.rng);
             self.server.on_timer(tag, &mut ctx);
@@ -309,10 +301,7 @@ impl<S: DatagramSocket> Transport<Message> for UdpRuntime<S> {
     fn set_timer(&mut self, node: NodeId, delay: Duration, tag: u64) {
         debug_assert_eq!(node, self.me, "UdpRuntime hosts exactly one actor");
         let due = self.elapsed() + delay.max(Duration::ZERO);
-        let key = (due, self.next_timer_seq);
-        self.next_timer_seq += 1;
-        self.timers.push(Reverse(key));
-        self.timer_tags.insert(key, tag);
+        let _ = self.timers.push(due, tag);
     }
 }
 
