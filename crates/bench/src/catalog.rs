@@ -150,6 +150,12 @@ pub fn all() -> Vec<Experiment> {
             artifact: "E20 — 10,000-server deployments on the sharded engine",
             run: || Box::new(ex::scale10k()),
         },
+        Experiment {
+            name: "cluster",
+            artifact: "E21 — ClusterTime failover storms: crash storms, partitions, \
+                       Byzantine acks, quorum loss",
+            run: || Box::new(ex::cluster()),
+        },
     ]
 }
 
@@ -160,11 +166,11 @@ mod tests {
     #[test]
     fn catalogue_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 23);
+        assert_eq!(experiments.len(), 24);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23, "names must be unique");
+        assert_eq!(names.len(), 24, "names must be unique");
     }
 
     #[test]

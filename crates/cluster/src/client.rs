@@ -1,0 +1,300 @@
+//! The audit-trail client: a workload generator that requests cluster
+//! timestamps, follows redirects to the current primary, retries
+//! refusals, and checks the stream it receives for regressions.
+
+use tempo_core::{Duration, Timestamp};
+use tempo_net::{Actor, Context, NodeId};
+
+use crate::msg::ClusterMsg;
+
+const SEND_TAG: u64 = 1;
+const TIMEOUT_BASE: u64 = 2;
+
+/// Configuration of an [`AuditClient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditClientConfig {
+    /// The cluster replicas, in index order (so a
+    /// [`ClusterMsg::TsRedirect`] `primary` index can be resolved to a
+    /// node).
+    pub replicas: Vec<NodeId>,
+    /// Delay between a satisfied request and the next one.
+    pub period: Duration,
+    /// How long to wait for any response before trying the next
+    /// replica round-robin.
+    pub request_timeout: Duration,
+    /// Base delay before retrying a refused request (doubled per
+    /// consecutive refusal, capped at 32×).
+    pub retry_delay: Duration,
+}
+
+impl AuditClientConfig {
+    /// A configuration with simulator-scale defaults: 50 ms between
+    /// requests, 1 s timeout, 100 ms refusal backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    #[must_use]
+    pub fn new(replicas: Vec<NodeId>) -> Self {
+        assert!(!replicas.is_empty(), "a cluster needs at least one replica");
+        AuditClientConfig {
+            replicas,
+            period: Duration::from_millis(50.0),
+            request_timeout: Duration::from_secs(1.0),
+            retry_delay: Duration::from_millis(100.0),
+        }
+    }
+
+    /// Sets the inter-request period.
+    #[must_use]
+    pub fn period(mut self, d: Duration) -> Self {
+        self.period = d;
+        self
+    }
+
+    /// Sets the per-request timeout.
+    #[must_use]
+    pub fn request_timeout(mut self, d: Duration) -> Self {
+        self.request_timeout = d;
+        self
+    }
+
+    /// Sets the refusal retry base delay.
+    #[must_use]
+    pub fn retry_delay(mut self, d: Duration) -> Self {
+        self.retry_delay = d;
+        self
+    }
+}
+
+/// Counters an audit client accumulates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Timestamps obtained.
+    pub issued: usize,
+    /// Refusals received (each retried after backoff).
+    pub refused: usize,
+    /// Redirects followed to a different replica.
+    pub redirected: usize,
+    /// Requests that timed out (each retried round-robin).
+    pub timeouts: usize,
+    /// Replies whose timestamp did not exceed the previous one — the
+    /// client-side view of a `ClusterMonotonic` violation.
+    pub regressions: usize,
+}
+
+/// One timestamp as the client received it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditRecord {
+    /// Real (simulated) time of receipt.
+    pub at: Timestamp,
+    /// View the timestamp was issued under.
+    pub view: u64,
+    /// The cluster timestamp.
+    pub timestamp: u64,
+}
+
+/// A client that maintains an append-only audit trail: every entry must
+/// carry a strictly greater cluster timestamp than the one before it,
+/// whatever the cluster's primaries were doing at the time.
+#[derive(Debug)]
+pub struct AuditClient {
+    config: AuditClientConfig,
+    /// Which replica this client currently believes is primary.
+    target: usize,
+    counter: u64,
+    /// The in-flight request, if any: `(request_id, attempt)`.
+    outstanding: Option<(u64, u8)>,
+    last_ts: Option<u64>,
+    consecutive_refusals: u32,
+    trail: Vec<AuditRecord>,
+    stats: ClientStats,
+    me: usize,
+}
+
+impl AuditClient {
+    /// Creates a client that starts by asking replica 0.
+    #[must_use]
+    pub fn new(config: AuditClientConfig) -> Self {
+        AuditClient {
+            config,
+            target: 0,
+            counter: 0,
+            outstanding: None,
+            last_ts: None,
+            consecutive_refusals: 0,
+            trail: Vec::new(),
+            stats: ClientStats::default(),
+            me: 0,
+        }
+    }
+
+    /// The client's accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The audit trail in receipt order.
+    #[must_use]
+    pub fn trail(&self) -> &[AuditRecord] {
+        &self.trail
+    }
+
+    /// The last timestamp obtained, if any.
+    #[must_use]
+    pub fn last_timestamp(&self) -> Option<u64> {
+        self.last_ts
+    }
+
+    fn send_request(&mut self, attempt: u8, ctx: &mut Context<'_, ClusterMsg>) {
+        let request_id = if attempt == 0 {
+            self.counter += 1;
+            (self.me as u64) << 32 | self.counter
+        } else {
+            // Retries keep their correlation id so a late first reply
+            // still matches.
+            self.outstanding.map_or_else(
+                || {
+                    self.counter += 1;
+                    (self.me as u64) << 32 | self.counter
+                },
+                |(id, _)| id,
+            )
+        };
+        self.outstanding = Some((request_id, attempt));
+        let to = self.config.replicas[self.target % self.config.replicas.len()];
+        ctx.send(
+            to,
+            ClusterMsg::TsRequest {
+                request_id,
+                attempt,
+            },
+        );
+        ctx.set_timer(
+            self.config.request_timeout,
+            TIMEOUT_BASE | (self.counter << 8),
+        );
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        self.outstanding = None;
+        ctx.set_timer(self.config.period, SEND_TAG);
+    }
+
+    fn matches(&self, request_id: u64) -> bool {
+        self.outstanding.is_some_and(|(id, _)| id == request_id)
+    }
+}
+
+impl Actor for AuditClient {
+    type Msg = ClusterMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        self.me = ctx.label();
+        ctx.set_timer(self.config.period, SEND_TAG);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: ClusterMsg, ctx: &mut Context<'_, ClusterMsg>) {
+        match msg {
+            ClusterMsg::TsReply {
+                request_id,
+                view,
+                timestamp,
+            } => {
+                if !self.matches(request_id) {
+                    return;
+                }
+                self.stats.issued += 1;
+                self.consecutive_refusals = 0;
+                if self.last_ts.is_some_and(|prev| timestamp <= prev) {
+                    self.stats.regressions += 1;
+                }
+                self.last_ts = Some(timestamp);
+                self.trail.push(AuditRecord {
+                    at: ctx.now(),
+                    view,
+                    timestamp,
+                });
+                self.schedule_next(ctx);
+            }
+            ClusterMsg::TsRefused { request_id, .. } => {
+                if !self.matches(request_id) {
+                    return;
+                }
+                self.stats.refused += 1;
+                let (_, attempt) = self.outstanding.expect("matched above");
+                self.outstanding = Some((request_id, attempt.saturating_add(1)));
+                let backoff = 1u32 << self.consecutive_refusals.min(5);
+                self.consecutive_refusals += 1;
+                // Re-sent from the send timer so refused requests pace
+                // themselves instead of hammering a degraded cluster.
+                ctx.set_timer(self.config.retry_delay * f64::from(backoff), SEND_TAG);
+            }
+            ClusterMsg::TsRedirect {
+                request_id,
+                primary,
+                ..
+            } => {
+                if !self.matches(request_id) {
+                    return;
+                }
+                self.stats.redirected += 1;
+                self.target = primary % self.config.replicas.len();
+                let (_, attempt) = self.outstanding.expect("matched above");
+                self.send_request(attempt.saturating_add(1), ctx);
+            }
+            // Replica-to-replica traffic and base resync messages are
+            // not for us; a client just ignores them.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, ClusterMsg>) {
+        if tag == SEND_TAG {
+            match self.outstanding {
+                // A refusal retry: the request id survives.
+                Some((_, attempt)) => self.send_request(attempt.saturating_add(1), ctx),
+                None => self.send_request(0, ctx),
+            }
+            return;
+        }
+        if tag & 0xff == TIMEOUT_BASE {
+            let counter = tag >> 8;
+            // Only the timeout of the *current* request counts; stale
+            // timers from satisfied requests fall through.
+            let current = self
+                .outstanding
+                .is_some_and(|(id, _)| id & 0xffff_ffff == counter);
+            if current {
+                self.stats.timeouts += 1;
+                self.target = (self.target + 1) % self.config.replicas.len();
+                let (_, attempt) = self.outstanding.expect("checked above");
+                self.send_request(attempt.saturating_add(1), ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = AuditClient::new(AuditClientConfig::new(ids(5)));
+        assert_eq!(c.stats(), ClientStats::default());
+        assert!(c.trail().is_empty());
+        assert_eq!(c.last_timestamp(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replica_set_is_rejected() {
+        let _ = AuditClientConfig::new(Vec::new());
+    }
+}

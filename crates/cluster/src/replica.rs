@@ -1,0 +1,1121 @@
+//! The cluster-time replica: a lease-gated primary assigning strictly
+//! monotonic timestamps from the quorum Marzullo intersection, with a
+//! view-change protocol for failover.
+
+use std::collections::BTreeMap;
+
+use tempo_core::marzullo::intersect_tolerating;
+use tempo_core::{TimeEstimate, TimeInterval, Timestamp};
+use tempo_net::{Actor, Context, NodeId};
+use tempo_service::{ClusterState, HealthTracker, Lifecycle, Message, StableStore, TimeServer};
+use tempo_telemetry::{Bus, EventKind, RefusalCause, TelemetryEvent};
+
+use crate::config::{ClusterConfig, ClusterFault};
+use crate::msg::ClusterMsg;
+
+/// The cluster housekeeping timer. Bit 62 keeps the tag disjoint from
+/// every tag the embedded server uses (small ordinals, epochs in bits
+/// 32–61, the timeout flag in bit 63).
+const TICK_TAG: u64 = 1 << 62;
+
+/// Counters a replica accumulates, for experiment tables.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Views adopted (elections won or learned from peers).
+    pub views_adopted: usize,
+    /// Elections this replica started (including backoff retries).
+    pub elections_started: usize,
+    /// Elections this replica won.
+    pub elections_won: usize,
+    /// Lease grants (transitions from no lease to a valid lease).
+    pub leases_granted: usize,
+    /// Leases that expired without renewal.
+    pub leases_expired: usize,
+    /// Timestamps issued (released after quorum replication).
+    pub issued: usize,
+    /// Requests refused, by cause.
+    pub refused_no_lease: usize,
+    /// Requests refused because the replication quorum never acked.
+    pub refused_no_quorum: usize,
+    /// Requests refused while the inner server was booting.
+    pub refused_booting: usize,
+    /// Requests refused because the next timestamp would overrun the
+    /// intersection's leading edge.
+    pub refused_ahead: usize,
+    /// Requests redirected to the believed primary.
+    pub redirects: usize,
+    /// Cluster-state rehydrations from stable storage.
+    pub rehydrations: usize,
+}
+
+impl ClusterStats {
+    /// Total refusals across all causes.
+    #[must_use]
+    pub fn refused(&self) -> usize {
+        self.refused_no_lease + self.refused_no_quorum + self.refused_booting + self.refused_ahead
+    }
+}
+
+/// The quorum intersection backing a granted lease, extrapolated
+/// forward when timestamps are assigned between renewals.
+#[derive(Debug, Clone, Copy)]
+struct LeaseSnapshot {
+    at: Timestamp,
+    interval: TimeInterval,
+}
+
+/// A timestamp assigned but not yet released: the reply is withheld
+/// until a quorum acks the replicated high-water mark.
+#[derive(Debug, Clone, Copy)]
+struct PendingIssue {
+    request_id: u64,
+    client: NodeId,
+    issued_at: Timestamp,
+    lo: Timestamp,
+    hi: Timestamp,
+}
+
+/// A cluster-time replica: an embedded, unmodified [`TimeServer`]
+/// (still running its interval resync protocol) plus the lease /
+/// view-change / replication machinery that turns quorum intervals
+/// into failover-safe monotonic timestamps.
+#[derive(Debug)]
+pub struct ClusterReplica {
+    server: TimeServer,
+    config: ClusterConfig,
+    store: Box<dyn StableStore>,
+    bus: Bus,
+    me: usize,
+
+    view: u64,
+    high_water: u64,
+
+    // --- primary role (volatile; cleared on crash or view change) ---
+    lease_until: Option<Timestamp>,
+    lease_snapshot: Option<LeaseSnapshot>,
+    renew_seq: u64,
+    renew_acks: Vec<Option<(TimeEstimate, u64)>>,
+    last_renew_sent: Option<Timestamp>,
+    backup_acked_hw: Vec<u64>,
+    pendings: BTreeMap<u64, PendingIssue>,
+
+    // --- election (volatile) ---
+    candidate_view: Option<u64>,
+    votes: Vec<bool>,
+    vote_hw_max: u64,
+    election_attempts: u32,
+    election_not_before: Timestamp,
+    last_renew_seen: Timestamp,
+
+    health: HealthTracker,
+    seen_crashes: usize,
+    seen_restarts: usize,
+    stats: ClusterStats,
+}
+
+impl ClusterReplica {
+    /// Builds a replica around an embedded server, with a dedicated
+    /// stable store for the cluster `(view, high-water)` record.
+    ///
+    /// The store is deliberately separate from the inner server's: the
+    /// base record belongs to the resync protocol, the cluster record
+    /// to this layer, and a deployment may give them different media.
+    #[must_use]
+    pub fn new(server: TimeServer, config: ClusterConfig, store: Box<dyn StableStore>) -> Self {
+        let n = config.replicas.len();
+        let health = HealthTracker::new(server.config().health);
+        ClusterReplica {
+            server,
+            config,
+            store,
+            bus: Bus::default(),
+            me: 0,
+            view: 0,
+            high_water: 0,
+            lease_until: None,
+            lease_snapshot: None,
+            renew_seq: 0,
+            renew_acks: vec![None; n],
+            last_renew_sent: None,
+            backup_acked_hw: vec![0; n],
+            pendings: BTreeMap::new(),
+            candidate_view: None,
+            votes: vec![false; n],
+            vote_hw_max: 0,
+            election_attempts: 0,
+            election_not_before: Timestamp::ZERO,
+            last_renew_seen: Timestamp::ZERO,
+            health,
+            seen_crashes: 0,
+            seen_restarts: 0,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Attaches the telemetry bus (to this layer and the inner server).
+    pub fn attach_bus(&mut self, bus: Bus) {
+        self.server.attach_bus(bus.clone());
+        self.bus = bus;
+    }
+
+    /// The embedded time server.
+    #[must_use]
+    pub fn server(&self) -> &TimeServer {
+        &self.server
+    }
+
+    /// Mutable access to the embedded time server.
+    pub fn server_mut(&mut self) -> &mut TimeServer {
+        &mut self.server
+    }
+
+    /// This replica's accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// The replica's current view.
+    #[must_use]
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// The replica's in-memory high-water mark.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Whether this replica currently believes it is the lease-holding
+    /// primary.
+    #[must_use]
+    pub fn is_serving_primary(&self) -> bool {
+        self.is_primary() && self.lease_snapshot.is_some() && self.lease_until.is_some()
+    }
+
+    fn is_primary(&self) -> bool {
+        self.config.primary_of(self.view) == self.config.index
+    }
+
+    /// Microsecond ticks since the epoch for a timestamp (clamped at
+    /// zero: cluster time starts at the epoch).
+    fn us_tick(t: Timestamp) -> u64 {
+        let s = t.as_secs();
+        if s <= 0.0 {
+            0
+        } else {
+            (s * 1e6) as u64
+        }
+    }
+
+    // ----- actor plumbing -----
+
+    /// Drives an inner-server callback through a derived context and
+    /// re-emits its actions in cluster message space, then reconciles
+    /// this layer with any lifecycle transition the callback caused.
+    fn drive_inner(
+        &mut self,
+        ctx: &mut Context<'_, ClusterMsg>,
+        f: impl FnOnce(&mut TimeServer, &mut Context<'_, Message>),
+    ) {
+        let mut inner = ctx.map_msg::<Message>();
+        f(&mut self.server, &mut inner);
+        let actions = inner.take_actions();
+        for action in actions {
+            match action {
+                tempo_net::ActorAction::Send { to, msg } => ctx.send(to, ClusterMsg::Base(msg)),
+                tempo_net::ActorAction::Timer { delay, tag } => ctx.set_timer(delay, tag),
+            }
+        }
+        self.sync_lifecycle(ctx);
+    }
+
+    /// Detects inner crash/restart transitions (the inner lifecycle
+    /// machine runs on its own timers) and applies their cluster-level
+    /// consequences: a crash clears every volatile role, a restart
+    /// rehydrates the cluster record from stable storage — or, under
+    /// amnesia, from nothing.
+    fn sync_lifecycle(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        let stats = self.server.stats();
+        if stats.crashes > self.seen_crashes {
+            self.seen_crashes = stats.crashes;
+            self.clear_primary_role();
+            self.clear_candidacy();
+            // Volatile memory is gone: view and mark now live only in
+            // the store until the restart path reloads them.
+            self.view = 0;
+            self.high_water = 0;
+        }
+        if stats.restarts > self.seen_restarts {
+            self.seen_restarts = stats.restarts;
+            if self.config.amnesia {
+                self.store.wipe();
+            }
+            if let Some(cs) = self.store.load_cluster() {
+                self.view = cs.view;
+                self.high_water = cs.high_water;
+                self.stats.rehydrations += 1;
+                let (at, server, view, high_water) =
+                    (ctx.now(), self.me, self.view, self.high_water);
+                self.bus
+                    .emit_with(EventKind::HwRehydrated, || TelemetryEvent::HwRehydrated {
+                        at,
+                        server,
+                        view,
+                        high_water,
+                    });
+            }
+            // Give the cluster a grace period before electing against
+            // whatever view we rejoined in.
+            self.last_renew_seen = ctx.now();
+            self.election_not_before = ctx.now() + self.config.election_timeout;
+        }
+    }
+
+    fn clear_primary_role(&mut self) {
+        self.lease_until = None;
+        self.lease_snapshot = None;
+        self.renew_acks.iter_mut().for_each(|a| *a = None);
+        self.last_renew_sent = None;
+        self.backup_acked_hw.iter_mut().for_each(|h| *h = 0);
+        self.pendings.clear();
+    }
+
+    fn clear_candidacy(&mut self) {
+        self.candidate_view = None;
+        self.votes.iter_mut().for_each(|v| *v = false);
+        self.vote_hw_max = 0;
+    }
+
+    fn persist_cluster(&mut self) {
+        self.store.persist_cluster(ClusterState {
+            view: self.view,
+            high_water: self.high_water,
+        });
+    }
+
+    /// Adopts a strictly higher view learned from a peer, surrendering
+    /// any primary role or candidacy for an older view.
+    fn observe_view(&mut self, view: u64, ctx: &mut Context<'_, ClusterMsg>) {
+        if view <= self.view {
+            return;
+        }
+        self.view = view;
+        self.clear_primary_role();
+        if self.candidate_view.is_some_and(|cv| cv <= view) {
+            self.clear_candidacy();
+        }
+        self.persist_cluster();
+        self.last_renew_seen = ctx.now();
+        self.election_attempts = 0;
+        self.stats.views_adopted += 1;
+        let (at, server, high_water) = (ctx.now(), self.me, self.high_water);
+        self.bus
+            .emit_with(EventKind::ViewChange, || TelemetryEvent::ViewChange {
+                at,
+                server,
+                view,
+                high_water,
+            });
+    }
+
+    fn refuse(
+        &mut self,
+        request_id: u64,
+        cause: RefusalCause,
+        client: NodeId,
+        ctx: &mut Context<'_, ClusterMsg>,
+    ) {
+        match cause {
+            RefusalCause::NoLease => self.stats.refused_no_lease += 1,
+            RefusalCause::NoQuorum => self.stats.refused_no_quorum += 1,
+            RefusalCause::Booting => self.stats.refused_booting += 1,
+            RefusalCause::Ahead => self.stats.refused_ahead += 1,
+        }
+        let (at, server, view) = (ctx.now(), self.me, self.view);
+        self.bus
+            .emit_with(EventKind::TsRefused, || TelemetryEvent::TsRefused {
+                at,
+                server,
+                view,
+                cause,
+            });
+        ctx.send(
+            client,
+            ClusterMsg::TsRefused {
+                request_id,
+                view: self.view,
+                cause,
+            },
+        );
+    }
+
+    // ----- the lease -----
+
+    fn lease_valid(&self, now: Timestamp) -> bool {
+        self.lease_until.is_some_and(|until| now < until) && self.lease_snapshot.is_some()
+    }
+
+    /// The lease intersection extrapolated to `now`: shifted by the
+    /// elapsed time and widened on both edges by the drift bound, the
+    /// same aging rule the paper's E(t) obeys between resets.
+    fn extrapolated(&self, now: Timestamp) -> Option<TimeInterval> {
+        let snap = self.lease_snapshot?;
+        let dt = now - snap.at;
+        if dt.is_negative() {
+            return Some(snap.interval);
+        }
+        let widen = dt * self.server.config().drift_bound;
+        Some(TimeInterval::new(
+            snap.interval.lo() + dt - widen,
+            snap.interval.hi() + dt + widen,
+        ))
+    }
+
+    fn send_renewal(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        self.renew_seq += 1;
+        self.renew_acks.iter_mut().for_each(|a| *a = None);
+        self.last_renew_sent = Some(ctx.now());
+        let msg = ClusterMsg::LeaseRenew {
+            view: self.view,
+            seq: self.renew_seq,
+        };
+        for (idx, &peer) in self.config.replicas.clone().iter().enumerate() {
+            if idx == self.config.index {
+                continue;
+            }
+            // E16 machinery: Dead peers are skipped except on probe
+            // rounds, so a crashed backup costs nothing per renewal.
+            if self.health.should_poll(peer, self.renew_seq) {
+                ctx.send(peer, msg);
+            }
+        }
+        // A single-replica cluster is its own quorum.
+        self.try_grant(ctx);
+    }
+
+    /// Grants (or re-extends) the lease once a quorum of renewal acks
+    /// is in: intersects the readings tolerating `f` liars, snapshots
+    /// the result, and adopts the highest acked mark.
+    fn try_grant(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        let acked = self.renew_acks.iter().flatten().count();
+        if acked + 1 < self.config.quorum() {
+            return;
+        }
+        if self.server.lifecycle() != Lifecycle::Active {
+            return;
+        }
+        let now = ctx.now();
+        let own = self.server.current_estimate(now);
+        let mut intervals = Vec::with_capacity(acked + 1);
+        intervals.push(own.interval());
+        let mut max_acked_hw = 0;
+        for ack in self.renew_acks.iter().flatten() {
+            let (est, hw) = *ack;
+            intervals.push(TimeInterval::from_center_radius(
+                est.time(),
+                est.error() + self.config.rtt_slack,
+            ));
+            max_acked_hw = max_acked_hw.max(hw);
+        }
+        let Some(interval) = intersect_tolerating(&intervals, self.config.max_faulty) else {
+            return;
+        };
+        let was_valid = self.lease_valid(now);
+        self.lease_until = Some(now + self.config.lease_duration);
+        self.lease_snapshot = Some(LeaseSnapshot { at: now, interval });
+        if max_acked_hw > self.high_water {
+            self.high_water = max_acked_hw;
+            self.persist_cluster();
+        }
+        if !was_valid {
+            self.stats.leases_granted += 1;
+            let (at, server, view) = (now, self.me, self.view);
+            let until = self.lease_until.expect("just set");
+            self.bus
+                .emit_with(EventKind::LeaseGranted, || TelemetryEvent::LeaseGranted {
+                    at,
+                    server,
+                    view,
+                    until,
+                });
+        }
+    }
+
+    // ----- issuing -----
+
+    fn handle_request(
+        &mut self,
+        request_id: u64,
+        client: NodeId,
+        ctx: &mut Context<'_, ClusterMsg>,
+    ) {
+        if self.server.lifecycle() == Lifecycle::Booting {
+            self.refuse(request_id, RefusalCause::Booting, client, ctx);
+            return;
+        }
+        if !self.is_primary() {
+            self.stats.redirects += 1;
+            ctx.send(
+                client,
+                ClusterMsg::TsRedirect {
+                    request_id,
+                    view: self.view,
+                    primary: self.config.primary_of(self.view),
+                },
+            );
+            return;
+        }
+        let now = ctx.now();
+        if !self.lease_valid(now) {
+            self.refuse(request_id, RefusalCause::NoLease, client, ctx);
+            return;
+        }
+        let interval = self
+            .extrapolated(now)
+            .expect("lease valid implies snapshot");
+        let now_tick = Self::us_tick(interval.midpoint());
+        let hi_tick = Self::us_tick(interval.hi());
+        let ts = now_tick.max(self.high_water + 1);
+        if ts > hi_tick {
+            // Issuing would place the timestamp beyond every instant
+            // the quorum considers possible — refuse and let real time
+            // catch up with the high-water mark.
+            self.refuse(request_id, RefusalCause::Ahead, client, ctx);
+            return;
+        }
+        self.high_water = ts;
+        if self.config.fault == Some(ClusterFault::SkipHwFlush) {
+            // Injected bug: release immediately, with the mark neither
+            // persisted nor replicated. In-memory monotonicity still
+            // holds — until the first crash.
+            self.release(ts, request_id, client, interval.lo(), interval.hi(), ctx);
+            return;
+        }
+        self.persist_cluster();
+        self.pendings.insert(
+            ts,
+            PendingIssue {
+                request_id,
+                client,
+                issued_at: now,
+                lo: interval.lo(),
+                hi: interval.hi(),
+            },
+        );
+        self.broadcast_hw(ctx);
+        self.try_release(ctx);
+    }
+
+    fn broadcast_hw(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        let msg = ClusterMsg::HwUpdate {
+            view: self.view,
+            high_water: self.high_water,
+        };
+        for (idx, &peer) in self.config.replicas.clone().iter().enumerate() {
+            if idx != self.config.index {
+                ctx.send(peer, msg);
+            }
+        }
+    }
+
+    fn release(
+        &mut self,
+        ts: u64,
+        request_id: u64,
+        client: NodeId,
+        lo: Timestamp,
+        hi: Timestamp,
+        ctx: &mut Context<'_, ClusterMsg>,
+    ) {
+        self.stats.issued += 1;
+        let (at, server, view) = (ctx.now(), self.me, self.view);
+        self.bus
+            .emit_with(EventKind::TsIssued, || TelemetryEvent::TsIssued {
+                at,
+                server,
+                view,
+                timestamp: ts,
+                lo,
+                hi,
+            });
+        ctx.send(
+            client,
+            ClusterMsg::TsReply {
+                request_id,
+                view: self.view,
+                timestamp: ts,
+            },
+        );
+    }
+
+    /// Releases every pending issue whose mark a quorum has durably
+    /// acked, in timestamp order (so the released stream is itself
+    /// monotonic).
+    fn try_release(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        loop {
+            let Some((&ts, &pending)) = self.pendings.iter().next() else {
+                return;
+            };
+            let acked = self
+                .backup_acked_hw
+                .iter()
+                .enumerate()
+                .filter(|&(idx, &hw)| idx != self.config.index && hw >= ts)
+                .count();
+            if acked + 1 < self.config.quorum() {
+                return;
+            }
+            self.pendings.remove(&ts);
+            self.release(
+                ts,
+                pending.request_id,
+                pending.client,
+                pending.lo,
+                pending.hi,
+                ctx,
+            );
+        }
+    }
+
+    // ----- elections -----
+
+    fn start_election(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        let n = self.config.n() as u64;
+        let base = self.candidate_view.unwrap_or(self.view);
+        // The smallest view above `base` whose primary is this replica.
+        let mut v = base + 1;
+        while self.config.primary_of(v) != self.config.index {
+            v += 1;
+        }
+        debug_assert!(v <= base + n);
+        self.clear_candidacy();
+        self.candidate_view = Some(v);
+        self.vote_hw_max = self.high_water;
+        self.stats.elections_started += 1;
+        let backoff = 1u32 << self.election_attempts.min(5);
+        self.election_not_before = ctx.now() + self.config.request_timeout * f64::from(backoff);
+        self.election_attempts += 1;
+        let msg = ClusterMsg::ViewChangeReq { view: v };
+        for (idx, &peer) in self.config.replicas.clone().iter().enumerate() {
+            if idx != self.config.index {
+                ctx.send(peer, msg);
+            }
+        }
+        // A single replica elects itself.
+        self.try_win(ctx);
+    }
+
+    fn try_win(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        let Some(v) = self.candidate_view else { return };
+        let granted = self.votes.iter().filter(|&&b| b).count();
+        if granted + 1 < self.config.quorum() {
+            return;
+        }
+        self.view = v;
+        self.high_water = self.high_water.max(self.vote_hw_max);
+        self.clear_candidacy();
+        self.clear_primary_role();
+        self.persist_cluster();
+        self.election_attempts = 0;
+        self.stats.elections_won += 1;
+        self.stats.views_adopted += 1;
+        let (at, server, view, high_water) = (ctx.now(), self.me, self.view, self.high_water);
+        self.bus
+            .emit_with(EventKind::ViewChange, || TelemetryEvent::ViewChange {
+                at,
+                server,
+                view,
+                high_water,
+            });
+        // Serve only once a lease quorum confirms the new reign.
+        self.send_renewal(ctx);
+    }
+
+    // ----- housekeeping -----
+
+    fn tick(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        if self.server.lifecycle() == Lifecycle::Crashed {
+            return;
+        }
+        let now = ctx.now();
+
+        // Lease expiry.
+        if self.is_primary() {
+            if let Some(until) = self.lease_until {
+                if now >= until {
+                    self.lease_until = None;
+                    self.lease_snapshot = None;
+                    self.stats.leases_expired += 1;
+                    let (at, server, view) = (now, self.me, self.view);
+                    self.bus
+                        .emit_with(EventKind::LeaseExpired, || TelemetryEvent::LeaseExpired {
+                            at,
+                            server,
+                            view,
+                        });
+                }
+            }
+        }
+
+        // Renewal cadence (the primary's heartbeat doubles as the
+        // backups' liveness signal).
+        if self.is_primary()
+            && self.server.lifecycle() == Lifecycle::Active
+            && self
+                .last_renew_sent
+                .is_none_or(|at| now - at >= self.config.renew_period)
+        {
+            // Backups that never acked the previous renewal take a
+            // health strike (the E16 state machine demotes them
+            // Healthy → Suspect → Dead on consecutive misses).
+            if self.last_renew_sent.is_some() {
+                for (idx, &peer) in self.config.replicas.clone().iter().enumerate() {
+                    if idx == self.config.index {
+                        continue;
+                    }
+                    if self.renew_acks[idx].is_none() {
+                        self.health.record_timeout(peer);
+                    }
+                }
+            }
+            self.send_renewal(ctx);
+        }
+
+        // Pending sweep: replication that cannot reach a quorum within
+        // the request timeout is refused, not left to dangle.
+        let expired: Vec<u64> = self
+            .pendings
+            .iter()
+            .filter(|(_, p)| now - p.issued_at > self.config.request_timeout)
+            .map(|(&ts, _)| ts)
+            .collect();
+        for ts in expired {
+            let pending = self.pendings.remove(&ts).expect("collected above");
+            self.refuse(
+                pending.request_id,
+                RefusalCause::NoQuorum,
+                pending.client,
+                ctx,
+            );
+        }
+        if !self.pendings.is_empty() {
+            // Retransmit the latest mark; acks are cumulative.
+            self.broadcast_hw(ctx);
+        }
+
+        // Election: a backup whose primary has gone silent past the
+        // rank-staggered timeout campaigns for the succession.
+        if self.server.lifecycle() == Lifecycle::Active && !self.is_serving_primary() {
+            let rank = self.config.rank_behind(self.view) as f64;
+            let stagger = self.config.election_timeout * (0.25 * rank);
+            let silent = now - self.last_renew_seen > self.config.election_timeout + stagger;
+            let may_retry = now >= self.election_not_before;
+            let idle_candidate = self.candidate_view.is_none() && !self.is_primary();
+            let stalled_candidate = self.candidate_view.is_some();
+            if silent && may_retry && (idle_candidate || stalled_candidate) {
+                self.start_election(ctx);
+            }
+        }
+    }
+
+    // ----- cluster message dispatch -----
+
+    fn on_cluster_message(
+        &mut self,
+        from: NodeId,
+        msg: ClusterMsg,
+        ctx: &mut Context<'_, ClusterMsg>,
+    ) {
+        match msg {
+            ClusterMsg::Base(_) => unreachable!("routed before dispatch"),
+            ClusterMsg::TsRequest { request_id, .. } => self.handle_request(request_id, from, ctx),
+            ClusterMsg::TsReply { .. }
+            | ClusterMsg::TsRefused { .. }
+            | ClusterMsg::TsRedirect { .. } => {
+                // Client-facing traffic; a replica ignores strays.
+            }
+            ClusterMsg::LeaseRenew { view, seq } => {
+                self.observe_view(view, ctx);
+                if view < self.view {
+                    // A primary deposed while down would otherwise renew
+                    // into the void forever: tell it about the succession.
+                    self.nack_stale(from, ctx);
+                    return;
+                }
+                if self.server.lifecycle() != Lifecycle::Active {
+                    return;
+                }
+                self.last_renew_seen = ctx.now();
+                self.election_attempts = 0;
+                let mut estimate = self.server.current_estimate(ctx.now());
+                if let Some(ClusterFault::LieEstimate { shift }) = self.config.fault {
+                    estimate = TimeEstimate::new(estimate.time() + shift, estimate.error());
+                }
+                let high_water = if self.config.fault == Some(ClusterFault::UnderstateHw) {
+                    0
+                } else {
+                    self.high_water
+                };
+                ctx.send(
+                    from,
+                    ClusterMsg::LeaseAck {
+                        view,
+                        seq,
+                        estimate,
+                        high_water,
+                    },
+                );
+            }
+            ClusterMsg::LeaseAck {
+                view,
+                seq,
+                estimate,
+                high_water,
+            } => {
+                if view != self.view || !self.is_primary() || seq != self.renew_seq {
+                    return;
+                }
+                let Some(idx) = self.index_of(from) else {
+                    return;
+                };
+                self.health.record_reply(from);
+                self.renew_acks[idx] = Some((estimate, high_water));
+                self.try_grant(ctx);
+            }
+            ClusterMsg::ViewChangeReq { view } => {
+                if view > self.view {
+                    self.observe_view(view, ctx);
+                    let high_water = if self.config.fault == Some(ClusterFault::UnderstateHw) {
+                        0
+                    } else {
+                        self.high_water
+                    };
+                    ctx.send(
+                        from,
+                        ClusterMsg::ViewChangeAck {
+                            view,
+                            ok: true,
+                            high_water,
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        from,
+                        ClusterMsg::ViewChangeAck {
+                            view: self.view,
+                            ok: false,
+                            high_water: self.high_water,
+                        },
+                    );
+                }
+            }
+            ClusterMsg::ViewChangeAck {
+                view,
+                ok,
+                high_water,
+            } => {
+                if ok {
+                    if self.candidate_view == Some(view) {
+                        let Some(idx) = self.index_of(from) else {
+                            return;
+                        };
+                        self.health.record_reply(from);
+                        self.votes[idx] = true;
+                        self.vote_hw_max = self.vote_hw_max.max(high_water);
+                        self.try_win(ctx);
+                    }
+                } else {
+                    self.observe_view(view, ctx);
+                }
+            }
+            ClusterMsg::HwUpdate { view, high_water } => {
+                self.observe_view(view, ctx);
+                if view < self.view {
+                    self.nack_stale(from, ctx);
+                    return;
+                }
+                if high_water > self.high_water {
+                    self.high_water = high_water;
+                }
+                self.persist_cluster();
+                let acked = if self.config.fault == Some(ClusterFault::UnderstateHw) {
+                    0
+                } else {
+                    self.high_water
+                };
+                ctx.send(
+                    from,
+                    ClusterMsg::HwAck {
+                        view,
+                        high_water: acked,
+                    },
+                );
+            }
+            ClusterMsg::HwAck { view, high_water } => {
+                if view != self.view || !self.is_primary() {
+                    return;
+                }
+                let Some(idx) = self.index_of(from) else {
+                    return;
+                };
+                self.health.record_reply(from);
+                if high_water > self.backup_acked_hw[idx] {
+                    self.backup_acked_hw[idx] = high_water;
+                }
+                self.try_release(ctx);
+            }
+        }
+    }
+
+    fn index_of(&self, peer: NodeId) -> Option<usize> {
+        self.config.replicas.iter().position(|&p| p == peer)
+    }
+
+    /// Answers a stale-view sender with a refused view-change ack
+    /// carrying our (higher) view — the handler for `ok: false` adopts
+    /// it, so a deposed primary catches up instead of renewing forever.
+    fn nack_stale(&mut self, to: NodeId, ctx: &mut Context<'_, ClusterMsg>) {
+        ctx.send(
+            to,
+            ClusterMsg::ViewChangeAck {
+                view: self.view,
+                ok: false,
+                high_water: self.high_water,
+            },
+        );
+    }
+}
+
+impl Actor for ClusterReplica {
+    type Msg = ClusterMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ClusterMsg>) {
+        self.me = ctx.label();
+        if let Some(cs) = self.store.load_cluster() {
+            self.view = cs.view;
+            self.high_water = cs.high_water;
+            self.stats.rehydrations += 1;
+            let (at, server, view, high_water) = (ctx.now(), self.me, self.view, self.high_water);
+            self.bus
+                .emit_with(EventKind::HwRehydrated, || TelemetryEvent::HwRehydrated {
+                    at,
+                    server,
+                    view,
+                    high_water,
+                });
+        }
+        self.last_renew_seen = ctx.now();
+        self.election_not_before = ctx.now();
+        self.drive_inner(ctx, |server, inner| server.on_start(inner));
+        ctx.set_timer(self.config.tick, TICK_TAG);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ClusterMsg, ctx: &mut Context<'_, ClusterMsg>) {
+        if let ClusterMsg::Base(base) = msg {
+            self.drive_inner(ctx, |server, inner| server.on_message(from, base, inner));
+            return;
+        }
+        // A crashed replica is deaf to the cluster protocol too; the
+        // inner lifecycle machine models the deafness for base traffic.
+        if self.server.lifecycle() == Lifecycle::Crashed {
+            return;
+        }
+        self.on_cluster_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, ClusterMsg>) {
+        if tag == TICK_TAG {
+            self.tick(ctx);
+            // Always re-armed — the housekeeping loop survives crashes
+            // so the restart path has a heartbeat to come back on.
+            ctx.set_timer(self.config.tick, TICK_TAG);
+            return;
+        }
+        self.drive_inner(ctx, |server, inner| server.on_timer(tag, inner));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{AuditClient, AuditClientConfig};
+    use crate::node::ClusterNode;
+    use tempo_clocks::SimClock;
+    use tempo_core::DriftRate;
+    use tempo_net::{DelayModel, NetConfig, Topology, World};
+    use tempo_service::{MemoryStore, ServerConfig, ServerFault, Strategy};
+
+    fn dur(s: f64) -> tempo_core::Duration {
+        tempo_core::Duration::from_secs(s)
+    }
+
+    /// Cluster timings fast enough for short test runs.
+    fn fast(config: ClusterConfig) -> ClusterConfig {
+        config
+            .lease_duration(dur(0.4))
+            .renew_period(dur(0.1))
+            .election_timeout(dur(0.3))
+            .request_timeout(dur(0.5))
+            .tick(dur(0.05))
+    }
+
+    /// A replica whose inner clock starts `offset` seconds off true
+    /// time, claiming `error` of initial uncertainty, resyncing so
+    /// rarely the offset persists for the whole run.
+    fn skewed_replica(
+        replicas: Vec<NodeId>,
+        index: usize,
+        offset: f64,
+        error: f64,
+        fault: Option<ServerFault>,
+    ) -> ClusterReplica {
+        let clock = SimClock::builder()
+            .seed(index as u64 + 1)
+            .initial_value(Timestamp::from_secs(offset))
+            .build();
+        let mut server_config = ServerConfig::new(Strategy::Im, DriftRate::new(1e-6))
+            .resync_period(dur(500.0))
+            .collect_window(dur(0.5))
+            .initial_error(dur(error))
+            .jitter(0.0);
+        if let Some(fault) = fault {
+            server_config = server_config.fault(fault);
+        }
+        let server = TimeServer::new(clock, server_config);
+        let cluster = fast(ClusterConfig::new(replicas, index));
+        ClusterReplica::new(server, cluster, Box::new(MemoryStore::new()))
+    }
+
+    fn run_world(nodes: Vec<ClusterNode>, until: f64, seed: u64) -> World<ClusterNode> {
+        let n = nodes.len();
+        let mut world = World::new(
+            nodes,
+            Topology::full_mesh(n),
+            NetConfig::with_delay(DelayModel::Constant(dur(0.005))),
+            seed,
+        );
+        world.run_until(Timestamp::from_secs(until));
+        world
+    }
+
+    #[test]
+    fn failover_preserves_monotonicity() {
+        let replicas: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let nodes: Vec<ClusterNode> = vec![
+            skewed_replica(
+                replicas.clone(),
+                0,
+                0.0,
+                0.05,
+                Some(ServerFault::crash_restart(
+                    Timestamp::from_secs(20.0),
+                    dur(10.0),
+                    false,
+                )),
+            )
+            .into(),
+            skewed_replica(replicas.clone(), 1, 0.0, 0.05, None).into(),
+            skewed_replica(replicas.clone(), 2, 0.0, 0.05, None).into(),
+            AuditClient::new(
+                AuditClientConfig::new(replicas)
+                    .period(dur(0.1))
+                    .request_timeout(dur(0.5)),
+            )
+            .into(),
+        ];
+        let world = run_world(nodes, 60.0, 11);
+        let actors = world.actors();
+        let client = actors[3].as_client().unwrap();
+        assert_eq!(client.stats().regressions, 0, "{:?}", client.stats());
+        let trail = client.trail();
+        for pair in trail.windows(2) {
+            assert!(pair[1].timestamp > pair[0].timestamp);
+        }
+        // The workload survived the crash: issues before and well after.
+        assert!(trail.first().unwrap().at < Timestamp::from_secs(20.0));
+        assert!(trail.last().unwrap().at > Timestamp::from_secs(40.0));
+        // Someone took over.
+        let successor = actors[1].as_replica().unwrap();
+        assert!(
+            successor.stats().elections_won >= 1,
+            "{:?}",
+            successor.stats()
+        );
+        assert!(successor.view() >= 1);
+    }
+
+    #[test]
+    fn quorum_lost_requests_are_refused() {
+        let replicas: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let crash = |at: f64| Some(ServerFault::crash_at(Timestamp::from_secs(at)));
+        let nodes: Vec<ClusterNode> = vec![
+            skewed_replica(replicas.clone(), 0, 0.0, 0.05, None).into(),
+            skewed_replica(replicas.clone(), 1, 0.0, 0.05, crash(10.0)).into(),
+            skewed_replica(replicas.clone(), 2, 0.0, 0.05, crash(10.0)).into(),
+            AuditClient::new(
+                AuditClientConfig::new(replicas)
+                    .period(dur(0.1))
+                    .request_timeout(dur(0.5)),
+            )
+            .into(),
+        ];
+        let world = run_world(nodes, 40.0, 13);
+        let actors = world.actors();
+        let client = actors[3].as_client().unwrap();
+        let primary = actors[0].as_replica().unwrap();
+        // With both backups dead the lease cannot renew: the primary
+        // refuses rather than risk an unreplicated timestamp.
+        assert!(primary.stats().leases_expired >= 1, "{:?}", primary.stats());
+        assert!(client.stats().refused > 0, "{:?}", client.stats());
+        assert_eq!(client.stats().regressions, 0);
+        // Nothing was issued after the lease ran out.
+        let last = client.trail().last().unwrap();
+        assert!(
+            last.at < Timestamp::from_secs(11.0),
+            "issued at {} after quorum loss",
+            last.at
+        );
+    }
+
+    /// The injected skip-the-flush bug is *observable*: with a fast
+    /// primary clock and a quick failover, the successor (which never
+    /// saw the unreplicated high-water mark) re-issues lower
+    /// timestamps. The same scenario with the bug absent is clean —
+    /// this pair of runs is what the fuzzer self-test automates.
+    #[test]
+    fn skip_hw_flush_causes_regression_after_failover() {
+        let run = |inject: bool| {
+            let replicas: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+            let mut fast_primary = skewed_replica(
+                replicas.clone(),
+                0,
+                2.0, // clock runs 2 s ahead, within its claimed error
+                5.0,
+                Some(ServerFault::crash_at(Timestamp::from_secs(10.0))),
+            );
+            if inject {
+                fast_primary.config.fault = Some(ClusterFault::SkipHwFlush);
+            }
+            let nodes: Vec<ClusterNode> = vec![
+                fast_primary.into(),
+                skewed_replica(replicas.clone(), 1, 0.0, 5.0, None).into(),
+                skewed_replica(replicas.clone(), 2, 0.0, 5.0, None).into(),
+                AuditClient::new(
+                    AuditClientConfig::new(replicas)
+                        .period(dur(0.05))
+                        .request_timeout(dur(0.3)),
+                )
+                .into(),
+            ];
+            let world = run_world(nodes, 25.0, 17);
+            let actors = world.actors();
+            actors[3].as_client().unwrap().stats()
+        };
+        let buggy = run(true);
+        assert!(buggy.regressions > 0, "bug not observable: {buggy:?}");
+        let clean = run(false);
+        assert_eq!(clean.regressions, 0, "{clean:?}");
+    }
+}

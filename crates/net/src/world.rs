@@ -192,6 +192,28 @@ impl<'a, M> Context<'a, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// A derived context carrying a *different* message type — the
+    /// adapter a wrapping actor uses to drive an embedded inner actor
+    /// (e.g. a cluster replica hosting a plain time server). The
+    /// derived context shares this context's clock, identity, labels,
+    /// neighbours, and RNG (reborrowed, so deterministic draws
+    /// interleave exactly as if the inner actor ran directly), and
+    /// starts with an empty action queue: the wrapper drains it with
+    /// [`Context::take_actions`] and translates each action into its
+    /// own message space.
+    #[must_use]
+    pub fn map_msg<N>(&mut self) -> Context<'_, N> {
+        Context {
+            now: self.now,
+            me: self.me,
+            label: self.label,
+            labels: self.labels,
+            neighbors: self.neighbors,
+            rng: self.rng,
+            actions: Vec::new(),
+        }
+    }
 }
 
 /// A scheduled communication outage: while active, messages between

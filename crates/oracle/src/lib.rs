@@ -19,6 +19,8 @@
 //! | [`TheoremId::Lifecycle`] | §5 rejoin — no service while down, bootstrap completes in bounded rounds |
 //! | [`TheoremId::FTolerant`] | §4 `f`-tolerant synthesis — an adopted interval contains real time while ≤ `f` inputs are faulty |
 //! | [`TheoremId::Stabilization`] | Self-stabilization — a state-corrupted server re-converges within a bounded window |
+//! | [`TheoremId::ClusterMonotonic`] | ClusterTime invariant M — released cluster timestamps strictly increase across failovers (see [`cluster`]) |
+//! | [`TheoremId::ClusterBounded`] | ClusterTime invariant B — every released timestamp lies in the issuing quorum's §4 intersection (see [`cluster`]) |
 //!
 //! (Theorem 8 — the *expected* IM width need not grow with the number of
 //! servers — is a distributional claim; experiment E9 covers it offline.)
@@ -43,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod cluster;
 
 use std::fmt;
 
@@ -91,6 +95,14 @@ pub enum TheoremId {
     /// again — and thereby rejoin the consistency group — within the
     /// configured bound (a small multiple of the resync period).
     Stabilization,
+    /// ClusterTime invariant M: released cluster timestamps strictly
+    /// increase — across primaries, view changes, crashes, and amnesia
+    /// restarts (checked by [`cluster::ClusterOracle`]).
+    ClusterMonotonic,
+    /// ClusterTime invariant B: every released timestamp lies within
+    /// the issuing quorum's §4 Marzullo intersection (checked by
+    /// [`cluster::ClusterOracle`]).
+    ClusterBounded,
 }
 
 impl TheoremId {
@@ -110,6 +122,8 @@ impl TheoremId {
             TheoremId::Lifecycle => "Section 5 (rejoin/bootstrap)",
             TheoremId::FTolerant => "Section 4 (f-tolerant synthesis)",
             TheoremId::Stabilization => "Section 5 (self-stabilization)",
+            TheoremId::ClusterMonotonic => "ClusterTime invariant M (monotonic timestamps)",
+            TheoremId::ClusterBounded => "ClusterTime invariant B (within the §4 intersection)",
         }
     }
 }

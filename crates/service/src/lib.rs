@@ -73,4 +73,4 @@ pub use message::Message;
 pub use node::ServiceNode;
 pub use rate::{AdmissionControl, RateMonitor};
 pub use server::{Lifecycle, ServerSample, ServerStats, TimeServer};
-pub use store::{MemoryStore, PersistedState, StableStore};
+pub use store::{ClusterState, MemoryStore, PersistedState, StableStore};

@@ -26,6 +26,21 @@ pub struct PersistedState {
     pub reset_at: Timestamp,
 }
 
+/// The `(view, high-water mark)` pair a cluster-time replica persists
+/// before releasing any timestamp: the highest view it has adopted and
+/// the highest timestamp it has promised never to reissue. A new
+/// primary's quorum read takes the max over acked marks, so as long as
+/// the pair hits stable storage *before* the reply leaves, monotonicity
+/// survives crashes — even amnesia restarts of a minority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterState {
+    /// The highest view this replica has adopted.
+    pub view: u64,
+    /// The highest cluster timestamp (µs ticks) this replica has
+    /// durably promised (issued, acked, or learned via replication).
+    pub high_water: u64,
+}
+
 /// Durable storage surviving a server crash.
 ///
 /// The simulator's stores are in-memory stand-ins: durability here
@@ -49,12 +64,28 @@ pub trait StableStore: std::fmt::Debug {
     /// on graceful shutdown so a SIGTERM never races an in-flight
     /// persist.
     fn flush(&mut self) {}
+
+    /// Records the cluster-time `(view, high-water)` pair, replacing
+    /// any previous record. The default is a no-op so plain
+    /// time-service stores need not care; cluster replicas must use a
+    /// store that overrides it.
+    fn persist_cluster(&mut self, state: ClusterState) {
+        let _ = state;
+    }
+
+    /// The most recently persisted cluster state, if any survives.
+    /// Defaults to `None` (no cluster record).
+    fn load_cluster(&self) -> Option<ClusterState> {
+        None
+    }
 }
 
-/// The default [`StableStore`]: a single in-memory slot.
+/// The default [`StableStore`]: a single in-memory slot (plus a second
+/// slot for the cluster-time record).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct MemoryStore {
     state: Option<PersistedState>,
+    cluster: Option<ClusterState>,
 }
 
 impl MemoryStore {
@@ -76,6 +107,15 @@ impl StableStore for MemoryStore {
 
     fn wipe(&mut self) {
         self.state = None;
+        self.cluster = None;
+    }
+
+    fn persist_cluster(&mut self, state: ClusterState) {
+        self.cluster = Some(state);
+    }
+
+    fn load_cluster(&self) -> Option<ClusterState> {
+        self.cluster
     }
 }
 
@@ -110,5 +150,43 @@ mod tests {
         store.persist(state(10.0, 0.01, 10.0));
         store.wipe();
         assert_eq!(store.load(), None);
+    }
+
+    #[test]
+    fn cluster_slot_round_trips_and_wipes() {
+        let mut store = MemoryStore::new();
+        assert_eq!(store.load_cluster(), None);
+        let cs = ClusterState {
+            view: 3,
+            high_water: 12_500_000,
+        };
+        store.persist_cluster(cs);
+        assert_eq!(store.load_cluster(), Some(cs));
+        // The two slots are independent until a wipe takes both.
+        assert_eq!(store.load(), None);
+        store.persist(state(1.0, 0.1, 1.0));
+        store.wipe();
+        assert_eq!(store.load_cluster(), None);
+        assert_eq!(store.load(), None);
+    }
+
+    #[test]
+    fn default_trait_methods_are_inert() {
+        // A store that never overrides the cluster hooks ignores them.
+        #[derive(Debug)]
+        struct BaseOnly;
+        impl StableStore for BaseOnly {
+            fn persist(&mut self, _: PersistedState) {}
+            fn load(&self) -> Option<PersistedState> {
+                None
+            }
+            fn wipe(&mut self) {}
+        }
+        let mut store = BaseOnly;
+        store.persist_cluster(ClusterState {
+            view: 1,
+            high_water: 2,
+        });
+        assert_eq!(store.load_cluster(), None);
     }
 }

@@ -46,6 +46,7 @@
 use std::fmt;
 
 use tempo_core::{Duration, TimeEstimate, Timestamp};
+use tempo_telemetry::RefusalCause;
 
 use crate::message::Message;
 
@@ -54,9 +55,29 @@ const TYPE_REQUEST: u8 = 1;
 const TYPE_REPLY: u8 = 2;
 const TYPE_UNINIT: u8 = 3;
 const TYPE_BATCH: u8 = 4;
+const TYPE_TS_REQUEST: u8 = 5;
+const TYPE_TS_REPLY: u8 = 6;
+const TYPE_TS_REFUSED: u8 = 7;
+const TYPE_TS_REDIRECT: u8 = 8;
+const TYPE_LEASE_RENEW: u8 = 9;
+const TYPE_LEASE_ACK: u8 = 10;
+const TYPE_VIEW_CHANGE_REQ: u8 = 11;
+const TYPE_VIEW_CHANGE_ACK: u8 = 12;
+const TYPE_HW_UPDATE: u8 = 13;
+const TYPE_HW_ACK: u8 = 14;
 const REQUEST_LEN: usize = 14;
 const REPLY_LEN: usize = 38;
 const UNINIT_LEN: usize = 14;
+const TS_REQUEST_LEN: usize = 14;
+const TS_REPLY_LEN: usize = 30;
+const TS_REFUSED_LEN: usize = 22;
+const TS_REDIRECT_LEN: usize = 26;
+const LEASE_RENEW_LEN: usize = 22;
+const LEASE_ACK_LEN: usize = 46;
+const VIEW_CHANGE_REQ_LEN: usize = 14;
+const VIEW_CHANGE_ACK_LEN: usize = 22;
+const HW_UPDATE_LEN: usize = 22;
+const HW_ACK_LEN: usize = 22;
 /// Batch header: magic + type + count.
 const BATCH_HEADER_LEN: usize = 4;
 /// Most inner frames one batch can carry (the count is a byte).
@@ -393,6 +414,373 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
     }
 }
 
+// ----- cluster-time frames -----
+//
+// The ClusterTime layer (tempo-cluster) speaks a superset of the base
+// protocol: type bytes 5–14 carry the timestamp service and its
+// view-change/lease/replication control plane. The payloads here are
+// plain data — the cluster crate maps them onto its actor messages —
+// so the codec stays self-contained and every frame keeps the same
+// magic/type/checksum discipline (and the same truncation taxonomy) as
+// the base frames.
+//
+// ```text
+// type  frame            len  fields after the 4-byte header
+// 5     ts request       14   request id (attempt in header byte 3)
+// 6     ts reply         30   request id, view, timestamp
+// 7     ts refused       22   request id, view (cause in header byte 3)
+// 8     ts redirect      26   request id, view, primary (u32)
+// 9     lease renew      22   view, seq
+// 10    lease ack        46   view, seq, clock C, error E, high water
+// 11    view-change req  14   view
+// 12    view-change ack  22   view, high water (ok in header byte 3)
+// 13    hw update        22   view, high water
+// 14    hw ack           22   view, high water
+// ```
+
+/// A frame of the cluster-time protocol: either a base time-service
+/// message (types 1–3, encoded exactly as [`encode`] would) or one of
+/// the cluster control/data frames (types 5–14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterFrame {
+    /// A base time-service message, byte-identical to its stand-alone
+    /// encoding (batch frames are not part of the cluster protocol).
+    Base(Message),
+    /// Client → primary: assign a monotonic cluster timestamp.
+    TsRequest {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// Retry ordinal (0 for the first send).
+        attempt: u8,
+    },
+    /// Primary → client: the assigned timestamp.
+    TsReply {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// View under which the timestamp was issued.
+        view: u64,
+        /// The strictly monotonic cluster timestamp (µs ticks).
+        timestamp: u64,
+    },
+    /// Replica → client: refused rather than risk a regression.
+    TsRefused {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// The refusing replica's current view.
+        view: u64,
+        /// Why the request was refused.
+        cause: RefusalCause,
+    },
+    /// Backup → client: not the primary; try the view's primary.
+    TsRedirect {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// The redirecting replica's current view.
+        view: u64,
+        /// Replica index of the believed primary.
+        primary: u32,
+    },
+    /// Primary → backups: heartbeat asking for a lease extension.
+    LeaseRenew {
+        /// The primary's view.
+        view: u64,
+        /// Renewal sequence number (matches acks to renewals).
+        seq: u64,
+    },
+    /// Backup → primary: lease granted, carrying the backup's current
+    /// interval reading and durable high-water mark.
+    LeaseAck {
+        /// Echoed view.
+        view: u64,
+        /// Echoed renewal sequence number.
+        seq: u64,
+        /// The backup's `(clock, error)` reading at ack time.
+        estimate: TimeEstimate,
+        /// The backup's durable high-water mark.
+        high_water: u64,
+    },
+    /// Candidate → replicas: vote for me as primary of `view`.
+    ViewChangeReq {
+        /// The proposed (strictly higher) view.
+        view: u64,
+    },
+    /// Replica → candidate: vote granted or refused.
+    ViewChangeAck {
+        /// Echoed view.
+        view: u64,
+        /// Whether the vote was granted.
+        ok: bool,
+        /// The voter's durable high-water mark (for catch-up).
+        high_water: u64,
+    },
+    /// Primary → backups: replicate the high-water mark before release.
+    HwUpdate {
+        /// The primary's view.
+        view: u64,
+        /// The pending high-water mark.
+        high_water: u64,
+    },
+    /// Backup → primary: high-water mark persisted.
+    HwAck {
+        /// Echoed view.
+        view: u64,
+        /// The highest high-water mark the backup has persisted.
+        high_water: u64,
+    },
+}
+
+fn cause_to_byte(cause: RefusalCause) -> u8 {
+    match cause {
+        RefusalCause::NoLease => 0,
+        RefusalCause::NoQuorum => 1,
+        RefusalCause::Booting => 2,
+        RefusalCause::Ahead => 3,
+    }
+}
+
+fn cause_from_byte(b: u8) -> Option<RefusalCause> {
+    match b {
+        0 => Some(RefusalCause::NoLease),
+        1 => Some(RefusalCause::NoQuorum),
+        2 => Some(RefusalCause::Booting),
+        3 => Some(RefusalCause::Ahead),
+        _ => None,
+    }
+}
+
+/// Encodes a cluster frame. `Base` messages encode byte-identically to
+/// [`encode`], so a cluster endpoint interoperates with base peers.
+#[must_use]
+pub fn encode_cluster(frame: &ClusterFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(LEASE_ACK_LEN);
+    let start = out.len();
+    match *frame {
+        ClusterFrame::Base(ref msg) => {
+            encode_into(msg, &mut out);
+            return out;
+        }
+        ClusterFrame::TsRequest {
+            request_id,
+            attempt,
+        } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_TS_REQUEST);
+            out.push(attempt);
+            out.extend_from_slice(&request_id.to_be_bytes());
+        }
+        ClusterFrame::TsReply {
+            request_id,
+            view,
+            timestamp,
+        } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_TS_REPLY);
+            out.push(0);
+            out.extend_from_slice(&request_id.to_be_bytes());
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&timestamp.to_be_bytes());
+        }
+        ClusterFrame::TsRefused {
+            request_id,
+            view,
+            cause,
+        } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_TS_REFUSED);
+            out.push(cause_to_byte(cause));
+            out.extend_from_slice(&request_id.to_be_bytes());
+            out.extend_from_slice(&view.to_be_bytes());
+        }
+        ClusterFrame::TsRedirect {
+            request_id,
+            view,
+            primary,
+        } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_TS_REDIRECT);
+            out.push(0);
+            out.extend_from_slice(&request_id.to_be_bytes());
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&primary.to_be_bytes());
+        }
+        ClusterFrame::LeaseRenew { view, seq } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_LEASE_RENEW);
+            out.push(0);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+        }
+        ClusterFrame::LeaseAck {
+            view,
+            seq,
+            estimate,
+            high_water,
+        } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_LEASE_ACK);
+            out.push(0);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.extend_from_slice(&estimate.time().as_secs().to_bits().to_be_bytes());
+            out.extend_from_slice(&estimate.error().as_secs().to_bits().to_be_bytes());
+            out.extend_from_slice(&high_water.to_be_bytes());
+        }
+        ClusterFrame::ViewChangeReq { view } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_VIEW_CHANGE_REQ);
+            out.push(0);
+            out.extend_from_slice(&view.to_be_bytes());
+        }
+        ClusterFrame::ViewChangeAck {
+            view,
+            ok,
+            high_water,
+        } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_VIEW_CHANGE_ACK);
+            out.push(u8::from(ok));
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&high_water.to_be_bytes());
+        }
+        ClusterFrame::HwUpdate { view, high_water } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_HW_UPDATE);
+            out.push(0);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&high_water.to_be_bytes());
+        }
+        ClusterFrame::HwAck { view, high_water } => {
+            out.extend_from_slice(&MAGIC.to_be_bytes());
+            out.push(TYPE_HW_ACK);
+            out.push(0);
+            out.extend_from_slice(&view.to_be_bytes());
+            out.extend_from_slice(&high_water.to_be_bytes());
+        }
+    }
+    let ck = checksum(&out[start..]);
+    out.extend_from_slice(&ck.to_be_bytes());
+    out
+}
+
+/// Decodes a cluster frame. Types 1–3 delegate to [`decode`] and come
+/// back as [`ClusterFrame::Base`]; batch frames (type 4) are not part
+/// of the cluster protocol and are rejected as an unknown type.
+///
+/// # Errors
+///
+/// The same taxonomy as [`decode`]: any shortfall at any byte boundary
+/// is [`DecodeError::Truncated`], excess bytes are
+/// [`DecodeError::BadLength`], checksum mismatches are
+/// [`DecodeError::BadChecksum`], and an out-of-range cause byte,
+/// non-boolean ok byte, or non-finite/negative lease estimate is
+/// [`DecodeError::BadPayload`].
+pub fn decode_cluster(bytes: &[u8]) -> Result<ClusterFrame, DecodeError> {
+    // The smallest cluster frame matches the smallest base frame, so
+    // truncation is detectable before the type byte is trusted.
+    if bytes.len() < TS_REQUEST_LEN.min(REQUEST_LEN) {
+        return Err(DecodeError::Truncated { len: bytes.len() });
+    }
+    let magic = u16::from_be_bytes([bytes[0], bytes[1]]);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic { found: magic });
+    }
+    let kind = bytes[2];
+    if matches!(kind, TYPE_REQUEST | TYPE_REPLY | TYPE_UNINIT) {
+        return decode(bytes).map(ClusterFrame::Base);
+    }
+    let expected_len = match kind {
+        TYPE_TS_REQUEST => TS_REQUEST_LEN,
+        TYPE_TS_REPLY => TS_REPLY_LEN,
+        TYPE_TS_REFUSED => TS_REFUSED_LEN,
+        TYPE_TS_REDIRECT => TS_REDIRECT_LEN,
+        TYPE_LEASE_RENEW => LEASE_RENEW_LEN,
+        TYPE_LEASE_ACK => LEASE_ACK_LEN,
+        TYPE_VIEW_CHANGE_REQ => VIEW_CHANGE_REQ_LEN,
+        TYPE_VIEW_CHANGE_ACK => VIEW_CHANGE_ACK_LEN,
+        TYPE_HW_UPDATE => HW_UPDATE_LEN,
+        TYPE_HW_ACK => HW_ACK_LEN,
+        other => return Err(DecodeError::UnknownType { found: other }),
+    };
+    if bytes.len() < expected_len {
+        return Err(DecodeError::Truncated { len: bytes.len() });
+    }
+    if bytes.len() > expected_len {
+        return Err(DecodeError::BadLength {
+            kind,
+            len: bytes.len(),
+        });
+    }
+    let (body, ck_bytes) = bytes.split_at(expected_len - 2);
+    let declared = u16::from_be_bytes([ck_bytes[0], ck_bytes[1]]);
+    if checksum(body) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    let u64_at = |off: usize| u64::from_be_bytes(body[off..off + 8].try_into().expect("length"));
+    match kind {
+        TYPE_TS_REQUEST => Ok(ClusterFrame::TsRequest {
+            request_id: u64_at(4),
+            attempt: body[3],
+        }),
+        TYPE_TS_REPLY => Ok(ClusterFrame::TsReply {
+            request_id: u64_at(4),
+            view: u64_at(12),
+            timestamp: u64_at(20),
+        }),
+        TYPE_TS_REFUSED => {
+            let Some(cause) = cause_from_byte(body[3]) else {
+                return Err(DecodeError::BadPayload);
+            };
+            Ok(ClusterFrame::TsRefused {
+                request_id: u64_at(4),
+                view: u64_at(12),
+                cause,
+            })
+        }
+        TYPE_TS_REDIRECT => Ok(ClusterFrame::TsRedirect {
+            request_id: u64_at(4),
+            view: u64_at(12),
+            primary: u32::from_be_bytes(body[20..24].try_into().expect("length")),
+        }),
+        TYPE_LEASE_RENEW => Ok(ClusterFrame::LeaseRenew {
+            view: u64_at(4),
+            seq: u64_at(12),
+        }),
+        TYPE_LEASE_ACK => {
+            let time = f64::from_bits(u64_at(20));
+            let error = f64::from_bits(u64_at(28));
+            if !time.is_finite() || !error.is_finite() || error < 0.0 {
+                return Err(DecodeError::BadPayload);
+            }
+            Ok(ClusterFrame::LeaseAck {
+                view: u64_at(4),
+                seq: u64_at(12),
+                estimate: TimeEstimate::new(Timestamp::from_secs(time), Duration::from_secs(error)),
+                high_water: u64_at(36),
+            })
+        }
+        TYPE_VIEW_CHANGE_REQ => Ok(ClusterFrame::ViewChangeReq { view: u64_at(4) }),
+        TYPE_VIEW_CHANGE_ACK => {
+            if body[3] > 1 {
+                return Err(DecodeError::BadPayload);
+            }
+            Ok(ClusterFrame::ViewChangeAck {
+                view: u64_at(4),
+                ok: body[3] == 1,
+                high_water: u64_at(12),
+            })
+        }
+        TYPE_HW_UPDATE => Ok(ClusterFrame::HwUpdate {
+            view: u64_at(4),
+            high_water: u64_at(12),
+        }),
+        TYPE_HW_ACK => Ok(ClusterFrame::HwAck {
+            view: u64_at(4),
+            high_water: u64_at(12),
+        }),
+        _ => unreachable!("type validated above"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,5 +1109,180 @@ mod tests {
     #[should_panic(expected = "at least one message")]
     fn empty_batch_panics() {
         let _ = encode_batch(&[]);
+    }
+
+    // ----- cluster frames -----
+
+    fn every_cluster_frame() -> Vec<ClusterFrame> {
+        vec![
+            ClusterFrame::Base(Message::TimeRequest {
+                request_id: 11,
+                attempt: 2,
+            }),
+            ClusterFrame::Base(reply(12, 99.5, 0.125)),
+            ClusterFrame::Base(Message::Uninitialized { request_id: 13 }),
+            ClusterFrame::TsRequest {
+                request_id: 0xAAAA_BBBB,
+                attempt: 3,
+            },
+            ClusterFrame::TsReply {
+                request_id: 1,
+                view: 7,
+                timestamp: 12_500_001,
+            },
+            ClusterFrame::TsRefused {
+                request_id: 2,
+                view: 7,
+                cause: RefusalCause::NoQuorum,
+            },
+            ClusterFrame::TsRedirect {
+                request_id: 3,
+                view: 8,
+                primary: 4,
+            },
+            ClusterFrame::LeaseRenew { view: 8, seq: 41 },
+            ClusterFrame::LeaseAck {
+                view: 8,
+                seq: 41,
+                estimate: TimeEstimate::new(Timestamp::from_secs(12.5), Duration::from_secs(0.004)),
+                high_water: 12_500_000,
+            },
+            ClusterFrame::ViewChangeReq { view: 9 },
+            ClusterFrame::ViewChangeAck {
+                view: 9,
+                ok: true,
+                high_water: 12_600_000,
+            },
+            ClusterFrame::ViewChangeAck {
+                view: 9,
+                ok: false,
+                high_water: 0,
+            },
+            ClusterFrame::HwUpdate {
+                view: 9,
+                high_water: 12_700_000,
+            },
+            ClusterFrame::HwAck {
+                view: 9,
+                high_water: 12_700_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn cluster_roundtrip_every_variant() {
+        for frame in every_cluster_frame() {
+            let bytes = encode_cluster(&frame);
+            assert_eq!(
+                decode_cluster(&bytes).unwrap(),
+                frame,
+                "round trip failed for {frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_base_frames_are_byte_identical_to_standalone() {
+        let msg = reply(21, 50.0, 0.5);
+        assert_eq!(encode_cluster(&ClusterFrame::Base(msg)), encode(&msg));
+        // And the base decoder accepts what the cluster encoder wrote.
+        assert_eq!(
+            decode(&encode_cluster(&ClusterFrame::Base(msg))).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn cluster_truncation_rejected_at_every_boundary() {
+        for frame in every_cluster_frame() {
+            let bytes = encode_cluster(&frame);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    decode_cluster(&bytes[..cut]),
+                    Err(DecodeError::Truncated { len: cut }),
+                    "cut at {cut} of {frame:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_corruption_is_detected() {
+        for frame in every_cluster_frame() {
+            let bytes = encode_cluster(&frame);
+            for i in 0..bytes.len() {
+                let mut corrupted = bytes.clone();
+                corrupted[i] ^= 0xA5;
+                assert!(
+                    decode_cluster(&corrupted).is_err(),
+                    "flip at byte {i} of {frame:?} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_trailing_garbage_rejected() {
+        for frame in every_cluster_frame() {
+            let mut bytes = encode_cluster(&frame);
+            bytes.push(0);
+            assert!(
+                decode_cluster(&bytes).is_err(),
+                "trailing byte accepted for {frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_rejects_batch_frames() {
+        let batch = encode_batch(&[reply(5, 10.0, 0.1)]);
+        assert_eq!(
+            decode_cluster(&batch),
+            Err(DecodeError::UnknownType { found: TYPE_BATCH })
+        );
+    }
+
+    #[test]
+    fn cluster_bad_cause_byte_rejected() {
+        // Hand-build a refusal with an out-of-range cause and a valid
+        // checksum: the checksum passes, the payload validator must not.
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        body.push(TYPE_TS_REFUSED);
+        body.push(9);
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&2u64.to_be_bytes());
+        let ck = checksum(&body);
+        body.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode_cluster(&body), Err(DecodeError::BadPayload));
+    }
+
+    #[test]
+    fn cluster_bad_ok_byte_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        body.push(TYPE_VIEW_CHANGE_ACK);
+        body.push(2);
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&2u64.to_be_bytes());
+        let ck = checksum(&body);
+        body.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode_cluster(&body), Err(DecodeError::BadPayload));
+    }
+
+    #[test]
+    fn cluster_non_finite_lease_estimate_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_be_bytes());
+        body.push(TYPE_LEASE_ACK);
+        body.push(0);
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.extend_from_slice(&2u64.to_be_bytes());
+        body.extend_from_slice(&f64::NAN.to_bits().to_be_bytes());
+        body.extend_from_slice(&0.5f64.to_bits().to_be_bytes());
+        body.extend_from_slice(&3u64.to_be_bytes());
+        let ck = checksum(&body);
+        body.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode_cluster(&body), Err(DecodeError::BadPayload));
     }
 }

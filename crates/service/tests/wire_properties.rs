@@ -6,8 +6,75 @@
 use proptest::prelude::*;
 
 use tempo_core::{Duration, TimeEstimate, Timestamp};
-use tempo_service::wire::{decode, decode_batch, encode, encode_batch, encode_into, DecodeError};
+use tempo_service::wire::{
+    decode, decode_batch, decode_cluster, encode, encode_batch, encode_cluster, encode_into,
+    ClusterFrame, DecodeError,
+};
 use tempo_service::Message;
+use tempo_telemetry::RefusalCause;
+
+fn arb_cluster_frame() -> impl Strategy<Value = ClusterFrame> {
+    let cause = prop_oneof![
+        Just(RefusalCause::NoLease),
+        Just(RefusalCause::NoQuorum),
+        Just(RefusalCause::Booting),
+        Just(RefusalCause::Ahead),
+    ];
+    prop_oneof![
+        arb_message().prop_map(ClusterFrame::Base),
+        (any::<u64>(), any::<u8>()).prop_map(|(request_id, attempt)| ClusterFrame::TsRequest {
+            request_id,
+            attempt,
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(request_id, view, timestamp)| {
+            ClusterFrame::TsReply {
+                request_id,
+                view,
+                timestamp,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), cause).prop_map(|(request_id, view, cause)| {
+            ClusterFrame::TsRefused {
+                request_id,
+                view,
+                cause,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(request_id, view, primary)| {
+            ClusterFrame::TsRedirect {
+                request_id,
+                view,
+                primary,
+            }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(view, seq)| ClusterFrame::LeaseRenew { view, seq }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            -1.0e12f64..1.0e12,
+            0.0f64..1.0e9,
+            any::<u64>()
+        )
+            .prop_map(|(view, seq, c, e, high_water)| ClusterFrame::LeaseAck {
+                view,
+                seq,
+                estimate: TimeEstimate::new(Timestamp::from_secs(c), Duration::from_secs(e)),
+                high_water,
+            }),
+        any::<u64>().prop_map(|view| ClusterFrame::ViewChangeReq { view }),
+        (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(view, ok, high_water)| {
+            ClusterFrame::ViewChangeAck {
+                view,
+                ok,
+                high_water,
+            }
+        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(view, high_water)| ClusterFrame::HwUpdate { view, high_water }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(view, high_water)| ClusterFrame::HwAck { view, high_water }),
+    ]
+}
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
@@ -211,5 +278,78 @@ proptest! {
         let mut bytes = encode_batch(&msgs);
         bytes.extend_from_slice(&tail);
         prop_assert!(decode_batch(&bytes).is_err());
+    }
+
+    // ----- cluster frames (the ClusterTime protocol, types 5–14) -----
+
+    /// encode → decode is the identity for every representable cluster
+    /// frame, including delegated base messages.
+    #[test]
+    fn cluster_roundtrip(frame in arb_cluster_frame()) {
+        let bytes = encode_cluster(&frame);
+        prop_assert_eq!(decode_cluster(&bytes), Ok(frame));
+    }
+
+    /// Decoding arbitrary bytes as a cluster frame never panics; a
+    /// success re-encodes to the same bytes.
+    #[test]
+    fn cluster_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(frame) = decode_cluster(&bytes) {
+            prop_assert_eq!(encode_cluster(&frame), bytes);
+        }
+    }
+
+    /// Truncating a cluster frame anywhere is rejected *as a
+    /// truncation* at every byte boundary.
+    #[test]
+    fn cluster_truncation_detected(frame in arb_cluster_frame(), cut_seed in any::<usize>()) {
+        let bytes = encode_cluster(&frame);
+        let cut = cut_seed % bytes.len();
+        prop_assert_eq!(
+            decode_cluster(&bytes[..cut]),
+            Err(DecodeError::Truncated { len: cut })
+        );
+    }
+
+    /// Any single-byte corruption of a cluster frame is rejected (or at
+    /// the impossible limit decodes to the identical frame).
+    #[test]
+    fn cluster_single_byte_corruption_detected(
+        frame in arb_cluster_frame(),
+        idx_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_cluster(&frame);
+        let idx = idx_seed % bytes.len();
+        bytes[idx] ^= flip;
+        if let Ok(other) = decode_cluster(&bytes) {
+            prop_assert_eq!(other, frame, "corruption accepted as a different frame");
+        }
+    }
+
+    /// A cluster frame with trailing garbage is rejected: the declared
+    /// type fixes the length exactly.
+    #[test]
+    fn cluster_trailing_garbage_rejected(
+        frame in arb_cluster_frame(),
+        tail in prop::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let mut bytes = encode_cluster(&frame);
+        bytes.extend_from_slice(&tail);
+        prop_assert!(decode_cluster(&bytes).is_err());
+    }
+
+    /// Every corruption of the type byte errors or still round-trips;
+    /// no declared type may cause an out-of-bounds body read.
+    #[test]
+    fn cluster_arbitrary_type_byte_never_panics(
+        frame in arb_cluster_frame(),
+        kind in any::<u8>(),
+    ) {
+        let mut bytes = encode_cluster(&frame);
+        bytes[2] = kind;
+        if let Ok(decoded) = decode_cluster(&bytes) {
+            prop_assert_eq!(encode_cluster(&decoded), bytes);
+        }
     }
 }

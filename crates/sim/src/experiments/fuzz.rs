@@ -493,10 +493,38 @@ pub fn fuzz(seeds: Range<u64>, horizon: f64) -> Fuzz {
     }
 }
 
-/// The catalogue entry: a fixed smoke sweep (seeds 0..32, 60 s horizon).
+/// The E17 catalogue report: the time-service sweep and the cluster
+/// failover-schedule sweep, side by side.
+#[derive(Debug, Clone)]
+pub struct FuzzSmoke {
+    /// The time-service arm (this module).
+    pub time: Fuzz,
+    /// The cluster arm ([`super::fuzz_cluster`]).
+    pub cluster: super::fuzz_cluster::ClusterFuzz,
+}
+
+impl FuzzSmoke {
+    /// True when both arms came back clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.time.is_clean() && self.cluster.is_clean()
+    }
+}
+
+impl fmt::Display for FuzzSmoke {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.time, self.cluster)
+    }
+}
+
+/// The catalogue entry: a fixed smoke sweep — time-service seeds 0..32
+/// at a 60 s horizon, cluster seeds 0..16 at a 40 s horizon.
 #[must_use]
-pub fn fuzz_smoke() -> Fuzz {
-    fuzz(0..32, 60.0)
+pub fn fuzz_smoke() -> FuzzSmoke {
+    FuzzSmoke {
+        time: fuzz(0..32, 60.0),
+        cluster: super::fuzz_cluster::cluster_fuzz(0..16, 40.0),
+    }
 }
 
 #[cfg(test)]

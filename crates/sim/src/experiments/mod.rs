@@ -11,10 +11,12 @@ pub mod bounds;
 pub mod byzantine;
 pub mod chaos;
 pub mod churn;
+pub mod cluster;
 pub mod consonance;
 pub mod convergence;
 pub mod figures;
 pub mod fuzz;
+pub mod fuzz_cluster;
 pub mod growth;
 pub mod loss;
 pub mod recovery;
@@ -30,10 +32,15 @@ pub use bounds::{im_bounds, min_delay_ablation, mm_bounds, ImBounds, MmBounds};
 pub use byzantine::{byzantine, Byzantine, ByzantineRow};
 pub use chaos::{chaos, Chaos};
 pub use churn::{churn, churn_with, Churn};
+pub use cluster::{cluster, Cluster, ClusterRow};
 pub use consonance::{consonance, Consonance};
 pub use convergence::{convergence, Convergence};
 pub use figures::{figure1, figure2, figure3, figure4, Fig1, Fig2, Fig3, Fig4};
-pub use fuzz::{fuzz, fuzz_smoke, shrink, Fuzz, FuzzCase, FuzzFailure, FuzzServer};
+pub use fuzz::{fuzz, fuzz_smoke, shrink, Fuzz, FuzzCase, FuzzFailure, FuzzServer, FuzzSmoke};
+pub use fuzz_cluster::{
+    cluster_fuzz, shrink_cluster, ClusterCrash, ClusterFuzz, ClusterFuzzCase, ClusterFuzzFailure,
+    ClusterFuzzReplica, ClusterLie,
+};
 pub use growth::{ten_x, thm8_error_vs_n, TenX, Thm8};
 pub use loss::{loss_sweep, LossSweep};
 pub use recovery::{recovery, Recovery};

@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
+mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod plot;
@@ -38,9 +40,10 @@ pub mod report;
 pub mod scenario;
 pub mod sinks;
 
+pub use cluster::{ClientOutcome, ClusterRunResult, ClusterScenario, ReplicaOutcome, ReplicaSpec};
 pub use metrics::{RunResult, SampleRow};
 pub use scenario::{Scenario, ServerSpec};
-pub use sinks::{set_default_telemetry_out, JsonlSink, MetricsSink, OracleSink};
+pub use sinks::{set_default_telemetry_out, ClusterOracleSink, JsonlSink, MetricsSink, OracleSink};
 pub use tempo_oracle::{
     EnvelopeKind, EnvelopeParams, OracleConfig, OracleReport, TheoremId, Violation,
 };

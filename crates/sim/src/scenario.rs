@@ -6,9 +6,6 @@
 //! deterministically, returning a [`crate::metrics::RunResult`].
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-use std::io::BufWriter;
 use std::path::PathBuf;
 use std::rc::Rc;
 
@@ -20,15 +17,13 @@ use tempo_service::{
     ApplyMode, HealthConfig, RecoveryPolicy, RetryPolicy, ScreeningPolicy, ServerConfig,
     ServerFault, ServerStats, Strategy, TimeServer,
 };
-use tempo_telemetry::{Bus, Observer, SampleSnapshot, TelemetryEvent};
+use tempo_telemetry::{Bus, SampleSnapshot, TelemetryEvent};
 
+use crate::engine::{merge_events, RecordingSink, ShardRun};
 use crate::metrics::RunResult;
 use crate::sinks::{JsonlSink, MetricsSink, OracleSink};
 
-/// How many recent events the run's bus ring retains for post-mortem
-/// inspection; overflow is counted in
-/// [`RunResult::dropped_events`].
-const RING_CAPACITY: usize = 4096;
+pub(crate) use crate::engine::RING_CAPACITY;
 
 /// One server's hardware and claims.
 #[derive(Debug, Clone)]
@@ -416,22 +411,7 @@ impl Scenario {
     // appends (the experiments CLI truncates it once at startup and
     // then concatenates every run).
     fn jsonl_sink(&self) -> Option<Rc<RefCell<JsonlSink>>> {
-        let (path, append) = match &self.telemetry_out {
-            Some(path) => (path.clone(), false),
-            None => (crate::sinks::default_telemetry_out()?, true),
-        };
-        let file = if append {
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-        } else {
-            std::fs::File::create(&path)
-        }
-        .unwrap_or_else(|e| panic!("cannot open telemetry export {}: {e}", path.display()));
-        Some(Rc::new(RefCell::new(JsonlSink::new(Box::new(
-            BufWriter::new(file),
-        )))))
+        crate::sinks::open_jsonl(self.telemetry_out.as_ref())
     }
 
     /// Builds the world and runs it, sampling on the configured
@@ -601,12 +581,14 @@ impl Scenario {
 
     /// Runs one connected component as an independent sub-world and
     /// records its raw telemetry stream for the deterministic merge.
-    fn run_shard(&self, topology: &Topology, members: &[NodeId], samples_only: bool) -> ShardRun {
+    fn run_shard(
+        &self,
+        topology: &Topology,
+        members: &[NodeId],
+        samples_only: bool,
+    ) -> ShardRun<ServerStats> {
         let bus = Bus::new();
-        let recorder = Rc::new(RefCell::new(RecordingSink {
-            samples_only,
-            ..RecordingSink::default()
-        }));
+        let recorder = Rc::new(RefCell::new(RecordingSink::new(samples_only)));
         bus.subscribe(Rc::clone(&recorder));
 
         let mut servers: Vec<TimeServer> = members
@@ -667,7 +649,8 @@ impl Scenario {
         let threads = self.shards.min(components.len());
         let chunk = components.len().div_ceil(threads);
         let full_stream = self.wants_full_stream();
-        let mut runs: Vec<Option<ShardRun>> = components.iter().map(|_| None).collect();
+        let mut runs: Vec<Option<ShardRun<ServerStats>>> =
+            components.iter().map(|_| None).collect();
         std::thread::scope(|scope| {
             for (comps, outs) in components.chunks(chunk).zip(runs.chunks_mut(chunk)) {
                 scope.spawn(move || {
@@ -677,7 +660,7 @@ impl Scenario {
                 });
             }
         });
-        let mut shards: Vec<ShardRun> = runs
+        let mut shards: Vec<ShardRun<ServerStats>> = runs
             .into_iter()
             .map(|r| r.expect("every component ran"))
             .collect();
@@ -685,7 +668,7 @@ impl Scenario {
         let bus = Bus::with_ring(RING_CAPACITY);
         let sinks = self.attach_sinks(&bus);
         let dropped = if full_stream {
-            for event in Self::merge_events(n, components, &mut shards) {
+            for event in merge_events(n, components, &mut shards) {
                 bus.emit(event);
             }
             bus.dropped_events()
@@ -699,7 +682,7 @@ impl Scenario {
             let ticks = shards.first().map_or(0, |s| s.events.len()) as u64;
             let seen: u64 = shards.iter().map(|s| s.seen).sum();
             let total = seen - ticks * (shards.len() as u64 - 1);
-            for event in Self::merge_events(n, components, &mut shards) {
+            for event in merge_events(n, components, &mut shards) {
                 bus.emit(event);
             }
             total.saturating_sub(RING_CAPACITY as u64)
@@ -720,87 +703,6 @@ impl Scenario {
             .fold(Duration::ZERO, Duration::max);
         let xi_witness = max_delay * 2.0;
         sinks.harvest(dropped, xi_witness, net, final_stats)
-    }
-
-    /// K-way merges the per-shard streams into the exact emission
-    /// order of the combined single-threaded world: ascending time,
-    /// component rank breaking ties (the combined scheduler drains
-    /// same-time heads in rank order), with the per-tick [`Sample`]s
-    /// of every shard stitched into one deployment-wide snapshot that
-    /// sorts *after* same-instant events (`run_sampled` drains the
-    /// queue up to the tick before snapshotting).
-    ///
-    /// [`Sample`]: TelemetryEvent::Sample
-    fn merge_events(
-        n: usize,
-        components: &[Vec<NodeId>],
-        shards: &mut [ShardRun],
-    ) -> Vec<TelemetryEvent> {
-        let total: usize = shards.iter().map(|s| s.events.len()).sum();
-        let mut merged = Vec::with_capacity(total);
-        let key = |event: &TelemetryEvent, rank: usize| {
-            (
-                event.at(),
-                matches!(event, TelemetryEvent::Sample { .. }),
-                rank,
-            )
-        };
-        // One entry per non-empty shard: its head's key. A linear
-        // min-scan here is O(shards) per event, which at 500
-        // components dwarfs the simulation itself.
-        let mut heads: BinaryHeap<Reverse<(Timestamp, bool, usize)>> =
-            BinaryHeap::with_capacity(shards.len());
-        for (rank, shard) in shards.iter().enumerate() {
-            if let Some(event) = shard.events.front() {
-                heads.push(Reverse(key(event, rank)));
-            }
-        }
-        while let Some(Reverse((at, is_sample, rank))) = heads.pop() {
-            if !is_sample {
-                merged.push(shards[rank].events.pop_front().expect("head exists"));
-                if let Some(event) = shards[rank].events.front() {
-                    heads.push(Reverse(key(event, rank)));
-                }
-                continue;
-            }
-            // Every shard samples on the same schedule, so when the
-            // earliest head is a sample, *every* head is that tick's
-            // sample — the remaining heap entries all refer to it. Drop
-            // them, pop all the heads, re-index by global server id,
-            // and rebuild the heap from the new heads.
-            heads.clear();
-            let mut servers: Vec<Option<SampleSnapshot>> = vec![None; n];
-            for (members, shard) in components.iter().zip(shards.iter_mut()) {
-                let event = shard
-                    .events
-                    .pop_front()
-                    .expect("every shard samples every tick");
-                let TelemetryEvent::Sample {
-                    at: shard_at,
-                    servers: local,
-                } = event
-                else {
-                    panic!("expected a sample at the head of every shard stream");
-                };
-                assert_eq!(shard_at, at, "shards sample on the same schedule");
-                for (k, snapshot) in local.into_iter().enumerate() {
-                    servers[members[k].index()] = Some(snapshot);
-                }
-            }
-            for (rank, shard) in shards.iter().enumerate() {
-                if let Some(event) = shard.events.front() {
-                    heads.push(Reverse(key(event, rank)));
-                }
-            }
-            merged.push(TelemetryEvent::Sample {
-                at,
-                servers: servers
-                    .into_iter()
-                    .map(|s| s.expect("every server sampled"))
-                    .collect(),
-            });
-        }
-        merged
     }
 }
 
@@ -835,41 +737,6 @@ impl SinkSet {
             xi_witness,
         }
     }
-}
-
-/// Captures a shard's raw event stream for the deterministic merge.
-/// Wants every kind, mirroring the ring-armed bus of the
-/// single-threaded path (whose mask is all-ones), so both paths build
-/// the same events. In `samples_only` mode it still *counts* every
-/// event (the count feeds the ring-drop accounting) but stores just
-/// the [`TelemetryEvent::Sample`]s — k-way merging millions of events
-/// nobody consumes is the dominant cost of a large sharded run.
-#[derive(Debug, Default)]
-struct RecordingSink {
-    events: Vec<TelemetryEvent>,
-    samples_only: bool,
-    seen: u64,
-}
-
-impl Observer for RecordingSink {
-    fn observe(&mut self, event: &TelemetryEvent) {
-        self.seen += 1;
-        if !self.samples_only || matches!(event, TelemetryEvent::Sample { .. }) {
-            self.events.push(event.clone());
-        }
-    }
-}
-
-/// Everything a component sub-world produced, carried back across the
-/// thread boundary as plain data.
-struct ShardRun {
-    events: VecDeque<TelemetryEvent>,
-    /// Every event the shard's bus materialized, including ones not in
-    /// `events`.
-    seen: u64,
-    final_stats: Vec<ServerStats>,
-    net: NetStats,
-    max_observed_delay: Duration,
 }
 
 #[cfg(test)]

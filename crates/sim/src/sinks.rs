@@ -8,12 +8,15 @@
 //! Everything the run reports afterwards is reconstructed from the
 //! event stream — there is no side channel.
 
-use std::io::Write;
+use std::cell::RefCell;
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::Mutex;
 
 use tempo_core::Duration;
 use tempo_net::NetStats;
+use tempo_oracle::cluster::{ClusterOracle, ClusterReport, IssueObservation};
 use tempo_oracle::{Oracle, OracleReport, RehydrationObservation, RoundObservation, SampleState};
 use tempo_service::ServerSample;
 use tempo_telemetry::json::{event_line, JsonObject};
@@ -218,6 +221,97 @@ impl Observer for OracleSink {
     }
 }
 
+/// Feeds the ClusterTime oracle from the event stream: every
+/// [`TelemetryEvent::TsIssued`] becomes an [`IssueObservation`], every
+/// [`TelemetryEvent::ViewChange`] a failover observation.
+///
+/// ClusterTime's monotonicity invariant is *per cluster* — a world
+/// hosting several independent clusters (disjoint topology components)
+/// makes no cross-cluster promise — so the sink keeps one
+/// [`ClusterOracle`] per cluster and routes events by the issuing
+/// node's global index.
+#[derive(Debug)]
+pub struct ClusterOracleSink {
+    /// `node index → cluster index`. Nodes outside any cluster
+    /// (clients) never emit the routed events.
+    cluster_of: Vec<usize>,
+    oracles: Vec<Option<ClusterOracle>>,
+}
+
+impl ClusterOracleSink {
+    /// Wraps one armed oracle per cluster. `cluster_of[i]` names the
+    /// cluster node `i` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `cluster_of` names a missing oracle.
+    #[must_use]
+    pub fn new(oracles: Vec<ClusterOracle>, cluster_of: Vec<usize>) -> Self {
+        assert!(
+            cluster_of.iter().all(|&g| g < oracles.len()),
+            "cluster_of entries must index into the oracle list"
+        );
+        ClusterOracleSink {
+            cluster_of,
+            oracles: oracles.into_iter().map(Some).collect(),
+        }
+    }
+
+    fn oracle_for(&mut self, server: usize) -> Option<&mut ClusterOracle> {
+        let cluster = *self.cluster_of.get(server)?;
+        self.oracles[cluster].as_mut()
+    }
+
+    /// Closes every per-cluster oracle and returns the reports, in
+    /// cluster order. `None` if already finished.
+    pub fn finish(&mut self) -> Option<Vec<ClusterReport>> {
+        if self.oracles.iter().any(Option::is_none) {
+            return None;
+        }
+        Some(
+            self.oracles
+                .iter_mut()
+                .map(|slot| slot.take().expect("checked above").finish())
+                .collect(),
+        )
+    }
+}
+
+impl Observer for ClusterOracleSink {
+    fn enabled(&self, kind: EventKind) -> bool {
+        matches!(kind, EventKind::TsIssued | EventKind::ViewChange)
+    }
+
+    fn observe(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::TsIssued {
+                server,
+                view,
+                timestamp,
+                lo,
+                hi,
+                ..
+            } => {
+                if let Some(oracle) = self.oracle_for(server) {
+                    oracle.observe_issue(&IssueObservation {
+                        server,
+                        view,
+                        timestamp,
+                        lo,
+                        hi,
+                    });
+                }
+            }
+            TelemetryEvent::ViewChange { server, view, .. } => {
+                if let Some(oracle) = self.oracle_for(server) {
+                    oracle.observe_view_change(view);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Streams every event to a writer as one JSON object per line, in
 /// the schema documented in EXPERIMENTS.md and enforced by
 /// [`tempo_telemetry::json::validate_stream`].
@@ -313,6 +407,33 @@ impl Observer for JsonlSink {
         let line = event_line(event);
         self.write_line(&line);
     }
+}
+
+/// Opens the JSONL export sink a scenario asked for, if any: the
+/// scenario's own path truncates, the process-wide default appends
+/// (the experiments CLI truncates it once at startup and then
+/// concatenates every run).
+///
+/// # Panics
+///
+/// Panics when the export file cannot be opened.
+pub(crate) fn open_jsonl(telemetry_out: Option<&PathBuf>) -> Option<Rc<RefCell<JsonlSink>>> {
+    let (path, append) = match telemetry_out {
+        Some(path) => (path.clone(), false),
+        None => (default_telemetry_out()?, true),
+    };
+    let file = if append {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+    } else {
+        std::fs::File::create(&path)
+    }
+    .unwrap_or_else(|e| panic!("cannot open telemetry export {}: {e}", path.display()));
+    Some(Rc::new(RefCell::new(JsonlSink::new(Box::new(
+        BufWriter::new(file),
+    )))))
 }
 
 /// Process-wide default telemetry export path, consulted by

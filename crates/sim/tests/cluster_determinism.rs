@@ -1,0 +1,85 @@
+//! Single-threaded vs sharded determinism for ClusterTime
+//! deployments.
+//!
+//! ClusterTime traffic — lease renewals, high-water replication,
+//! client requests — is strictly intra-component, so a multi-cluster
+//! world must shard exactly like the plain time service: for any
+//! seed, the sharded run's JSONL telemetry export is byte-identical
+//! to the single-threaded run's, and every final counter matches.
+
+use std::path::PathBuf;
+
+use tempo_core::{Duration, Timestamp};
+use tempo_service::ServerFault;
+use tempo_sim::{ClusterScenario, ReplicaSpec};
+
+/// Three independent clusters of 3 replicas + 1 client; the first
+/// cluster's primary crash-restarts mid-run so the streams carry the
+/// full failover vocabulary (view changes, elections, refusals,
+/// rehydrations), not just the quiet lease cadence.
+fn deployment(seed: u64) -> ClusterScenario {
+    let honest = ReplicaSpec::honest(1e-5, 1e-4);
+    ClusterScenario::new()
+        .replica(honest.clone().server_fault(ServerFault::crash_restart(
+            Timestamp::from_secs(8.0),
+            Duration::from_secs(4.0),
+            false,
+        )))
+        .replicas(2, &honest)
+        .clusters(3)
+        .duration(Duration::from_secs(25.0))
+        .seed(seed)
+}
+
+fn run_pair(seed: u64, threads: usize) -> (Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let single_path: PathBuf = dir.join(format!("tempo-cluster-det-{pid}-{seed}-single.jsonl"));
+    let sharded_path: PathBuf = dir.join(format!("tempo-cluster-det-{pid}-{seed}-sharded.jsonl"));
+
+    let single = deployment(seed).telemetry_out(single_path.clone()).run();
+    let sharded = deployment(seed)
+        .telemetry_out(sharded_path.clone())
+        .sharded(threads)
+        .run();
+
+    assert_eq!(single.outcomes, sharded.outcomes, "seed {seed}");
+    assert_eq!(single.oracle, sharded.oracle, "seed {seed}");
+    assert_eq!(single.net, sharded.net, "seed {seed}");
+    assert_eq!(single.dropped_events, sharded.dropped_events, "seed {seed}");
+    assert!(single.oracle_clean(), "seed {seed}: {:?}", single.oracle);
+    assert!(single.client_issued() > 0, "seed {seed}: clients starved");
+    assert!(
+        single.elections_won() >= 1,
+        "seed {seed}: the crashed primary must fail over"
+    );
+
+    let single_bytes = std::fs::read(&single_path).expect("single export written");
+    let sharded_bytes = std::fs::read(&sharded_path).expect("sharded export written");
+    // On failure the exports are left behind for inspection.
+    if single_bytes == sharded_bytes {
+        let _ = std::fs::remove_file(&single_path);
+        let _ = std::fs::remove_file(&sharded_path);
+    }
+    (single_bytes, sharded_bytes)
+}
+
+#[test]
+fn cluster_jsonl_is_byte_identical_across_seeds() {
+    for seed in [3, 14, 62] {
+        for threads in [2, 3] {
+            let (single, sharded) = run_pair(seed, threads);
+            assert!(
+                single == sharded,
+                "seed {seed}, {threads} threads: telemetry streams diverge \
+                 ({} vs {} bytes)",
+                single.len(),
+                sharded.len(),
+            );
+            assert!(!single.is_empty());
+            let text = String::from_utf8(single).expect("utf-8 stream");
+            let events = tempo_telemetry::json::validate_stream(&text).expect("stream validates");
+            assert!(events > 0, "seed {seed}: stream carries events");
+        }
+    }
+}

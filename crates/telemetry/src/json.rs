@@ -371,6 +371,70 @@ pub fn event_line(event: &TelemetryEvent) -> String {
                 .int("len", *len as u64)
                 .str("cause", cause);
         }
+        TelemetryEvent::ViewChange {
+            at,
+            server,
+            view,
+            high_water,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("view", *view)
+                .int("high_water", *high_water);
+        }
+        TelemetryEvent::LeaseGranted {
+            at,
+            server,
+            view,
+            until,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("view", *view)
+                .num("until", until.as_secs());
+        }
+        TelemetryEvent::LeaseExpired { at, server, view } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("view", *view);
+        }
+        TelemetryEvent::TsIssued {
+            at,
+            server,
+            view,
+            timestamp,
+            lo,
+            hi,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("view", *view)
+                .int("timestamp", *timestamp)
+                .num("lo", lo.as_secs())
+                .num("hi", hi.as_secs());
+        }
+        TelemetryEvent::TsRefused {
+            at,
+            server,
+            view,
+            cause,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("view", *view)
+                .str("cause", cause.label());
+        }
+        TelemetryEvent::HwRehydrated {
+            at,
+            server,
+            view,
+            high_water,
+        } => {
+            o.num("t", at.as_secs())
+                .int("server", *server as u64)
+                .int("view", *view)
+                .int("high_water", *high_water);
+        }
     }
     o.finish()
 }
@@ -777,6 +841,37 @@ fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
             ("len", Field::Int),
             ("cause", Field::Str),
         ],
+        "view_change" | "hw_rehydrated" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("view", Field::Int),
+            ("high_water", Field::Int),
+        ],
+        "lease_granted" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("view", Field::Int),
+            ("until", Field::Num),
+        ],
+        "lease_expired" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("view", Field::Int),
+        ],
+        "ts_issued" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("view", Field::Int),
+            ("timestamp", Field::Int),
+            ("lo", Field::Num),
+            ("hi", Field::Num),
+        ],
+        "ts_refused" => &[
+            ("t", Field::Num),
+            ("server", Field::Int),
+            ("view", Field::Int),
+            ("cause", Field::Str),
+        ],
         "summary" => &[
             ("events", Field::Int),
             ("dropped", Field::Int),
@@ -792,8 +887,13 @@ fn schema_for(tag: &str) -> Option<&'static [(&'static str, Field)]> {
     })
 }
 
-const ENUM_FIELDS: [(&str, &str, &[&str]); 5] = [
+const ENUM_FIELDS: [(&str, &str, &[&str]); 6] = [
     ("drop", "cause", &["loss", "partition"]),
+    (
+        "ts_refused",
+        "cause",
+        &["no_lease", "no_quorum", "booting", "ahead"],
+    ),
     ("reject", "cause", &["inconsistent", "starved"]),
     ("health", "from", &["healthy", "suspect", "dead"]),
     ("health", "to", &["healthy", "suspect", "dead"]),
@@ -1041,6 +1141,43 @@ mod tests {
                 server: 0,
                 len: 7,
                 cause: "truncated",
+            },
+            TelemetryEvent::ViewChange {
+                at,
+                server: 2,
+                view: 7,
+                high_water: 12_500_000,
+            },
+            TelemetryEvent::LeaseGranted {
+                at,
+                server: 2,
+                view: 7,
+                until: Timestamp::from_secs(13.5),
+            },
+            TelemetryEvent::LeaseExpired {
+                at,
+                server: 2,
+                view: 7,
+            },
+            TelemetryEvent::TsIssued {
+                at,
+                server: 2,
+                view: 7,
+                timestamp: 12_500_001,
+                lo: Timestamp::from_secs(12.499),
+                hi: Timestamp::from_secs(12.507),
+            },
+            TelemetryEvent::TsRefused {
+                at,
+                server: 3,
+                view: 7,
+                cause: crate::RefusalCause::NoQuorum,
+            },
+            TelemetryEvent::HwRehydrated {
+                at,
+                server: 2,
+                view: 6,
+                high_water: 12_400_000,
             },
         ]
     }

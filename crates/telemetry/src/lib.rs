@@ -130,11 +130,32 @@ pub enum EventKind {
     /// protocol. Only real transports emit this — the simulator
     /// delivers typed messages and never produces one.
     MalformedFrame = 25,
+    /// A cluster-time replica adopted a new view (failover): either it
+    /// won an election by quorum ack, or it observed a higher view on
+    /// the wire.
+    ViewChange = 26,
+    /// A cluster-time primary acquired (or renewed) its serving lease
+    /// from a quorum of replica estimates.
+    LeaseGranted = 27,
+    /// A cluster-time primary's lease ran out before a renewal quorum
+    /// answered — it stops issuing timestamps.
+    LeaseExpired = 28,
+    /// A cluster-time primary released a monotonic timestamp to a
+    /// client, after the high-water mark was made durable and
+    /// replicated to a quorum.
+    TsIssued = 29,
+    /// A cluster-time replica refused a timestamp request rather than
+    /// risk a regression (no lease, no quorum, still booting, or the
+    /// high-water mark is ahead of the quorum intersection).
+    TsRefused = 30,
+    /// A restarted cluster-time replica rehydrated its durable
+    /// high-water mark from stable storage.
+    HwRehydrated = 31,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 26] = [
+    pub const ALL: [EventKind; 32] = [
         EventKind::MsgSend,
         EventKind::MsgRecv,
         EventKind::MsgDrop,
@@ -161,6 +182,12 @@ impl EventKind {
         EventKind::StateCorrupted,
         EventKind::Stabilized,
         EventKind::MalformedFrame,
+        EventKind::ViewChange,
+        EventKind::LeaseGranted,
+        EventKind::LeaseExpired,
+        EventKind::TsIssued,
+        EventKind::TsRefused,
+        EventKind::HwRehydrated,
     ];
 
     /// This kind's position in the bus bitmask.
@@ -199,6 +226,12 @@ impl EventKind {
             EventKind::StateCorrupted => "corrupt",
             EventKind::Stabilized => "stabilized",
             EventKind::MalformedFrame => "malformed",
+            EventKind::ViewChange => "view_change",
+            EventKind::LeaseGranted => "lease_granted",
+            EventKind::LeaseExpired => "lease_expired",
+            EventKind::TsIssued => "ts_issued",
+            EventKind::TsRefused => "ts_refused",
+            EventKind::HwRehydrated => "hw_rehydrated",
         }
     }
 }
@@ -239,6 +272,39 @@ impl RejectCause {
         match self {
             RejectCause::Inconsistent => "inconsistent",
             RejectCause::Starved => "starved",
+        }
+    }
+}
+
+/// Why a cluster-time replica refused a timestamp request, mirroring
+/// the cluster crate's refusal taxonomy without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalCause {
+    /// The replica holds no valid serving lease (it is a backup, was
+    /// deposed, or its lease expired before a renewal quorum arrived).
+    NoLease,
+    /// Not enough replicas acknowledged the high-water replication in
+    /// time — the request is refused rather than released unreplicated.
+    NoQuorum,
+    /// The replica (or its embedded time server) is still booting and
+    /// holds no trustworthy interval yet.
+    Booting,
+    /// The next monotonic timestamp would exceed the quorum
+    /// intersection's upper edge — issuing it would break the
+    /// boundedness invariant, so the primary waits for time to catch
+    /// up.
+    Ahead,
+}
+
+impl RefusalCause {
+    /// Stable JSONL tag.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RefusalCause::NoLease => "no_lease",
+            RefusalCause::NoQuorum => "no_quorum",
+            RefusalCause::Booting => "booting",
+            RefusalCause::Ahead => "ahead",
         }
     }
 }
@@ -601,6 +667,86 @@ pub enum TelemetryEvent {
         /// `"truncated"`, `"bad_checksum"`, `"bad_magic"`).
         cause: &'static str,
     },
+    /// A cluster-time replica adopted a new view. Emitted both by an
+    /// elected primary (quorum of acks gathered, high-water caught up
+    /// by quorum read) and by a replica that merely observed a higher
+    /// view on the wire.
+    ViewChange {
+        /// Real time of the adoption.
+        at: Timestamp,
+        /// The replica adopting the view.
+        server: usize,
+        /// The adopted view number.
+        view: u64,
+        /// The replica's high-water mark after the catch-up.
+        high_water: u64,
+    },
+    /// A cluster-time primary acquired or renewed its serving lease:
+    /// a quorum of replicas answered the renewal with their current
+    /// estimates and the Marzullo intersection of those estimates is
+    /// non-empty.
+    LeaseGranted {
+        /// Real time of the grant.
+        at: Timestamp,
+        /// The lease-holding primary.
+        server: usize,
+        /// The view the lease belongs to.
+        view: u64,
+        /// When the lease runs out (local-time deadline).
+        until: Timestamp,
+    },
+    /// A cluster-time primary's lease expired before a renewal quorum
+    /// answered. It refuses timestamp requests until re-leased.
+    LeaseExpired {
+        /// Real time of the expiry.
+        at: Timestamp,
+        /// The deposed (or starved) primary.
+        server: usize,
+        /// The view whose lease lapsed.
+        view: u64,
+    },
+    /// A cluster-time primary released a strictly monotonic timestamp:
+    /// the high-water mark was persisted and acknowledged by a quorum
+    /// *before* this event.
+    TsIssued {
+        /// Real time of the release.
+        at: Timestamp,
+        /// The issuing primary.
+        server: usize,
+        /// The view under which it was issued.
+        view: u64,
+        /// The issued timestamp (microsecond ticks).
+        timestamp: u64,
+        /// Lower edge of the issuing quorum's Marzullo intersection.
+        lo: Timestamp,
+        /// Upper edge of the issuing quorum's Marzullo intersection.
+        hi: Timestamp,
+    },
+    /// A cluster-time replica refused a timestamp request rather than
+    /// risk regression — the failover-safe alternative to guessing.
+    TsRefused {
+        /// Real time of the refusal.
+        at: Timestamp,
+        /// The refusing replica.
+        server: usize,
+        /// Its current view.
+        view: u64,
+        /// Why it refused.
+        cause: RefusalCause,
+    },
+    /// A restarted cluster-time replica reloaded its durable
+    /// high-water mark (and last view) from stable storage before
+    /// answering anything.
+    HwRehydrated {
+        /// Real time of the rehydration.
+        at: Timestamp,
+        /// The restarted replica.
+        server: usize,
+        /// The persisted view.
+        view: u64,
+        /// The persisted high-water mark.
+        high_water: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -634,6 +780,12 @@ impl TelemetryEvent {
             TelemetryEvent::StateCorrupted { .. } => EventKind::StateCorrupted,
             TelemetryEvent::Stabilized { .. } => EventKind::Stabilized,
             TelemetryEvent::MalformedFrame { .. } => EventKind::MalformedFrame,
+            TelemetryEvent::ViewChange { .. } => EventKind::ViewChange,
+            TelemetryEvent::LeaseGranted { .. } => EventKind::LeaseGranted,
+            TelemetryEvent::LeaseExpired { .. } => EventKind::LeaseExpired,
+            TelemetryEvent::TsIssued { .. } => EventKind::TsIssued,
+            TelemetryEvent::TsRefused { .. } => EventKind::TsRefused,
+            TelemetryEvent::HwRehydrated { .. } => EventKind::HwRehydrated,
         }
     }
 
@@ -666,7 +818,13 @@ impl TelemetryEvent {
             | TelemetryEvent::BootstrapCompleted { at, .. }
             | TelemetryEvent::StateCorrupted { at, .. }
             | TelemetryEvent::Stabilized { at, .. }
-            | TelemetryEvent::MalformedFrame { at, .. } => *at,
+            | TelemetryEvent::MalformedFrame { at, .. }
+            | TelemetryEvent::ViewChange { at, .. }
+            | TelemetryEvent::LeaseGranted { at, .. }
+            | TelemetryEvent::LeaseExpired { at, .. }
+            | TelemetryEvent::TsIssued { at, .. }
+            | TelemetryEvent::TsRefused { at, .. }
+            | TelemetryEvent::HwRehydrated { at, .. } => *at,
         }
     }
 }

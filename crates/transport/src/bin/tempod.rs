@@ -26,7 +26,9 @@ use std::process::ExitCode;
 use std::rc::Rc;
 
 use tempo_clocks::{DriftModel, SimClock};
+use tempo_cluster::{ClusterConfig, ClusterReplica};
 use tempo_core::{DriftRate, Duration, Timestamp};
+use tempo_net::NodeId;
 use tempo_service::{MemoryStore, RetryPolicy, ServerConfig, StableStore, Strategy, TimeServer};
 use tempo_telemetry::json::event_line;
 use tempo_telemetry::{Bus, EventKind, Observer, TelemetryEvent};
@@ -67,6 +69,20 @@ OPTIONS:
     --telemetry-out P   write telemetry JSONL to P
     --duration SECS     exit (gracefully) after SECS; omit to run until signalled
     --report            print a final sample line to stdout on exit
+
+CLUSTER MODE (lease-gated monotonic cluster timestamps):
+    --cluster           run as one ClusterTime replica: the node above
+                        becomes the embedded resync server, and the
+                        process additionally speaks the lease/election/
+                        timestamp protocol. --state then persists the
+                        cluster record (view, high-water) — the durable
+                        promise behind strict monotonicity — while the
+                        embedded server rebuilds its estimate from peers.
+    --lease SECS        lease duration                        [0.4]
+    --renew SECS        primary renewal period                [0.1]
+    --election SECS     election timeout on renewal silence   [0.3]
+    --request-timeout S per-issue replication timeout         [0.5]
+    --max-faulty F      fault budget f (sizes the quorum)     [0]
 
 SERVING FRONT (the lock-free read path):
     --serve ADDR        also bind ADDR and answer time requests from the
@@ -109,6 +125,12 @@ struct Options {
     serve: Option<SocketAddr>,
     serve_threads: usize,
     serve_admit: Option<(f64, f64)>,
+    cluster: bool,
+    lease: f64,
+    renew: f64,
+    election: f64,
+    request_timeout: f64,
+    max_faulty: usize,
     bench_serve: bool,
     bench: BenchOptions,
     bench_out: String,
@@ -141,6 +163,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         serve: None,
         serve_threads: 1,
         serve_admit: None,
+        cluster: false,
+        lease: 0.4,
+        renew: 0.1,
+        election: 0.3,
+        request_timeout: 0.5,
+        max_faulty: 0,
         bench_serve: false,
         bench: BenchOptions::default(),
         bench_out: "BENCH_8.json".to_string(),
@@ -153,6 +181,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         if flag == "--bench-serve" {
             opts.bench_serve = true;
+            continue;
+        }
+        if flag == "--cluster" {
+            opts.cluster = true;
             continue;
         }
         let mut value = || {
@@ -179,6 +211,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--fault-seed" => opts.fault_seed = parse(&value()?, "--fault-seed")?,
             "--telemetry-out" => opts.telemetry_out = Some(value()?),
             "--duration" => opts.duration = Some(parse(&value()?, "--duration")?),
+            "--lease" => opts.lease = parse(&value()?, "--lease")?,
+            "--renew" => opts.renew = parse(&value()?, "--renew")?,
+            "--election" => opts.election = parse(&value()?, "--election")?,
+            "--request-timeout" => {
+                opts.request_timeout = parse(&value()?, "--request-timeout")?;
+            }
+            "--max-faulty" => opts.max_faulty = parse(&value()?, "--max-faulty")?,
             "--serve" => opts.serve = Some(parse_addr(&value()?)?),
             "--serve-threads" => opts.serve_threads = parse(&value()?, "--serve-threads")?,
             "--serve-admit" => opts.serve_admit = Some(parse_admit(&value()?)?),
@@ -222,6 +261,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--listen {} does not match peer[{}] = {}",
             opts.listen, opts.id, opts.peers[opts.id]
         ));
+    }
+    if opts.cluster {
+        let n = opts.peers.len();
+        let quorum = (n + opts.max_faulty) / 2 + 1;
+        if n - opts.max_faulty < quorum {
+            return Err(format!(
+                "--max-faulty {}: quorum {quorum} unreachable with {n} replicas",
+                opts.max_faulty
+            ));
+        }
+        for (flag, value) in [
+            ("--lease", opts.lease),
+            ("--renew", opts.renew),
+            ("--election", opts.election),
+            ("--request-timeout", opts.request_timeout),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{flag} must be positive, got {value}"));
+            }
+        }
     }
     Ok(opts)
 }
@@ -284,15 +343,13 @@ impl Drop for JsonlSink {
     }
 }
 
-fn run(opts: Options) -> Result<(), String> {
-    if opts.bench_serve {
-        return run_bench(&opts);
-    }
-    // With an epoch, the OS wall clock plays the hardware clock: it
-    // keeps running while the process is dead, so a relaunch against
-    // the same --state rehydrates into a *continued* clock and the
-    // MM-1 error grows across the downtime instead of resetting.
-    let boot_value = match opts.epoch_unix {
+/// The simulated clock's boot value. With an epoch, the OS wall clock
+/// plays the hardware clock: it keeps running while the process is
+/// dead, so a relaunch against the same `--state` rehydrates into a
+/// *continued* clock and the MM-1 error grows across the downtime
+/// instead of resetting.
+fn boot_value(opts: &Options) -> Result<f64, String> {
+    Ok(match opts.epoch_unix {
         Some(epoch) => {
             let wall = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
@@ -301,9 +358,13 @@ fn run(opts: Options) -> Result<(), String> {
             wall - epoch + opts.offset
         }
         None => opts.offset,
-    };
+    })
+}
+
+/// The embedded resync server, configured from the base flags.
+fn build_server(opts: &Options, store: Box<dyn StableStore>) -> Result<TimeServer, String> {
     let clock = SimClock::builder()
-        .initial_value(Timestamp::from_secs(boot_value))
+        .initial_value(Timestamp::from_secs(boot_value(opts)?))
         .drift(DriftModel::Constant(opts.drift))
         .seed(opts.seed)
         .build();
@@ -313,17 +374,34 @@ fn run(opts: Options) -> Result<(), String> {
         .initial_error(Duration::from_secs(opts.initial_error))
         .retry(RetryPolicy::backoff_defaults())
         .quorum(opts.quorum);
+    Ok(TimeServer::with_store(clock, config, store))
+}
+
+fn telemetry_bus(opts: &Options) -> Result<Option<Bus>, String> {
+    let Some(path) = &opts.telemetry_out else {
+        return Ok(None);
+    };
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let bus = Bus::new();
+    bus.subscribe(Rc::new(RefCell::new(JsonlSink {
+        out: BufWriter::new(file),
+    })));
+    Ok(Some(bus))
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    if opts.bench_serve {
+        return run_bench(&opts);
+    }
+    if opts.cluster {
+        return run_cluster(&opts);
+    }
     let store: Box<dyn StableStore> = match &opts.state {
         Some(path) => Box::new(FileStore::open(path).map_err(|e| e.to_string())?),
         None => Box::new(MemoryStore::new()),
     };
-    let mut server = TimeServer::with_store(clock, config, store);
-    if let Some(path) = &opts.telemetry_out {
-        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-        let bus = Bus::new();
-        bus.subscribe(Rc::new(RefCell::new(JsonlSink {
-            out: BufWriter::new(file),
-        })));
+    let mut server = build_server(&opts, store)?;
+    if let Some(bus) = telemetry_bus(&opts)? {
         server.attach_bus(bus);
     }
     let socket = UdpSocket::bind(opts.listen).map_err(|e| e.to_string())?;
@@ -356,6 +434,74 @@ fn run(opts: Options) -> Result<(), String> {
             rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
             stop_front(front);
             report(&opts, &mut rt);
+        }
+    }
+    Ok(())
+}
+
+/// `--cluster`: run one ClusterTime replica over the same socket. The
+/// embedded resync server always uses an in-memory store here — the
+/// durable promise of cluster mode is the *cluster record* (view,
+/// high-water mark), which `--state` persists via the replica, and two
+/// `FileStore` handles on one path would clobber each other. The
+/// embedded estimate rebuilds from peers after a restart; until it
+/// does, the replica refuses timestamp requests with `booting`.
+fn run_cluster(opts: &Options) -> Result<(), String> {
+    let server = build_server(opts, Box::new(MemoryStore::new()))?;
+    let cluster_store: Box<dyn StableStore> = match &opts.state {
+        Some(path) => Box::new(FileStore::open(path).map_err(|e| e.to_string())?),
+        None => Box::new(MemoryStore::new()),
+    };
+    let replicas: Vec<NodeId> = (0..opts.peers.len()).map(NodeId::new).collect();
+    let config = ClusterConfig::new(replicas, opts.id)
+        .max_faulty(opts.max_faulty)
+        .lease_duration(Duration::from_secs(opts.lease))
+        .renew_period(Duration::from_secs(opts.renew))
+        .election_timeout(Duration::from_secs(opts.election))
+        .request_timeout(Duration::from_secs(opts.request_timeout));
+    let mut replica = ClusterReplica::new(server, config, cluster_store);
+    if let Some(bus) = telemetry_bus(opts)? {
+        replica.attach_bus(bus);
+    }
+    let socket = UdpSocket::bind(opts.listen).map_err(|e| e.to_string())?;
+    signal::install();
+    eprintln!(
+        "tempod: cluster replica {} on {} ({} peers, f={}{})",
+        opts.id,
+        opts.listen,
+        opts.peers.len() - 1,
+        opts.max_faulty,
+        match &opts.fault {
+            Some(plan) => format!(", faults {plan:?}"),
+            None => String::new(),
+        }
+    );
+    let deadline = opts.duration.map(Duration::from_secs);
+    match opts.fault.filter(FaultPlan::is_active) {
+        Some(plan) => {
+            let faulty = FaultyTransport::new(socket, plan, opts.fault_seed);
+            let mut rt: UdpRuntime<_, ClusterReplica> =
+                UdpRuntime::new(replica, faulty, opts.id, opts.peers.clone(), opts.seed);
+            let front = spawn_front(
+                opts,
+                rt.server().server().snapshot_reader(),
+                rt.clock_epoch(),
+            )?;
+            rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
+            stop_front(front);
+            cluster_report(opts, &mut rt);
+        }
+        None => {
+            let mut rt: UdpRuntime<_, ClusterReplica> =
+                UdpRuntime::new(replica, socket, opts.id, opts.peers.clone(), opts.seed);
+            let front = spawn_front(
+                opts,
+                rt.server().server().snapshot_reader(),
+                rt.clock_epoch(),
+            )?;
+            rt.run(|rt| deadline.is_some_and(|d| rt.elapsed() >= Timestamp::ZERO + d));
+            stop_front(front);
+            cluster_report(opts, &mut rt);
         }
     }
     Ok(())
@@ -428,6 +574,29 @@ fn run_bench(opts: &Options) -> Result<(), String> {
     std::fs::write(&opts.bench_out, &json).map_err(|e| e.to_string())?;
     eprintln!("tempod: wrote {}", opts.bench_out);
     Ok(())
+}
+
+fn cluster_report<S: tempo_transport::DatagramSocket>(
+    opts: &Options,
+    rt: &mut UdpRuntime<S, ClusterReplica>,
+) {
+    if !opts.report {
+        return;
+    }
+    let replica = rt.server();
+    let stats = replica.stats();
+    println!(
+        "{{\"node\":{},\"view\":{},\"primary\":{},\"high_water\":{},\"issued\":{},\"refused\":{},\"redirects\":{},\"elections_won\":{},\"rehydrations\":{}}}",
+        opts.id,
+        replica.view(),
+        replica.is_serving_primary(),
+        replica.high_water(),
+        stats.issued,
+        stats.refused(),
+        stats.redirects,
+        stats.elections_won,
+        stats.rehydrations,
+    );
 }
 
 fn report<S: tempo_transport::DatagramSocket>(opts: &Options, rt: &mut UdpRuntime<S>) {

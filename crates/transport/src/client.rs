@@ -7,9 +7,11 @@ use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration as StdDuration, Instant};
 
+use tempo_cluster::ClusterMsg;
 use tempo_core::{Duration, TimeEstimate};
-use tempo_service::wire::{decode, encode};
+use tempo_service::wire::{decode, decode_cluster, encode, encode_cluster};
 use tempo_service::Message;
+use tempo_telemetry::RefusalCause;
 
 /// One server's answer to a query round.
 #[derive(Debug, Clone, Copy)]
@@ -168,6 +170,189 @@ impl UdpTimeClient {
     #[must_use]
     pub fn servers(&self) -> &[SocketAddr] {
         &self.servers
+    }
+}
+
+/// The outcome of one cluster-timestamp request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsOutcome {
+    /// A timestamp was issued (released after quorum replication).
+    Issued {
+        /// The strictly monotonic cluster timestamp, µs ticks.
+        timestamp: u64,
+        /// The view it was issued under.
+        view: u64,
+    },
+    /// Every attempt was answered with a refusal — the cluster is
+    /// degraded (no lease, no quorum, booting) and said so rather
+    /// than risk a regression.
+    Refused {
+        /// The refusing replica's view on the last attempt.
+        view: u64,
+        /// The last refusal's cause.
+        cause: RefusalCause,
+    },
+    /// Nobody answered within the attempt budget.
+    TimedOut,
+}
+
+impl TsOutcome {
+    /// The issued timestamp, if one was.
+    #[must_use]
+    pub fn timestamp(&self) -> Option<u64> {
+        match self {
+            TsOutcome::Issued { timestamp, .. } => Some(*timestamp),
+            _ => None,
+        }
+    }
+}
+
+/// What one attempt at one replica produced.
+enum Attempt {
+    Reply(TsOutcome),
+    Redirect(usize),
+    Refusal(u64, RefusalCause),
+    Silence,
+}
+
+/// A blocking client for the cluster-time service: requests monotonic
+/// timestamps from the believed primary, following redirects and
+/// rotating through the replica set on silence — the real-socket twin
+/// of the simulator's `AuditClient`.
+#[derive(Debug)]
+pub struct UdpClusterClient {
+    socket: UdpSocket,
+    replicas: Vec<SocketAddr>,
+    believed_primary: usize,
+    next_request_id: u64,
+    timeout: StdDuration,
+}
+
+impl UdpClusterClient {
+    /// Binds an ephemeral local socket aimed at `replicas` (indexed in
+    /// node-id order, so redirects can name their target). `timeout`
+    /// bounds each attempt, not the whole request.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the local socket cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<SocketAddr>, timeout: StdDuration) -> io::Result<Self> {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        Ok(UdpClusterClient {
+            socket,
+            replicas,
+            believed_primary: 0,
+            next_request_id: 1,
+            timeout,
+        })
+    }
+
+    /// Requests one cluster timestamp: send to the believed primary,
+    /// follow redirects, rotate on silence, and return the first
+    /// reply — or the last refusal once the attempt budget (three
+    /// laps of the replica set) runs out.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on local socket errors; unreachable or refusing
+    /// replicas are reported through [`TsOutcome`].
+    pub fn request(&mut self) -> io::Result<TsOutcome> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let mut last_refusal = None;
+        let budget = self.replicas.len() * 3;
+        for attempt in 0..budget {
+            let target = self.replicas[self.believed_primary];
+            match self.one_attempt(request_id, attempt, target)? {
+                Attempt::Reply(outcome) => return Ok(outcome),
+                Attempt::Redirect(primary) => {
+                    self.believed_primary = primary % self.replicas.len();
+                }
+                Attempt::Refusal(view, cause) => {
+                    last_refusal = Some((view, cause));
+                    // A refusal is authoritative for this replica right
+                    // now; a lease or quorum may be moments away.
+                    std::thread::sleep(self.timeout / 4);
+                }
+                Attempt::Silence => {
+                    self.believed_primary = (self.believed_primary + 1) % self.replicas.len();
+                }
+            }
+        }
+        Ok(match last_refusal {
+            Some((view, cause)) => TsOutcome::Refused { view, cause },
+            None => TsOutcome::TimedOut,
+        })
+    }
+
+    fn one_attempt(
+        &mut self,
+        request_id: u64,
+        attempt: usize,
+        target: SocketAddr,
+    ) -> io::Result<Attempt> {
+        let msg = ClusterMsg::TsRequest {
+            request_id,
+            attempt: attempt.min(u8::MAX as usize) as u8,
+        };
+        self.socket
+            .send_to(&encode_cluster(&msg.to_frame()), target)?;
+        let deadline = Instant::now() + self.timeout;
+        let mut buf = [0u8; 512];
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Attempt::Silence);
+            }
+            self.socket.set_read_timeout(Some(deadline - now))?;
+            let (len, _) = match self.socket.recv_from(&mut buf) {
+                Ok(hit) => hit,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Attempt::Silence);
+                }
+                Err(e) => return Err(e),
+            };
+            let Ok(frame) = decode_cluster(&buf[..len]) else {
+                continue;
+            };
+            match ClusterMsg::from_frame(frame) {
+                ClusterMsg::TsReply {
+                    request_id: id,
+                    view,
+                    timestamp,
+                } if id == request_id => {
+                    self.believed_primary = (view as usize) % self.replicas.len();
+                    return Ok(Attempt::Reply(TsOutcome::Issued { timestamp, view }));
+                }
+                ClusterMsg::TsRedirect {
+                    request_id: id,
+                    primary,
+                    ..
+                } if id == request_id => return Ok(Attempt::Redirect(primary)),
+                ClusterMsg::TsRefused {
+                    request_id: id,
+                    view,
+                    cause,
+                } if id == request_id => return Ok(Attempt::Refusal(view, cause)),
+                // Stale replies to earlier requests, base-protocol
+                // traffic, anything else: ignore and keep waiting.
+                _ => {}
+            }
+        }
+    }
+
+    /// The replica this client currently believes is primary.
+    #[must_use]
+    pub fn believed_primary(&self) -> usize {
+        self.believed_primary
     }
 }
 

@@ -18,8 +18,10 @@
 //! * [`FaultyTransport`] — a socket decorator that injects loss,
 //!   duplication, delay/reordering, truncation, and garbage *below*
 //!   the codec, on real datagrams — the robustness hammer.
-//! * [`UdpRuntime`] — owns a `TimeServer`, a socket, the peer table,
-//!   and a wall-clock timer wheel; pumps receive/decode/dispatch.
+//! * [`UdpRuntime`] — owns a [`WireActor`] (a `TimeServer`, or a
+//!   [`tempo_cluster::ClusterReplica`] for `tempod --cluster`), a
+//!   socket, the peer table, and a wall-clock timer wheel; pumps
+//!   receive/decode/dispatch.
 //! * [`ServeFront`] — the lock-free read path: N threads on a shared
 //!   serve socket answering time requests straight from the actor's
 //!   seqlock-published snapshot, with batched replies and an optional
@@ -45,9 +47,9 @@ pub mod signal;
 mod socket;
 mod store;
 
-pub use client::{ClusterReading, ServerReading, UdpTimeClient};
+pub use client::{ClusterReading, ServerReading, TsOutcome, UdpClusterClient, UdpTimeClient};
 pub use fault::{FaultPlan, FaultyTransport};
-pub use runtime::UdpRuntime;
+pub use runtime::{UdpRuntime, WireActor};
 pub use serve::{ServeFront, ServeOptions, ServeStats};
 pub use socket::DatagramSocket;
 pub use store::FileStore;

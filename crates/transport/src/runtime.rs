@@ -19,15 +19,93 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 
+use tempo_cluster::{ClusterMsg, ClusterReplica};
 use tempo_core::{Duration, Timestamp};
 use tempo_net::{node_rng, Actor, Context, EventQueue, NodeId, Transport};
-use tempo_service::wire::{decode, encode};
+use tempo_service::wire::{decode, decode_cluster, encode, encode_cluster, DecodeError};
 use tempo_service::{Message, TimeServer};
 
 use crate::signal;
 use crate::socket::DatagramSocket;
 
-/// Drives a [`TimeServer`] over a real datagram socket.
+/// What the runtime needs beyond [`Actor`] to drive a protocol state
+/// machine over a real datagram socket: a wire codec for its message
+/// space, malformed-frame accounting, and a durable flush for the
+/// graceful-stop path.
+pub trait WireActor: Actor {
+    /// Encodes one message into a datagram.
+    fn encode_msg(msg: &Self::Msg) -> Vec<u8>;
+
+    /// Decodes one datagram into a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec error for frames that fail validation; the
+    /// runtime counts them via [`WireActor::note_malformed`] and never
+    /// hands them to the protocol.
+    fn decode_msg(bytes: &[u8]) -> Result<Self::Msg, DecodeError>;
+
+    /// Notes a datagram that failed the codec.
+    fn note_malformed(&mut self, now: Timestamp, len: usize, err: DecodeError);
+
+    /// Flushes durable state on graceful shutdown.
+    fn flush(&mut self);
+
+    /// Whether this actor replies to clients *after* the callback that
+    /// received their request has returned. If true, every minted
+    /// transient id stays in the neighbour set of every callback so a
+    /// deferred reply can route — the cluster primary answers a
+    /// timestamp request only once a quorum acks the high-water mark.
+    fn replies_later() -> bool {
+        false
+    }
+}
+
+impl WireActor for TimeServer {
+    fn encode_msg(msg: &Message) -> Vec<u8> {
+        encode(msg)
+    }
+
+    fn decode_msg(bytes: &[u8]) -> Result<Message, DecodeError> {
+        decode(bytes)
+    }
+
+    fn note_malformed(&mut self, now: Timestamp, len: usize, err: DecodeError) {
+        self.note_malformed_frame(now, len, err);
+    }
+
+    fn flush(&mut self) {
+        self.flush_store();
+    }
+}
+
+impl WireActor for ClusterReplica {
+    fn encode_msg(msg: &ClusterMsg) -> Vec<u8> {
+        encode_cluster(&msg.to_frame())
+    }
+
+    fn decode_msg(bytes: &[u8]) -> Result<ClusterMsg, DecodeError> {
+        decode_cluster(bytes).map(ClusterMsg::from_frame)
+    }
+
+    fn note_malformed(&mut self, now: Timestamp, len: usize, err: DecodeError) {
+        self.server_mut().note_malformed_frame(now, len, err);
+    }
+
+    fn flush(&mut self) {
+        // The cluster record is persisted before every release; only
+        // the embedded server's soft state waits for a flush.
+        self.server_mut().flush_store();
+    }
+
+    fn replies_later() -> bool {
+        true
+    }
+}
+
+/// Drives a [`WireActor`] — a [`TimeServer`] by default, or a
+/// [`ClusterReplica`] in `tempod --cluster` — over a real datagram
+/// socket.
 ///
 /// The runtime is single-threaded by design — the actor model already
 /// serialises the protocol, so the loop is: fire due timers, block on
@@ -35,8 +113,8 @@ use crate::socket::DatagramSocket;
 /// datagram, repeat. Peers occupy [`NodeId`]s `0..cluster_size`;
 /// client addresses get transient ids above that range so replies can
 /// route back without the protocol knowing about "clients" at all.
-pub struct UdpRuntime<S: DatagramSocket> {
-    server: TimeServer,
+pub struct UdpRuntime<S: DatagramSocket, A: WireActor = TimeServer> {
+    server: A,
     socket: S,
     me: NodeId,
     /// Cluster peer addresses, indexed by `NodeId::index`. The entry
@@ -52,7 +130,7 @@ pub struct UdpRuntime<S: DatagramSocket> {
     recv_buf: [u8; 512],
 }
 
-impl<S: DatagramSocket> std::fmt::Debug for UdpRuntime<S> {
+impl<S: DatagramSocket, A: WireActor> std::fmt::Debug for UdpRuntime<S, A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("UdpRuntime")
             .field("me", &self.me)
@@ -63,7 +141,7 @@ impl<S: DatagramSocket> std::fmt::Debug for UdpRuntime<S> {
     }
 }
 
-impl<S: DatagramSocket> UdpRuntime<S> {
+impl<S: DatagramSocket, A: WireActor> UdpRuntime<S, A> {
     /// Builds a runtime for node `me` of a cluster whose members live
     /// at `peers` (indexed by node id, including `me`'s own address).
     /// `seed` derives the per-node protocol RNG exactly as the
@@ -72,13 +150,7 @@ impl<S: DatagramSocket> UdpRuntime<S> {
     /// # Panics
     ///
     /// Panics if `me` is outside `peers`.
-    pub fn new(
-        server: TimeServer,
-        socket: S,
-        me: usize,
-        peers: Vec<SocketAddr>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(server: A, socket: S, me: usize, peers: Vec<SocketAddr>, seed: u64) -> Self {
         assert!(
             me < peers.len(),
             "node {me} outside cluster of {}",
@@ -103,14 +175,14 @@ impl<S: DatagramSocket> UdpRuntime<S> {
         }
     }
 
-    /// The driven server (counters, samples, lifecycle).
+    /// The driven actor (counters, samples, lifecycle).
     #[must_use]
-    pub fn server(&self) -> &TimeServer {
+    pub fn server(&self) -> &A {
         &self.server
     }
 
-    /// Mutable access to the driven server.
-    pub fn server_mut(&mut self) -> &mut TimeServer {
+    /// Mutable access to the driven actor.
+    pub fn server_mut(&mut self) -> &mut A {
         &mut self.server
     }
 
@@ -153,9 +225,16 @@ impl<S: DatagramSocket> UdpRuntime<S> {
     /// Neighbour set for a callback: every *other* cluster member,
     /// plus (for message callbacks) the sender — so replies to
     /// transient clients pass `Context::send`'s neighbour check while
-    /// timer-driven polls only ever target real peers.
+    /// timer-driven polls only ever target real peers. Actors that
+    /// reply out of band ([`WireActor::replies_later`]) keep every
+    /// known transient in scope instead.
     fn neighbor_ids(&self, include: Option<NodeId>) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = (0..self.peers.len())
+        let span = if A::replies_later() {
+            self.peers.len() + self.transients.len()
+        } else {
+            self.peers.len()
+        };
+        let mut ids: Vec<NodeId> = (0..span)
             .map(NodeId::new)
             .filter(|&n| n != self.me)
             .collect();
@@ -210,7 +289,7 @@ impl<S: DatagramSocket> UdpRuntime<S> {
     /// The graceful-stop half of [`UdpRuntime::run`], public so
     /// embedders with their own loop can reuse it.
     pub fn shutdown(&mut self) {
-        self.server.flush_store();
+        self.server.flush();
     }
 
     fn next_deadline(&mut self) -> Option<Timestamp> {
@@ -256,7 +335,7 @@ impl<S: DatagramSocket> UdpRuntime<S> {
             }
         };
         let now = self.elapsed();
-        match decode(&self.recv_buf[..len]) {
+        match A::decode_msg(&self.recv_buf[..len]) {
             Ok(msg) => {
                 let from = self.node_for(from_addr);
                 let neighbors = self.neighbor_ids(Some(from));
@@ -265,7 +344,7 @@ impl<S: DatagramSocket> UdpRuntime<S> {
                 let actions = ctx.take_actions();
                 self.apply(self.me, actions);
             }
-            Err(e) => self.server.note_malformed_frame(now, len, e),
+            Err(e) => self.server.note_malformed(now, len, e),
         }
         true
     }
@@ -280,17 +359,17 @@ impl<S: DatagramSocket> UdpRuntime<S> {
     }
 }
 
-impl<S: DatagramSocket> Transport<Message> for UdpRuntime<S> {
+impl<S: DatagramSocket, A: WireActor> Transport<A::Msg> for UdpRuntime<S, A> {
     fn now(&self) -> Timestamp {
         self.elapsed()
     }
 
-    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+    fn send(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
         debug_assert_eq!(from, self.me, "UdpRuntime hosts exactly one actor");
         let Some(addr) = self.addr_of(to) else {
             return;
         };
-        let frame = encode(&msg);
+        let frame = A::encode_msg(&msg);
         if let Err(e) = self.socket.send_to(&frame, addr) {
             // Unreliable delivery is part of the model; a failed send
             // is a lost message, not a crash.

@@ -6,28 +6,41 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use tempo_core::{Duration, Timestamp};
-use tempo_service::{PersistedState, StableStore};
+use tempo_service::{ClusterState, PersistedState, StableStore};
 
 /// A [`StableStore`] persisting to a single file.
 ///
 /// Writes are atomic in the crash sense: the state is written to a
 /// sibling temporary file, fsynced, then renamed over the target, so
 /// a crash at any instant leaves either the old record or the new one
-/// — never a torn write. The format is a single line of three
-/// hex-encoded IEEE-754 bit patterns (`reset_clock inherited_error
-/// reset_at`, all in seconds), which round-trips the `f64`-backed
-/// [`Timestamp`]/[`Duration`] exactly.
+/// — never a torn write. A stale `.tmp` left by a crash *between* the
+/// fsync and the rename is ignored and cleaned up on the next open:
+/// only the renamed target is ever trusted.
+///
+/// The format is a single line of six hex fields:
+/// `reset_clock inherited_error reset_at view high_water flags`. The
+/// first three are IEEE-754 bit patterns (seconds) round-tripping the
+/// `f64`-backed [`Timestamp`]/[`Duration`] exactly; `view` and
+/// `high_water` are the cluster record's integers; `flags` bit 0 says
+/// the base triple is present, bit 1 the cluster pair. Legacy
+/// three-field files (pre-cluster) parse as a base-only record.
 #[derive(Debug)]
 pub struct FileStore {
     path: PathBuf,
     /// Last state written or loaded, so `load` needs no re-read and
     /// `flush` can re-persist after a wipe-less shutdown.
     cached: Option<PersistedState>,
+    /// Last cluster record written or loaded.
+    cached_cluster: Option<ClusterState>,
 }
+
+const FLAG_BASE: u64 = 1;
+const FLAG_CLUSTER: u64 = 2;
 
 impl FileStore {
     /// Opens (or prepares to create) the store at `path`, reading any
-    /// surviving record — the durable-restart path.
+    /// surviving record — the durable-restart path. A stale sibling
+    /// `.tmp` (a crash mid-persist) is removed without being read.
     ///
     /// # Errors
     ///
@@ -35,21 +48,34 @@ impl FileStore {
     /// missing file is simply an empty store.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let cached = match File::open(&path) {
+        // A crash between writing the temporary and renaming it leaves
+        // a `.tmp` of unknown integrity (possibly torn: the data fsync
+        // may never have happened). It is never a committed record, so
+        // it must not be trusted — discard it before reading the real
+        // file so a later persist cannot collide with it either.
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() {
+            let _ = fs::remove_file(&tmp);
+        }
+        let (cached, cached_cluster) = match File::open(&path) {
             Ok(mut file) => {
                 let mut text = String::new();
                 file.read_to_string(&mut text)?;
-                Some(parse_record(&text).map_err(|e| {
+                parse_record(&text).map_err(|e| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("{}: {e}", path.display()),
                     )
-                })?)
+                })?
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (None, None),
             Err(e) => return Err(e),
         };
-        Ok(FileStore { path, cached })
+        Ok(FileStore {
+            path,
+            cached,
+            cached_cluster,
+        })
     }
 
     /// The backing file's path.
@@ -58,14 +84,14 @@ impl FileStore {
         &self.path
     }
 
-    fn write_record(&self, state: PersistedState) -> io::Result<()> {
+    fn write_record(&self) -> io::Result<()> {
         let tmp = self.path.with_extension("tmp");
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(&tmp)?;
-        file.write_all(encode_record(state).as_bytes())?;
+        file.write_all(encode_record(self.cached, self.cached_cluster).as_bytes())?;
         file.sync_all()?;
         drop(file);
         fs::rename(&tmp, &self.path)?;
@@ -78,58 +104,89 @@ impl FileStore {
         }
         Ok(())
     }
-}
 
-fn encode_record(state: PersistedState) -> String {
-    format!(
-        "{:016x} {:016x} {:016x}\n",
-        state.reset_clock.as_secs().to_bits(),
-        state.inherited_error.as_secs().to_bits(),
-        state.reset_at.as_secs().to_bits(),
-    )
-}
-
-fn parse_record(text: &str) -> Result<PersistedState, String> {
-    let mut fields = text.split_whitespace().map(|word| {
-        u64::from_str_radix(word, 16)
-            .map(f64::from_bits)
-            .map_err(|_| format!("bad hex field `{word}`"))
-    });
-    let mut next = |name: &str| {
-        fields
-            .next()
-            .ok_or_else(|| format!("missing field `{name}`"))?
-            .and_then(|v| {
-                if v.is_finite() {
-                    Ok(v)
-                } else {
-                    Err(format!("field `{name}` is not finite"))
-                }
-            })
-    };
-    let reset_clock = next("reset_clock")?;
-    let inherited_error = next("inherited_error")?;
-    let reset_at = next("reset_at")?;
-    Ok(PersistedState {
-        reset_clock: Timestamp::from_secs(reset_clock),
-        inherited_error: Duration::from_secs(inherited_error),
-        reset_at: Timestamp::from_secs(reset_at),
-    })
-}
-
-impl StableStore for FileStore {
-    fn persist(&mut self, state: PersistedState) {
+    fn persist_or_report(&self, what: &str) {
         // StableStore is infallible by contract (the simulator's
         // stores cannot fail); a disk error here degrades durability,
         // not correctness, so it is reported and survived — the server
         // keeps running on its in-memory state.
-        if let Err(e) = self.write_record(state) {
+        if let Err(e) = self.write_record() {
             eprintln!(
-                "tempo-transport: failed to persist state to {}: {e}",
+                "tempo-transport: failed to {what} state to {}: {e}",
                 self.path.display()
             );
         }
+    }
+}
+
+fn encode_record(base: Option<PersistedState>, cluster: Option<ClusterState>) -> String {
+    let b = base.unwrap_or(PersistedState {
+        reset_clock: Timestamp::from_secs(0.0),
+        inherited_error: Duration::from_secs(0.0),
+        reset_at: Timestamp::from_secs(0.0),
+    });
+    let c = cluster.unwrap_or_default();
+    let flags = u64::from(base.is_some()) * FLAG_BASE + u64::from(cluster.is_some()) * FLAG_CLUSTER;
+    format!(
+        "{:016x} {:016x} {:016x} {:016x} {:016x} {:02x}\n",
+        b.reset_clock.as_secs().to_bits(),
+        b.inherited_error.as_secs().to_bits(),
+        b.reset_at.as_secs().to_bits(),
+        c.view,
+        c.high_water,
+        flags,
+    )
+}
+
+type ParsedRecord = (Option<PersistedState>, Option<ClusterState>);
+
+fn parse_record(text: &str) -> Result<ParsedRecord, String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() != 3 && words.len() != 6 {
+        return Err(format!("expected 3 or 6 fields, found {}", words.len()));
+    }
+    let raw = |idx: usize, name: &str| {
+        u64::from_str_radix(words[idx], 16).map_err(|_| format!("bad hex field `{name}`"))
+    };
+    let secs = |idx: usize, name: &str| {
+        raw(idx, name).and_then(|bits| {
+            let v = f64::from_bits(bits);
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(format!("field `{name}` is not finite"))
+            }
+        })
+    };
+    let flags = if words.len() == 3 {
+        FLAG_BASE
+    } else {
+        raw(5, "flags")?
+    };
+    let base = if flags & FLAG_BASE != 0 {
+        Some(PersistedState {
+            reset_clock: Timestamp::from_secs(secs(0, "reset_clock")?),
+            inherited_error: Duration::from_secs(secs(1, "inherited_error")?),
+            reset_at: Timestamp::from_secs(secs(2, "reset_at")?),
+        })
+    } else {
+        None
+    };
+    let cluster = if words.len() == 6 && flags & FLAG_CLUSTER != 0 {
+        Some(ClusterState {
+            view: raw(3, "view")?,
+            high_water: raw(4, "high_water")?,
+        })
+    } else {
+        None
+    };
+    Ok((base, cluster))
+}
+
+impl StableStore for FileStore {
+    fn persist(&mut self, state: PersistedState) {
         self.cached = Some(state);
+        self.persist_or_report("persist");
     }
 
     fn load(&self) -> Option<PersistedState> {
@@ -139,20 +196,25 @@ impl StableStore for FileStore {
     fn wipe(&mut self) {
         let _ = fs::remove_file(&self.path);
         self.cached = None;
+        self.cached_cluster = None;
     }
 
     fn flush(&mut self) {
         // persist() already fsyncs, but a flush after a wipe-less run
         // re-writes the record in case the medium ate it (and is the
         // graceful-shutdown hook tempod relies on).
-        if let Some(state) = self.cached {
-            if let Err(e) = self.write_record(state) {
-                eprintln!(
-                    "tempo-transport: failed to flush state to {}: {e}",
-                    self.path.display()
-                );
-            }
+        if self.cached.is_some() || self.cached_cluster.is_some() {
+            self.persist_or_report("flush");
         }
+    }
+
+    fn persist_cluster(&mut self, state: ClusterState) {
+        self.cached_cluster = Some(state);
+        self.persist_or_report("persist cluster");
+    }
+
+    fn load_cluster(&self) -> Option<ClusterState> {
+        self.cached_cluster
     }
 }
 
@@ -247,6 +309,117 @@ mod tests {
             FileStore::open(&path).unwrap().load(),
             Some(state(3.0, 0.1, 3.0))
         );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cluster_record_round_trips_across_reopen() {
+        let path = temp_path("cluster");
+        let cs = ClusterState {
+            view: 7,
+            high_water: 12_500_001,
+        };
+        {
+            let mut store = FileStore::open(&path).unwrap();
+            assert_eq!(store.load_cluster(), None);
+            store.persist_cluster(cs);
+        }
+        let reopened = FileStore::open(&path).unwrap();
+        assert_eq!(reopened.load_cluster(), Some(cs));
+        // No base record was ever written; the slot stays empty.
+        assert_eq!(reopened.load(), None);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn base_and_cluster_records_coexist() {
+        let path = temp_path("both");
+        let base = state(5.0, 0.02, 5.001);
+        let cs = ClusterState {
+            view: 2,
+            high_water: 99,
+        };
+        {
+            let mut store = FileStore::open(&path).unwrap();
+            store.persist(base);
+            store.persist_cluster(cs);
+            // Re-persisting one side must not lose the other.
+            store.persist(state(6.0, 0.01, 6.0));
+        }
+        let reopened = FileStore::open(&path).unwrap();
+        assert_eq!(reopened.load(), Some(state(6.0, 0.01, 6.0)));
+        assert_eq!(reopened.load_cluster(), Some(cs));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_three_field_file_parses_as_base_only() {
+        let path = temp_path("legacy");
+        let base = state(123.456789, 0.001234, 123.5);
+        fs::write(
+            &path,
+            format!(
+                "{:016x} {:016x} {:016x}\n",
+                base.reset_clock.as_secs().to_bits(),
+                base.inherited_error.as_secs().to_bits(),
+                base.reset_at.as_secs().to_bits(),
+            ),
+        )
+        .unwrap();
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.load(), Some(base));
+        assert_eq!(store.load_cluster(), None);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_tmp_is_ignored_and_cleaned_up() {
+        // A crash mid-persist — after writing the temporary but before
+        // the rename — leaves a `.tmp` of unknown integrity next to the
+        // last committed record. Rehydration must trust only the
+        // committed file and remove the leftover.
+        let path = temp_path("staletmp");
+        let committed = state(10.0, 0.5, 10.0);
+        {
+            let mut store = FileStore::open(&path).unwrap();
+            store.persist(committed);
+        }
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, "0123456789abcdef 0123").unwrap(); // torn write
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.load(), Some(committed), "committed record lost");
+        assert!(!tmp.exists(), "stale .tmp not cleaned up");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn orphan_tmp_without_committed_record_is_an_empty_store() {
+        // A crash during the *first* persist: no committed file exists
+        // at all, only the suspect `.tmp`. The store must come up
+        // empty (amnesia, handled by the bootstrap path), not adopt
+        // the torn bytes.
+        let path = temp_path("orphantmp");
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, "deadbeef").unwrap();
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.load(), None);
+        assert_eq!(store.load_cluster(), None);
+        assert!(!tmp.exists(), "orphan .tmp not cleaned up");
+        // And the next persist works normally.
+        let mut store = store;
+        store.persist(state(1.0, 0.1, 1.0));
+        assert_eq!(
+            FileStore::open(&path).unwrap().load(),
+            Some(state(1.0, 0.1, 1.0))
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_field_count_is_an_error() {
+        let path = temp_path("fields");
+        fs::write(&path, "0 0 0 0\n").unwrap();
+        assert!(FileStore::open(&path).is_err());
         let _ = fs::remove_file(&path);
     }
 }
